@@ -1,0 +1,15 @@
+"""Benchmark: the extension comparison of AVMON against its baselines.
+
+Quantifies the Section-1 critiques: DHT consistency/randomness violations
+under churn, Broadcast's O(N) join cost, the central monitor's load
+concentration, and self-reporting's unverifiable lying.
+"""
+
+from conftest import run_artifact
+
+
+def test_ext_baselines(benchmark, record_report, shared_cache, scale):
+    report = run_artifact(
+        benchmark, record_report, shared_cache, scale, "ext_baselines"
+    )
+    assert "DHT" in report

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Figure 9 (see DESIGN.md index)."""
+
+from conftest import run_artifact
+
+
+def test_fig9(benchmark, record_report, shared_cache, scale):
+    report = run_artifact(benchmark, record_report, shared_cache, scale, "fig9")
+    assert report.strip()

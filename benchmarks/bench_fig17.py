@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Figure 17 (see DESIGN.md index)."""
+
+from conftest import run_artifact
+
+
+def test_fig17(benchmark, record_report, shared_cache, scale):
+    report = run_artifact(benchmark, record_report, shared_cache, scale, "fig17")
+    assert report.strip()

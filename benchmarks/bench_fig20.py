@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Figure 20 (see DESIGN.md index)."""
+
+from conftest import run_artifact
+
+
+def test_fig20(benchmark, record_report, shared_cache, scale):
+    report = run_artifact(benchmark, record_report, shared_cache, scale, "fig20")
+    assert report.strip()

@@ -1,0 +1,65 @@
+"""Microbenchmarks of the protocol's hot paths.
+
+These measure the primitives whose costs the paper analyses in Section 4:
+the pair hash (C), a full coarse-view exchange's match finding, JOIN
+handling, and the event engine's scheduling overhead.  Useful for spotting
+performance regressions in the simulator itself.
+"""
+
+import random
+
+from repro.core.condition import ConsistencyCondition
+from repro.core.hashing import hash_pair
+from repro.core.coarse_view import CoarseView
+from repro.core.relation import MonitorRelation, count_cross_pairs
+from repro.sim.engine import Simulator
+
+
+def test_hash_pair_md5(benchmark):
+    benchmark(lambda: hash_pair(12345, 67890, "md5"))
+
+
+def test_hash_pair_splitmix(benchmark):
+    benchmark(lambda: hash_pair(12345, 67890, "splitmix64"))
+
+
+def test_condition_memoised_check(benchmark):
+    condition = ConsistencyCondition(k=20, n=2000)
+    condition.holds(1, 2)  # warm the memo
+    benchmark(lambda: condition.holds(1, 2))
+
+
+def test_exchange_match_finding(benchmark):
+    condition = ConsistencyCondition(k=11, n=2000)
+    relation = MonitorRelation(condition)
+    relation.add_nodes(range(2000))
+    rng = random.Random(3)
+    view_a = set(rng.sample(range(2000), 27))
+    view_b = set(rng.sample(range(2000), 27))
+    for u in view_a | view_b:
+        relation.targets_of(u)  # warm the index, as a steady-state node has
+
+    def exchange():
+        count_cross_pairs(view_a, view_b)
+        return relation.find_matches(view_a, view_b)
+
+    benchmark(exchange)
+
+
+def test_coarse_view_reshuffle(benchmark):
+    rng = random.Random(4)
+    view = CoarseView(owner=0, capacity=27)
+    for node in range(1, 28):
+        view.add(node)
+    pool = list(range(100, 140))
+    benchmark(lambda: view.reshuffle(pool, rng))
+
+
+def test_engine_schedule_run(benchmark):
+    def run_thousand_events():
+        sim = Simulator()
+        for index in range(1000):
+            sim.schedule(float(index % 60), lambda: None)
+        sim.run_until(60.0)
+
+    benchmark(run_thousand_events)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the paper's Table 1 (complexity comparison).
+
+Purely analytic, so this one also serves as a microbenchmark of the
+Section-4 machinery (closed forms plus the numeric cross-check minimiser).
+"""
+
+from conftest import run_artifact
+
+
+def test_table1(benchmark, record_report, shared_cache, scale):
+    report = run_artifact(benchmark, record_report, shared_cache, scale, "table1")
+    assert "Broadcast" in report
+    assert "Optimal-MD" in report

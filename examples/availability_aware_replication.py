@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Availability-aware replication driven by AVMON histories.
+
+The paper's introduction motivates availability monitoring with replica
+selection (Godfrey et al., SIGCOMM 2006): given per-node availability
+histories, choosing the most-available nodes as replicas beats random
+placement.  This example runs AVMON over a heterogeneous churned system
+(per-node availabilities spread across (0, 1), short sessions so monitors
+observe many up/down cycles), audits each node's availability from its
+verified monitors, and compares the two placement policies.
+
+Run:  python examples/availability_aware_replication.py
+"""
+
+import random
+
+from repro.apps.replication import compare_policies
+from repro.experiments.runner import SimulationConfig, run_simulation
+from repro.metrics import stats
+from repro.traces import generate_overnet_trace
+
+
+def main() -> None:
+    # Heterogeneous population: availabilities drawn from Beta(2, 2),
+    # 30-minute renewal cycles so a 3-hour run observes many sessions.
+    trace = generate_overnet_trace(
+        n_stable=60,
+        duration=3.5 * 3600.0,
+        seed=5,
+        availability_alpha=2.0,
+        availability_beta=2.0,
+        cycle=1800.0,
+        births_per_hour=0.0,
+        grid=60.0,
+    )
+    config = SimulationConfig(
+        model="OV",
+        n=60,
+        duration=trace.duration,
+        warmup=1200.0,
+        seed=5,
+        trace=trace,
+    )
+    print(f"running AVMON over a heterogeneous churned system "
+          f"({len(trace)} nodes, {trace.duration/3600:.1f} h, "
+          f"30-min renewal cycles)")
+    result = run_simulation(config)
+
+    # Each node's availability as measured by its AVMON monitors.
+    audits = result.availability_audit(control_only=False)
+    measured = {node: estimate for node, (estimate, _) in audits.items()}
+    truths = [truth for _, truth in audits.values()]
+    print(f"audited {len(measured)} nodes via their pinging sets")
+    print(f"true availability:     mean {stats.mean(truths):.2f}, "
+          f"spread [{min(truths):.2f}, {max(truths):.2f}]")
+    print(f"measured availability: mean {stats.mean(list(measured.values())):.2f}")
+
+    errors = [abs(measured[n] - t) for n, (_, t) in audits.items()]
+    print(f"measurement error:     mean {stats.mean(errors):.3f}")
+
+    rng = random.Random(7)
+    for replica_count in (2, 3, 5):
+        smart, random_score = compare_policies(measured, replica_count, rng)
+        print(f"\nreplicas={replica_count}:")
+        print(f"  availability-aware placement: P(>=1 up) = "
+              f"{smart.availability:.4f}")
+        print(f"  random placement (mean of 100): P(>=1 up) = {random_score:.4f}")
+        smart_miss = max(1e-9, 1.0 - smart.availability)
+        print(f"  -> smart placement cuts unavailability by "
+              f"{(1 - random_score) / smart_miss:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — a complete reproduction of AVMON (Morales & Gupta, ICDCS 2007).
+
+AVMON selects and discovers *consistent availability-monitoring overlays*:
+for every node ``x`` a pinging set ``PS(x)`` that is consistent, verifiable
+and random, discovered scalably through gossiped coarse views.
+
+Quick start::
+
+    from repro import AvmonConfig, SimulationConfig, run_simulation
+
+    config = SimulationConfig(model="SYNTH", n=100, duration=3600, warmup=600)
+    result = run_simulation(config)
+    print(result.average_discovery_time())
+
+Packages:
+
+* :mod:`repro.core` — the protocol (hashing, condition, node, analysis);
+* :mod:`repro.sim` / :mod:`repro.net` — event engine and network substrate;
+* :mod:`repro.churn` / :mod:`repro.traces` — churn models and traces;
+* :mod:`repro.baselines` — Broadcast, Central, Self-report, DHT;
+* :mod:`repro.experiments` — every figure/table of the paper's evaluation;
+* :mod:`repro.metrics` — collectors and statistics.
+"""
+
+from .core import (
+    AvmonConfig,
+    AvmonNode,
+    ConsistencyCondition,
+    MonitorRelation,
+    NodeId,
+    hash_pair,
+    optimal,
+    verify_monitor_report,
+)
+from .experiments import (
+    SimulationConfig,
+    SimulationResult,
+    run_experiment,
+    run_simulation,
+    scenario,
+)
+from .traces import (
+    AvailabilityTrace,
+    generate_overnet_trace,
+    generate_planetlab_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AvailabilityTrace",
+    "AvmonConfig",
+    "AvmonNode",
+    "ConsistencyCondition",
+    "MonitorRelation",
+    "NodeId",
+    "SimulationConfig",
+    "SimulationResult",
+    "__version__",
+    "generate_overnet_trace",
+    "generate_planetlab_trace",
+    "hash_pair",
+    "optimal",
+    "run_experiment",
+    "run_simulation",
+    "scenario",
+    "verify_monitor_report",
+]

@@ -1,0 +1,24 @@
+"""Applications of the monitoring service (Section 1's motivations)."""
+
+from .prediction import PeriodicPredictor, SaturatingCounterPredictor, hit_rate
+from .query import QueryClient, QueryResult
+from .replication import (
+    ReplicaPlacement,
+    compare_policies,
+    placement_availability,
+    select_replicas_by_availability,
+    select_replicas_randomly,
+)
+
+__all__ = [
+    "PeriodicPredictor",
+    "QueryClient",
+    "QueryResult",
+    "ReplicaPlacement",
+    "SaturatingCounterPredictor",
+    "compare_policies",
+    "hit_rate",
+    "placement_availability",
+    "select_replicas_by_availability",
+    "select_replicas_randomly",
+]

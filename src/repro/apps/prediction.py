@@ -1,0 +1,107 @@
+"""Availability prediction from monitored histories.
+
+The paper notes (Section 1, citing Mickens & Noble [9]) that per-node
+availability histories "can even be used to predict availability of
+individual nodes in the future".  This module provides the two classic
+lightweight predictors from that line of work, operating directly on the
+raw sample histories AVMON monitors collect:
+
+* :class:`SaturatingCounterPredictor` — a per-node up/down saturating
+  counter (the "RightNow"-style state predictor);
+* :class:`PeriodicPredictor` — empirical P(up) per time-of-cycle bucket,
+  capturing diurnal behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["SaturatingCounterPredictor", "PeriodicPredictor", "hit_rate"]
+
+
+class SaturatingCounterPredictor:
+    """K-state saturating counter over the up/down sample stream.
+
+    The counter moves up on an up-sample and down on a down-sample,
+    saturating at ``[0, 2^bits - 1]``; the prediction is "up" in the upper
+    half of the range.  With bits=1 this degenerates to last-value
+    prediction.
+    """
+
+    def __init__(self, bits: int = 2) -> None:
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.maximum = (1 << bits) - 1
+        self.threshold = (self.maximum + 1) // 2
+        self._counter = self.threshold  # start unbiased
+
+    def observe(self, up: bool) -> None:
+        if up:
+            self._counter = min(self.maximum, self._counter + 1)
+        else:
+            self._counter = max(0, self._counter - 1)
+
+    def predict(self) -> bool:
+        """Will the node be up at the next sample?"""
+        return self._counter >= self.threshold
+
+    def train(self, samples: Sequence[bool]) -> None:
+        for sample in samples:
+            self.observe(sample)
+
+
+class PeriodicPredictor:
+    """Empirical P(up) per position within a recurring cycle.
+
+    Classic diurnal model: bucket each timestamped sample by
+    ``(time mod cycle) / bucket`` and predict up when the bucket's
+    historical up-fraction exceeds 0.5.  Falls back to the global
+    up-fraction for buckets never observed.
+    """
+
+    def __init__(self, cycle: float = 86400.0, buckets: int = 24) -> None:
+        if cycle <= 0:
+            raise ValueError(f"cycle must be positive, got {cycle}")
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        self.cycle = cycle
+        self.buckets = buckets
+        self._up = [0] * buckets
+        self._total = [0] * buckets
+
+    def _bucket(self, time: float) -> int:
+        phase = (time % self.cycle) / self.cycle
+        return min(self.buckets - 1, int(phase * self.buckets))
+
+    def observe(self, time: float, up: bool) -> None:
+        index = self._bucket(time)
+        self._total[index] += 1
+        if up:
+            self._up[index] += 1
+
+    def train(self, samples: Sequence[Tuple[float, bool]]) -> None:
+        for time, up in samples:
+            self.observe(time, up)
+
+    def probability_up(self, time: float) -> float:
+        index = self._bucket(time)
+        if self._total[index] > 0:
+            return self._up[index] / self._total[index]
+        total = sum(self._total)
+        return sum(self._up) / total if total else 0.5
+
+    def predict(self, time: float) -> bool:
+        return self.probability_up(time) >= 0.5
+
+
+def hit_rate(predictions: Sequence[bool], actual: Sequence[bool]) -> float:
+    """Fraction of correct predictions (0.0 for empty input)."""
+    if len(predictions) != len(actual):
+        raise ValueError(
+            f"length mismatch: {len(predictions)} predictions vs "
+            f"{len(actual)} actuals"
+        )
+    if not predictions:
+        return 0.0
+    correct = sum(1 for p, a in zip(predictions, actual) if p == a)
+    return correct / len(predictions)

@@ -1,0 +1,148 @@
+"""Network-level availability queries (the full §3.3 protocol flow).
+
+When a node ``y`` wants node ``x``'s availability it (1) asks ``x`` to
+report at least ``l`` of its monitors, (2) verifies every reported monitor
+against the consistency condition — so ``x`` cannot name colluders — and
+(3) asks each verified monitor for its measured history, aggregating the
+replies.  :class:`QueryClient` implements that exchange over the same
+runtime interface protocol nodes use, so it runs under the simulator
+attached to an ordinary host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from ..core.condition import ConsistencyCondition
+from ..core.hashing import NodeId
+from ..core.messages import (
+    HistoryReply,
+    HistoryRequest,
+    Message,
+    ReportReply,
+    ReportRequest,
+)
+from ..core.node import NodeRuntime
+from ..core.reporting import aggregate_availability, verify_monitor_report
+
+__all__ = ["QueryResult", "QueryClient"]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one availability query."""
+
+    subject: NodeId
+    #: Monitors that passed the consistency-condition check.
+    verified_monitors: Tuple[NodeId, ...] = ()
+    #: Monitors the subject reported that failed verification.
+    rejected_monitors: Tuple[NodeId, ...] = ()
+    #: Per-monitor availability reports received.
+    reports: Dict[NodeId, float] = field(default_factory=dict)
+    #: Aggregated availability over the received verified reports.
+    availability: float = 0.0
+    #: True iff every verified monitor answered before the deadline.
+    complete: bool = False
+    #: True iff the subject reported at least ``min_monitors`` that verified.
+    policy_satisfied: bool = False
+
+
+class QueryClient:
+    """Queries subjects' availability through their verified monitors."""
+
+    def __init__(
+        self,
+        client_id: NodeId,
+        condition: ConsistencyCondition,
+        runtime: NodeRuntime,
+        *,
+        min_monitors: int = 1,
+        timeout: float = 10.0,
+    ) -> None:
+        if min_monitors < 1:
+            raise ValueError(f"min_monitors must be >= 1, got {min_monitors}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.id = client_id
+        self.condition = condition
+        self.runtime = runtime
+        self.min_monitors = min_monitors
+        self.timeout = timeout
+        self._pending: Dict[NodeId, dict] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def query(
+        self, subject: NodeId, callback: Callable[[QueryResult], None]
+    ) -> None:
+        """Start a query for *subject*; *callback* fires exactly once."""
+        if subject in self._pending:
+            raise ValueError(f"query for {subject} already in flight")
+        self._pending[subject] = {
+            "callback": callback,
+            "result": QueryResult(subject=subject),
+            "awaiting": set(),
+        }
+        self.runtime.send(
+            subject,
+            ReportRequest(
+                sender=self.id, subject=subject, min_monitors=self.min_monitors
+            ),
+        )
+        self.runtime.schedule(self.timeout, lambda: self._finish(subject))
+
+    def pending_subjects(self) -> Tuple[NodeId, ...]:
+        return tuple(self._pending)
+
+    # -- message handling ---------------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        if isinstance(message, ReportReply):
+            self._on_report(message)
+        elif isinstance(message, HistoryReply):
+            self._on_history(message)
+
+    def on_leave(self, now: float) -> None:  # runtime-compatibility hook
+        for subject in list(self._pending):
+            self._finish(subject)
+
+    def _on_report(self, message: ReportReply) -> None:
+        state = self._pending.get(message.subject)
+        if state is None or state["awaiting"]:
+            return
+        verdict = verify_monitor_report(
+            self.condition, message.subject, message.monitors, self.min_monitors
+        )
+        result: QueryResult = state["result"]
+        result.verified_monitors = verdict.accepted
+        result.rejected_monitors = verdict.rejected
+        result.policy_satisfied = verdict.satisfied
+        if not verdict.accepted:
+            self._finish(message.subject)
+            return
+        awaiting: Set[NodeId] = set(verdict.accepted)
+        state["awaiting"] = awaiting
+        for monitor in verdict.accepted:
+            self.runtime.send(
+                monitor, HistoryRequest(sender=self.id, subject=message.subject)
+            )
+
+    def _on_history(self, message: HistoryReply) -> None:
+        state = self._pending.get(message.subject)
+        if state is None or message.sender not in state["awaiting"]:
+            return
+        state["awaiting"].discard(message.sender)
+        result: QueryResult = state["result"]
+        result.reports[message.sender] = message.availability
+        if not state["awaiting"]:
+            result.complete = True
+            self._finish(message.subject)
+
+    def _finish(self, subject: NodeId) -> None:
+        state = self._pending.pop(subject, None)
+        if state is None:
+            return
+        result: QueryResult = state["result"]
+        result.availability = aggregate_availability(result.reports.values())
+        state["callback"](result)

@@ -1,0 +1,16 @@
+"""Baseline availability-monitoring schemes AVMON is compared against."""
+
+from .broadcast import BroadcastNode
+from .central import CentralMonitorScheme, LoadReport
+from .dht import DhtMonitorScheme, HashRing
+from .self_report import SelfReportOutcome, SelfReportScheme
+
+__all__ = [
+    "BroadcastNode",
+    "CentralMonitorScheme",
+    "DhtMonitorScheme",
+    "HashRing",
+    "LoadReport",
+    "SelfReportOutcome",
+    "SelfReportScheme",
+]

@@ -1,0 +1,151 @@
+"""The Broadcast baseline from AVCast [11] (Section 2, Table 1).
+
+The paper's previous work had each node broadcast to *everyone* whenever it
+joined; every recipient checks the consistency condition against itself and
+learns its monitoring relationships immediately.  Discovery is quick
+(O(log N) spread, here a direct flood) but the per-join bandwidth is O(N) —
+the very cost AVMON's coarse-view discovery removes.
+
+:class:`BroadcastNode` is runtime-compatible with the AVMON node (it runs on
+the same :class:`~repro.net.network.SimHost`), so the extension experiment
+``ext_baselines`` can measure both under the identical substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..core.condition import ConsistencyCondition
+from ..core.hashing import NodeId
+from ..core.messages import Join, Message, MonitorPing, MonitorPong, Notify
+from ..core.monitoring import MonitoringStore
+from ..core.node import MetricsSink, NodeRuntime, NullMetrics
+
+__all__ = ["BroadcastNode"]
+
+
+class BroadcastNode:
+    """Availability-monitoring node using join-time flooding for discovery."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        condition: ConsistencyCondition,
+        runtime: NodeRuntime,
+        metrics: Optional[MetricsSink] = None,
+        *,
+        monitoring_period: float = 60.0,
+        ping_timeout: float = 5.0,
+    ) -> None:
+        self.id = node_id
+        self.condition = condition
+        self.runtime = runtime
+        self.metrics: MetricsSink = metrics if metrics is not None else NullMetrics()
+        self.monitoring_period = monitoring_period
+        self.ping_timeout = ping_timeout
+
+        self.ps: Dict[NodeId, float] = {}
+        self.ts: Set[NodeId] = set()
+        self.store = MonitoringStore()
+        self.computations = 0
+        self._seq = 0
+        self._pending: Dict[int, NodeId] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin_join(self, recipients) -> None:
+        """Flood a JOIN to every node in *recipients* (the whole system).
+
+        The cluster supplies the recipient list — in [11] the broadcast
+        reaches all alive nodes.
+        """
+        for destination in recipients:
+            if destination != self.id:
+                self.runtime.send(
+                    destination, Join(sender=self.id, origin=self.id, weight=1)
+                )
+
+    def on_leave(self, now: float) -> None:
+        self._pending.clear()
+
+    # -- message handling ------------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        if isinstance(message, Join):
+            self._handle_join(message)
+        elif isinstance(message, Notify):
+            self._accept_notify(message.monitor, message.target)
+        elif isinstance(message, MonitorPing):
+            self.runtime.send(
+                message.sender, MonitorPong(sender=self.id, seq=message.seq)
+            )
+        elif isinstance(message, MonitorPong):
+            target = self._pending.pop(message.seq, None)
+            if target is not None:
+                self.store.record_for(target).record_reply(self.runtime.now())
+
+    def _handle_join(self, message: Join) -> None:
+        """Check the condition against ourselves in both directions."""
+        joiner = message.origin
+        if joiner == self.id:
+            return
+        now = self.runtime.now()
+        self.computations += 2
+        self.metrics.on_computations(self.id, 2)
+        if self.condition.holds(self.id, joiner) and joiner not in self.ts:
+            self.ts.add(joiner)
+            self.store.record_for(joiner)
+            self.metrics.on_target_discovered(self.id, joiner, now)
+            # Tell the joiner we monitor it (it just arrived and has no
+            # state about us).
+            self.runtime.send(
+                joiner, Notify(sender=self.id, monitor=self.id, target=joiner)
+            )
+        if self.condition.holds(joiner, self.id) and joiner not in self.ps:
+            self.ps[joiner] = now
+            self.metrics.on_monitor_discovered(self.id, joiner, now, len(self.ps))
+            self.runtime.send(
+                joiner, Notify(sender=self.id, monitor=joiner, target=self.id)
+            )
+
+    def _accept_notify(self, monitor: NodeId, target: NodeId) -> None:
+        now = self.runtime.now()
+        if target == self.id and monitor not in self.ps:
+            self.computations += 1
+            if self.condition.holds(monitor, self.id):
+                self.ps[monitor] = now
+                self.metrics.on_monitor_discovered(self.id, monitor, now, len(self.ps))
+        if monitor == self.id and target != self.id and target not in self.ts:
+            self.computations += 1
+            if self.condition.holds(self.id, target):
+                self.ts.add(target)
+                self.store.record_for(target)
+                self.metrics.on_target_discovered(self.id, target, now)
+
+    # -- monitoring (same semantics as AVMON's layer) ----------------------------
+
+    def monitoring_tick(self) -> None:
+        now = self.runtime.now()
+        for target in list(self.ts):
+            record = self.store.record_for(target)
+            record.record_sent()
+            useless = not self.runtime.target_in_system(target)
+            if useless:
+                self.store.useless_pings += 1
+            self.metrics.on_monitor_ping_sent(self.id, target, useless)
+            self._seq += 1
+            seq = self._seq
+            self._pending[seq] = target
+            self.runtime.send(target, MonitorPing(sender=self.id, seq=seq))
+            self.runtime.schedule(self.ping_timeout, lambda s=seq: self._timeout(s))
+
+    def _timeout(self, seq: int) -> None:
+        target = self._pending.pop(seq, None)
+        if target is not None:
+            self.store.record_for(target).record_timeout(self.runtime.now())
+
+    def memory_entries(self) -> int:
+        return len(self.ps) + len(self.ts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BroadcastNode(id={self.id}, ps={len(self.ps)}, ts={len(self.ts)})"

@@ -1,0 +1,71 @@
+"""The centralized-monitor baseline (Section 1).
+
+``PS(x) = {y0}`` for a designated server ``y0``.  Selection is trivially
+consistent and verifiable but violates load balancing and scalability: all
+monitoring traffic and storage concentrate on one host.  The model here is
+analytic/structural — it computes the per-node load distribution for a given
+population so experiments can quantify the imbalance against AVMON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from ..core.hashing import NodeId
+
+__all__ = ["CentralMonitorScheme", "LoadReport"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Monitoring load (targets watched, bytes/s) for each node."""
+
+    targets_per_node: Dict[NodeId, int]
+    bytes_per_second: Dict[NodeId, float]
+
+    def max_load(self) -> int:
+        return max(self.targets_per_node.values(), default=0)
+
+    def load_imbalance(self) -> float:
+        """max/mean target load — 1.0 is perfectly balanced."""
+        loads = list(self.targets_per_node.values())
+        if not loads:
+            return 0.0
+        average = sum(loads) / len(loads)
+        return max(loads) / average if average > 0 else float("inf")
+
+
+class CentralMonitorScheme:
+    """Monitor selection with a single central server."""
+
+    def __init__(self, server: NodeId) -> None:
+        self.server = server
+
+    def pinging_set(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Everyone is monitored by the server; the server by nobody."""
+        if node == self.server:
+            return ()
+        return (self.server,)
+
+    def target_set(self, node: NodeId, population: Iterable[NodeId]) -> Tuple[NodeId, ...]:
+        if node != self.server:
+            return ()
+        return tuple(member for member in population if member != self.server)
+
+    def load_report(
+        self,
+        population: Iterable[NodeId],
+        *,
+        ping_bytes: int = 8,
+        monitoring_period: float = 60.0,
+    ) -> LoadReport:
+        """Quantify the load concentration the paper objects to."""
+        members = list(population)
+        targets = {member: 0 for member in members}
+        targets[self.server] = len([m for m in members if m != self.server])
+        bytes_per_second = {
+            member: targets[member] * ping_bytes / monitoring_period
+            for member in members
+        }
+        return LoadReport(targets_per_node=targets, bytes_per_second=bytes_per_second)

@@ -1,0 +1,171 @@
+"""CYCLON-style membership shuffling (related work, Section 2).
+
+CYCLON (Voulgaris, Gavidia, van Steen 2005) maintains a random overlay by
+having each node periodically *swap* subsets of its neighbour list with its
+oldest neighbour.  The paper positions AVMON's coarse-view maintenance as
+"a mechanism similar to (but simpler than) CYCLON": CYCLON exchanges
+bounded subsets with age-based partner selection, AVMON fetches whole
+views from a uniform partner and additionally mines the exchange for
+monitoring matches.
+
+This implementation exists so the overlay-quality comparison is concrete:
+tests measure in-degree balance and clustering of both mechanisms on equal
+footing.  It follows the published protocol: age-stamped entries, oldest
+partner selection, subset swap with self-insertion, and bounded view size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..core.hashing import NodeId
+
+__all__ = ["CyclonNode", "CyclonOverlay"]
+
+
+class CyclonNode:
+    """One CYCLON participant: an age-stamped bounded neighbour cache."""
+
+    __slots__ = ("id", "capacity", "shuffle_size", "_entries")
+
+    def __init__(self, node_id: NodeId, capacity: int, shuffle_size: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 1 <= shuffle_size <= capacity:
+            raise ValueError(
+                f"shuffle_size must be in [1, capacity], got {shuffle_size}"
+            )
+        self.id = node_id
+        self.capacity = capacity
+        self.shuffle_size = shuffle_size
+        self._entries: Dict[NodeId, int] = {}  # neighbour -> age
+
+    # -- view access ---------------------------------------------------------
+
+    def neighbours(self) -> Tuple[NodeId, ...]:
+        return tuple(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._entries
+
+    def add_seed(self, node: NodeId) -> None:
+        """Bootstrap entry (age 0); ignored for self/duplicates/overflow."""
+        if node != self.id and node not in self._entries:
+            if len(self._entries) < self.capacity:
+                self._entries[node] = 0
+
+    # -- the shuffle ------------------------------------------------------------
+
+    def oldest_neighbour(self) -> Optional[NodeId]:
+        if not self._entries:
+            return None
+        return max(self._entries.items(), key=lambda item: (item[1], item[0]))[0]
+
+    def age_entries(self) -> None:
+        for node in self._entries:
+            self._entries[node] += 1
+
+    def select_subset(self, rng: random.Random, exclude: NodeId) -> List[NodeId]:
+        """Up to ``shuffle_size - 1`` random neighbours, plus self."""
+        pool = [n for n in self._entries if n != exclude]
+        rng.shuffle(pool)
+        return [self.id] + pool[: self.shuffle_size - 1]
+
+    def integrate(
+        self, received: List[NodeId], sent: List[NodeId]
+    ) -> None:
+        """Merge *received* entries, preferring to evict what we *sent*.
+
+        Follows CYCLON's replacement rule: fill empty slots first, then
+        overwrite entries that were shipped to the peer.
+        """
+        sent_pool = [n for n in sent if n in self._entries]
+        for node in received:
+            if node == self.id or node in self._entries:
+                continue
+            if len(self._entries) < self.capacity:
+                self._entries[node] = 0
+            elif sent_pool:
+                del self._entries[sent_pool.pop()]
+                self._entries[node] = 0
+            # Otherwise the view is full of entries we did not send: drop.
+
+
+class CyclonOverlay:
+    """Synchronous-round CYCLON simulation over a fixed population."""
+
+    def __init__(
+        self,
+        population: int,
+        capacity: int = 20,
+        shuffle_size: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if population <= capacity:
+            raise ValueError(
+                f"population ({population}) must exceed capacity ({capacity})"
+            )
+        self.rng = random.Random(seed)
+        self.nodes: Dict[NodeId, CyclonNode] = {
+            node_id: CyclonNode(node_id, capacity, shuffle_size)
+            for node_id in range(population)
+        }
+        # Ring-seed the initial views, the classic worst case for mixing.
+        ids = sorted(self.nodes)
+        for index, node_id in enumerate(ids):
+            node = self.nodes[node_id]
+            for offset in range(1, capacity + 1):
+                node.add_seed(ids[(index + offset) % len(ids)])
+
+    def run_round(self) -> None:
+        """Every node initiates one shuffle with its oldest neighbour."""
+        for node in self.nodes.values():
+            node.age_entries()
+            partner_id = node.oldest_neighbour()
+            if partner_id is None or partner_id not in self.nodes:
+                continue
+            partner = self.nodes[partner_id]
+            sent = node.select_subset(self.rng, exclude=partner_id)
+            replied = partner.select_subset(self.rng, exclude=node.id)
+            # The initiator drops the partner entry it contacted (CYCLON
+            # replaces the aged-out link), then both merge.
+            node._entries.pop(partner_id, None)
+            node.integrate([n for n in replied if n != node.id], sent)
+            partner.integrate([n for n in sent if n != partner_id], replied)
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.run_round()
+
+    # -- overlay quality metrics ---------------------------------------------------
+
+    def indegree_distribution(self) -> Dict[NodeId, int]:
+        indegree = {node_id: 0 for node_id in self.nodes}
+        for node in self.nodes.values():
+            for neighbour in node.neighbours():
+                if neighbour in indegree:
+                    indegree[neighbour] += 1
+        return indegree
+
+    def clustering_sample(self, samples: int = 200) -> float:
+        """Fraction of sampled neighbour pairs that are themselves linked.
+
+        A well-mixed random overlay has clustering ~ capacity/population.
+        """
+        pairs_checked = 0
+        closed = 0
+        ids = sorted(self.nodes)
+        for _ in range(samples):
+            node = self.nodes[ids[self.rng.randrange(len(ids))]]
+            neighbours = node.neighbours()
+            if len(neighbours) < 2:
+                continue
+            a, b = self.rng.sample(neighbours, 2)
+            pairs_checked += 1
+            if a in self.nodes and b in self.nodes[a]:
+                closed += 1
+        return closed / pairs_checked if pairs_checked else 0.0

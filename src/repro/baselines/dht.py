@@ -1,0 +1,160 @@
+"""The DHT-based baseline: replica-set monitor selection on a hash ring.
+
+Section 1 explains why DHT-based selection (``PS(x)`` = the K nodes whose
+hashed ids follow ``H(x)`` on a ring, as in Chord/Pastry replica sets) fails
+AVMON's requirements:
+
+* **Consistency** breaks under churn — a newly born node whose id hashes
+  next to ``H(x)`` displaces an existing monitor, forcing availability
+  history transfers.
+* **Randomness (3b)** breaks — two nodes adjacent on the ring co-occur in
+  *many* pinging sets, so correlated/colluding neighbours can jointly distort
+  many nodes' availabilities.
+
+:class:`HashRing` is a full consistent-hashing implementation (sorted ring,
+successor queries, join/leave).  :class:`DhtMonitorScheme` layers monitor
+selection on top and *measures* the two violations so the extension
+experiment can put numbers against AVMON's zero-churn-disruption selection.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.hashing import NodeId, hash_pair
+
+__all__ = ["HashRing", "DhtMonitorScheme"]
+
+#: Fixed "key side" used to place node ids on the ring: H(ring_salt, node).
+_RING_SALT = 0xD47
+
+
+class HashRing:
+    """Sorted consistent-hash ring over node ids."""
+
+    def __init__(self, algorithm: str = "md5") -> None:
+        self.algorithm = algorithm
+        self._points: List[float] = []
+        self._ids_at: Dict[float, NodeId] = {}
+        self._position: Dict[NodeId, float] = {}
+
+    def position_of(self, node: NodeId) -> float:
+        """Ring coordinate in [0, 1) for *node* (pure function of the id)."""
+        return hash_pair(_RING_SALT, node, self.algorithm)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._position
+
+    def members(self) -> Tuple[NodeId, ...]:
+        return tuple(self._ids_at[p] for p in self._points)
+
+    def join(self, node: NodeId) -> None:
+        if node in self._position:
+            return
+        point = self.position_of(node)
+        if point in self._ids_at:
+            # Astronomically unlikely 64-bit collision; refuse rather than
+            # silently stack two nodes on one coordinate.
+            raise ValueError(f"ring position collision for node {node}")
+        bisect.insort(self._points, point)
+        self._ids_at[point] = node
+        self._position[node] = point
+
+    def leave(self, node: NodeId) -> None:
+        point = self._position.pop(node, None)
+        if point is None:
+            return
+        index = bisect.bisect_left(self._points, point)
+        del self._points[index]
+        del self._ids_at[point]
+
+    def successors(self, key: float, count: int) -> Tuple[NodeId, ...]:
+        """The *count* nodes clockwise from *key* (wrapping), deduplicated."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        total = len(self._points)
+        if total == 0 or count == 0:
+            return ()
+        start = bisect.bisect_right(self._points, key)
+        out = []
+        for offset in range(min(count, total)):
+            point = self._points[(start + offset) % total]
+            out.append(self._ids_at[point])
+        return tuple(out)
+
+
+class DhtMonitorScheme:
+    """Replica-set monitor selection, instrumented for violation counting."""
+
+    def __init__(self, k: int, algorithm: str = "md5") -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.ring = HashRing(algorithm)
+        #: PS(x) changes observed across churn events, per monitored node.
+        self.monitor_changes: Dict[NodeId, int] = defaultdict(int)
+        self._last_ps: Dict[NodeId, Tuple[NodeId, ...]] = {}
+
+    def pinging_set(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """The K successors of ``H(node)``, excluding the node itself."""
+        candidates = self.ring.successors(self.ring.position_of(node), self.k + 1)
+        filtered = tuple(c for c in candidates if c != node)
+        return filtered[: self.k]
+
+    # -- churn-driven violation measurement ------------------------------------
+
+    def record_baseline(self, monitored: Sequence[NodeId]) -> None:
+        """Snapshot current pinging sets before applying churn."""
+        for node in monitored:
+            self._last_ps[node] = self.pinging_set(node)
+
+    def apply_churn_event(self, monitored: Sequence[NodeId], *, joined=None, left=None):
+        """Apply one churn event, count PS membership changes it caused.
+
+        Returns the number of monitored nodes whose PS changed — each change
+        is a consistency violation (an availability history would have to be
+        transferred).
+        """
+        if joined is not None:
+            self.ring.join(joined)
+        if left is not None:
+            self.ring.leave(left)
+        affected = 0
+        for node in monitored:
+            if node not in self.ring:
+                continue
+            current = self.pinging_set(node)
+            previous = self._last_ps.get(node)
+            if previous is not None and set(current) != set(previous):
+                self.monitor_changes[node] += 1
+                affected += 1
+            self._last_ps[node] = current
+        return affected
+
+    def total_monitor_changes(self) -> int:
+        return sum(self.monitor_changes.values())
+
+    # -- randomness violation (condition 3b) --------------------------------------
+
+    def cooccurrence_counts(self, monitored: Sequence[NodeId]) -> Dict[frozenset, int]:
+        """How often each *pair* of monitors appears together across PS sets.
+
+        Under true random selection a pair co-occurs in ~``N·(K/N)²`` sets
+        (essentially never); on a ring, adjacent nodes co-occur in ~K sets.
+        """
+        counts: Dict[frozenset, int] = defaultdict(int)
+        for node in monitored:
+            ps = self.pinging_set(node)
+            for i, first in enumerate(ps):
+                for second in ps[i + 1 :]:
+                    counts[frozenset((first, second))] += 1
+        return dict(counts)
+
+    def max_cooccurrence(self, monitored: Sequence[NodeId]) -> int:
+        counts = self.cooccurrence_counts(monitored)
+        return max(counts.values(), default=0)

@@ -1,0 +1,68 @@
+"""The self-reporting baseline (Section 1).
+
+``PS(x) = {x}``: every node reports its own availability.  Selection is
+consistent and trivially discoverable, but there is no randomness and no
+verification — a selfish node simply claims any availability it likes.
+:class:`SelfReportScheme` models that directly so experiments can show how
+badly an availability-aware application is misled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from ..core.hashing import NodeId
+
+__all__ = ["SelfReportScheme", "SelfReportOutcome"]
+
+
+@dataclass(frozen=True)
+class SelfReportOutcome:
+    """True vs reported availability across a population."""
+
+    reported: Dict[NodeId, float]
+    actual: Dict[NodeId, float]
+
+    def error_of(self, node: NodeId) -> float:
+        return abs(self.reported[node] - self.actual[node])
+
+    def nodes_with_error_above(self, threshold: float) -> int:
+        return sum(1 for node in self.reported if self.error_of(node) > threshold)
+
+    def mean_inflation(self) -> float:
+        """Average (reported − actual); positive means systematic lying."""
+        if not self.reported:
+            return 0.0
+        return sum(
+            self.reported[node] - self.actual[node] for node in self.reported
+        ) / len(self.reported)
+
+
+class SelfReportScheme:
+    """Monitor selection where each node is its own (unverifiable) monitor."""
+
+    def pinging_set(self, node: NodeId) -> Tuple[NodeId, ...]:
+        return (node,)
+
+    def evaluate(
+        self,
+        actual_availability: Dict[NodeId, float],
+        selfish_nodes: Set[NodeId],
+        claimed_availability: float = 1.0,
+    ) -> SelfReportOutcome:
+        """Selfish nodes claim *claimed_availability*; honest ones the truth.
+
+        Nothing in the scheme can detect the lie — contrast with AVMON's
+        Figure-20 experiment where random, verifiable monitors keep the
+        overreporting error small.
+        """
+        if not 0.0 <= claimed_availability <= 1.0:
+            raise ValueError(
+                f"claimed_availability must be in [0, 1], got {claimed_availability}"
+            )
+        reported = {
+            node: (claimed_availability if node in selfish_nodes else truth)
+            for node, truth in actual_availability.items()
+        }
+        return SelfReportOutcome(reported=reported, actual=dict(actual_availability))

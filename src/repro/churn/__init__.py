@@ -1,0 +1,15 @@
+"""Churn substrates: synthetic models and trace replay."""
+
+from .base import ChurnDriver, ChurnModel
+from .models import StatModel, SynthBdModel, SynthModel, make_model
+from .replay import TraceReplayModel
+
+__all__ = [
+    "ChurnDriver",
+    "ChurnModel",
+    "StatModel",
+    "SynthBdModel",
+    "SynthModel",
+    "TraceReplayModel",
+    "make_model",
+]

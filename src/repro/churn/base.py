@@ -1,0 +1,84 @@
+"""Churn-model interface.
+
+A churn model decides *when* nodes join, leave, are born and die; the
+cluster (see :mod:`repro.experiments.runner`) decides *what happens* on each
+transition (protocol actions, metric bookkeeping).  Models talk to the
+cluster through the narrow :class:`ChurnDriver` interface so they can be
+unit-tested against a fake driver.
+
+The system model (Section 3): nodes may leave/fail and rejoin at any time;
+births create brand-new nodes; deaths are silent and final.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol
+
+from ..core.hashing import NodeId
+from ..sim.engine import Simulator
+
+__all__ = ["ChurnDriver", "ChurnModel"]
+
+
+class ChurnDriver(Protocol):
+    """What a churn model may ask of the cluster."""
+
+    sim: Simulator
+
+    def request_leave(self, node: NodeId) -> None:
+        """Take an alive node down (it may rejoin later)."""
+        ...
+
+    def request_rejoin(self, node: NodeId) -> None:
+        """Bring a down (non-dead) node back up."""
+        ...
+
+    def request_birth(self) -> NodeId:
+        """Create a brand-new node, joined immediately; returns its id."""
+        ...
+
+    def request_death(self, node: NodeId) -> None:
+        """Silently and permanently remove a node."""
+        ...
+
+    def random_alive(self) -> Optional[NodeId]: ...
+
+    def is_alive(self, node: NodeId) -> bool: ...
+
+    def is_dead(self, node: NodeId) -> bool: ...
+
+
+class ChurnModel:
+    """Base class: a static system (the STAT model of Section 5).
+
+    Subclasses override the hooks they need.  ``setup`` runs once at the
+    start of the simulation; ``on_node_up``/``on_node_down`` are invoked by
+    the cluster after every state change (including the initial joins and
+    control-group joins) so the model can schedule that node's next
+    transition; ``on_node_death`` lets the model cancel anything pending.
+    """
+
+    name = "STAT"
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng if rng is not None else random.Random(0)
+        self.driver: Optional[ChurnDriver] = None
+
+    def bind(self, driver: ChurnDriver) -> None:
+        self.driver = driver
+
+    def setup(self) -> None:
+        """Install global processes (birth/death streams); default: none."""
+
+    def on_node_up(self, node: NodeId) -> None:
+        """Called right after *node* came up; default: stays up forever."""
+
+    def on_node_down(self, node: NodeId) -> None:
+        """Called right after *node* went down; default: never rejoins."""
+
+    def on_node_death(self, node: NodeId) -> None:
+        """Called right after *node* died; default: nothing to cancel."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,174 @@
+"""Synthetic churn models of Section 5: STAT, SYNTH, SYNTH-BD(2).
+
+* **STAT** — a static network with no churn (the base
+  :class:`~repro.churn.base.ChurnModel`).
+
+* **SYNTH** — nodes join and leave according to exponential distributions
+  (Poisson processes), no births or deaths.  The paper targets a 20 %
+  per-hour churn rate, i.e. system-wide leave and rejoin rates
+  ``λ_l = λ_r = 0.2·N/60`` per minute.  With ≈ N alive nodes this means a
+  per-node leave rate of 0.2/h (mean session 5 h); symmetric down-times give
+  a stationary alive count of N when the total population is 2 N, which is
+  how the runner provisions SYNTH experiments.
+
+* **SYNTH-BD** — SYNTH plus node births and deaths as Poisson processes at a
+  20 % per-day rate: ``λ_b = λ_d = 0.2·N/1440`` per minute.  Births create
+  brand-new nodes (which then follow SYNTH dynamics); deaths silently and
+  permanently remove a random alive node.
+
+* **SYNTH-BD2** — SYNTH-BD with the birth/death rate doubled (0.4·N/day),
+  used by Figures 15–16 to stress very high churn.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..core.hashing import NodeId
+from ..sim.engine import EventHandle
+from .base import ChurnModel
+
+__all__ = ["StatModel", "SynthModel", "SynthBdModel", "make_model"]
+
+
+class StatModel(ChurnModel):
+    """Static network: everyone stays up (paper's STAT)."""
+
+    name = "STAT"
+
+
+class SynthModel(ChurnModel):
+    """Poisson join/leave churn (paper's SYNTH).
+
+    *churn_per_hour* is the per-node leave rate as a fraction of the stable
+    size per hour (0.2 reproduces the paper); mean session and mean downtime
+    are both ``1 / rate``.
+    """
+
+    name = "SYNTH"
+
+    #: Down nodes provisioned per alive node at t=0 (2N total population).
+    initial_down_per_alive = 1.0
+
+    def __init__(
+        self,
+        n_stable: int,
+        churn_per_hour: float = 0.2,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(rng)
+        if n_stable <= 0:
+            raise ValueError(f"n_stable must be positive, got {n_stable}")
+        if churn_per_hour <= 0:
+            raise ValueError(f"churn_per_hour must be positive, got {churn_per_hour}")
+        self.n_stable = n_stable
+        self.churn_per_hour = churn_per_hour
+        #: Mean up-session (and mean down-time) in seconds: 5 h at 20 %/h.
+        self.mean_session = 3600.0 / churn_per_hour
+        self._transitions: Dict[NodeId, EventHandle] = {}
+
+    # -- per-node alternating renewal -------------------------------------
+
+    def on_node_up(self, node: NodeId) -> None:
+        self._schedule_transition(node, self._leave)
+
+    def on_node_down(self, node: NodeId) -> None:
+        self._schedule_transition(node, self._rejoin)
+
+    def on_node_death(self, node: NodeId) -> None:
+        handle = self._transitions.pop(node, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _schedule_transition(self, node: NodeId, action) -> None:
+        previous = self._transitions.pop(node, None)
+        if previous is not None:
+            previous.cancel()
+        delay = self.rng.expovariate(1.0 / self.mean_session)
+        self._transitions[node] = self.driver.sim.schedule(
+            delay, lambda: self._fire(node, action)
+        )
+
+    def _fire(self, node: NodeId, action) -> None:
+        self._transitions.pop(node, None)
+        if self.driver.is_dead(node):
+            return
+        action(node)
+
+    def _leave(self, node: NodeId) -> None:
+        if self.driver.is_alive(node):
+            self.driver.request_leave(node)
+
+    def _rejoin(self, node: NodeId) -> None:
+        if not self.driver.is_alive(node):
+            self.driver.request_rejoin(node)
+
+
+class SynthBdModel(SynthModel):
+    """SYNTH plus Poisson births and silent deaths (paper's SYNTH-BD)."""
+
+    name = "SYNTH-BD"
+
+    def __init__(
+        self,
+        n_stable: int,
+        churn_per_hour: float = 0.2,
+        birth_death_per_day: float = 0.2,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(n_stable, churn_per_hour, rng)
+        if birth_death_per_day <= 0:
+            raise ValueError(
+                f"birth_death_per_day must be positive, got {birth_death_per_day}"
+            )
+        self.birth_death_per_day = birth_death_per_day
+        #: System-wide birth (= death) rate, events per second.
+        self.event_rate = birth_death_per_day * n_stable / 86400.0
+        if birth_death_per_day >= 0.4 - 1e-12:
+            self.name = "SYNTH-BD2"
+
+    def setup(self) -> None:
+        self._schedule_birth()
+        self._schedule_death()
+
+    def _schedule_birth(self) -> None:
+        delay = self.rng.expovariate(self.event_rate)
+        self.driver.sim.schedule(delay, self._birth)
+
+    def _schedule_death(self) -> None:
+        delay = self.rng.expovariate(self.event_rate)
+        self.driver.sim.schedule(delay, self._death)
+
+    def _birth(self) -> None:
+        self.driver.request_birth()
+        self._schedule_birth()
+
+    def _death(self) -> None:
+        victim = self.driver.random_alive()
+        if victim is not None:
+            self.driver.request_death(victim)
+        self._schedule_death()
+
+
+def make_model(
+    name: str,
+    n_stable: int,
+    rng: Optional[random.Random] = None,
+    *,
+    churn_per_hour: float = 0.2,
+    birth_death_per_day: float = 0.2,
+) -> ChurnModel:
+    """Factory over the paper's synthetic model names."""
+    key = name.upper().replace("_", "-")
+    if key == "STAT":
+        return StatModel(rng)
+    if key == "SYNTH":
+        return SynthModel(n_stable, churn_per_hour, rng)
+    if key == "SYNTH-BD":
+        return SynthBdModel(n_stable, churn_per_hour, birth_death_per_day, rng)
+    if key == "SYNTH-BD2":
+        return SynthBdModel(n_stable, churn_per_hour, 2.0 * birth_death_per_day, rng)
+    raise ValueError(
+        f"unknown churn model {name!r}; expected STAT, SYNTH, SYNTH-BD or SYNTH-BD2"
+    )

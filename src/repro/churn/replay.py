@@ -1,0 +1,89 @@
+"""Trace-driven churn: replay an :class:`AvailabilityTrace` into the cluster.
+
+The PL and OV experiments of Section 5 inject measured availability traces
+"as such" into the simulation.  :class:`TraceReplayModel` schedules every
+join and leave event of a trace; nodes are born (created in the cluster) at
+their first join.  A node whose trace marks it dead simply never rejoins —
+deaths are silent, exactly as in the system model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..core.hashing import NodeId
+from ..traces.format import AvailabilityTrace
+from .base import ChurnModel
+
+__all__ = ["TraceReplayModel"]
+
+
+class TraceReplayModel(ChurnModel):
+    """Replays a trace's join/leave schedule verbatim.
+
+    One adjustment at the trace boundary: nodes whose first session starts
+    at exactly t = 0 were already in the system when the measurement began,
+    so their joins are jittered across *bootstrap_window* seconds instead
+    of forming an instantaneous thundering herd into an empty overlay
+    (which would charge the overlay's cold start against their discovery
+    times — a transient the measured system did not have).
+    """
+
+    name = "TRACE"
+
+    def __init__(
+        self,
+        trace: AvailabilityTrace,
+        rng: Optional[random.Random] = None,
+        *,
+        name: Optional[str] = None,
+        bootstrap_window: float = 300.0,
+    ) -> None:
+        super().__init__(rng)
+        self.trace = trace
+        if bootstrap_window < 0:
+            raise ValueError(
+                f"bootstrap_window must be non-negative, got {bootstrap_window}"
+            )
+        self.bootstrap_window = bootstrap_window
+        if name is not None:
+            self.name = name
+        #: trace node id -> cluster node id (assigned at first join).
+        self._cluster_ids: Dict[int, NodeId] = {}
+
+    def setup(self) -> None:
+        for event in self.trace.events():
+            if event.kind == "join":
+                time = event.time
+                if time == 0.0 and self.bootstrap_window > 0.0:
+                    session_end = self.trace.node(event.node_id).sessions[0].end
+                    time = self.rng.uniform(
+                        0.0, min(self.bootstrap_window, session_end / 2.0)
+                    )
+                self.driver.sim.schedule_at(
+                    time, lambda n=event.node_id: self._join(n)
+                )
+            elif event.time < self.trace.duration:
+                # A session clamped at the trace's end means "still up when
+                # the measurement stopped", not a departure.
+                self.driver.sim.schedule_at(
+                    event.time, lambda n=event.node_id: self._leave(n)
+                )
+
+    def _join(self, trace_node: int) -> None:
+        cluster_id = self._cluster_ids.get(trace_node)
+        if cluster_id is None:
+            # First appearance: birth a brand-new cluster node.
+            self._cluster_ids[trace_node] = self.driver.request_birth()
+        elif not self.driver.is_alive(cluster_id):
+            self.driver.request_rejoin(cluster_id)
+
+    def _leave(self, trace_node: int) -> None:
+        cluster_id = self._cluster_ids.get(trace_node)
+        if cluster_id is not None and self.driver.is_alive(cluster_id):
+            self.driver.request_leave(cluster_id)
+
+    def cluster_id_of(self, trace_node: int) -> Optional[NodeId]:
+        """The cluster id assigned to a trace node (None before first join)."""
+        return self._cluster_ids.get(trace_node)

@@ -1,0 +1,82 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Examples::
+
+    avmon list
+    avmon run fig3                 # bench scale (default)
+    avmon run fig19 --scale paper  # full paper-scale replication
+    avmon run all --scale test     # quick smoke of every artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments.cache import SimulationCache
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .experiments.scenarios import SCALES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="avmon",
+        description="AVMON (ICDCS 2007) reproduction: run the paper's experiments.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+
+    run_parser = commands.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        help=f"experiment id ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="bench",
+        help="parameter scale (default: bench)",
+    )
+    return parser
+
+
+def _run_one(experiment_id: str, scale: str, cache: SimulationCache, out) -> None:
+    started = time.perf_counter()
+    report = run_experiment(experiment_id, scale, cache)
+    elapsed = time.perf_counter() - started
+    print(f"== {experiment_id} ({scale} scale, {elapsed:.1f}s wall) ==", file=out)
+    print(report, file=out)
+    print(file=out)
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(eid) for eid in EXPERIMENTS)
+        for eid, experiment in EXPERIMENTS.items():
+            print(f"{eid.ljust(width)}  {experiment.title}", file=out)
+        return 0
+    cache = SimulationCache()
+    if args.experiment == "all":
+        for experiment_id in EXPERIMENTS:
+            _run_one(experiment_id, args.scale, cache, out)
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"error: unknown experiment {args.experiment!r}; "
+            f"try: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    _run_one(args.experiment, args.scale, cache, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

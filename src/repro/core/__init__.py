@@ -1,0 +1,58 @@
+"""AVMON core: the paper's primary contribution (Sections 3 and 4).
+
+Public surface of the protocol layer — hashing, the consistency condition,
+the monitor relation, coarse views, the node itself, monitoring state,
+reporting, availability histories, configuration and the Section-4
+optimality analysis.
+"""
+
+from .condition import ConsistencyCondition
+from .config import AvmonConfig
+from .coarse_view import CoarseView
+from .hashing import NodeId, available_algorithms, hash_pair, pack_endpoint
+from .history import (
+    AgedHistory,
+    AvailabilityHistory,
+    RawHistory,
+    RecentWindowHistory,
+    make_history,
+)
+from .monitoring import MonitoringStore, TargetRecord
+from .node import AvmonNode, MetricsSink, NodeRuntime, NullMetrics
+from .relation import MonitorRelation, count_cross_pairs
+from .reporting import (
+    ReportVerdict,
+    aggregate_availability,
+    audit_subject,
+    verify_monitor_report,
+)
+from . import messages, optimal
+
+__all__ = [
+    "AgedHistory",
+    "AvailabilityHistory",
+    "AvmonConfig",
+    "AvmonNode",
+    "CoarseView",
+    "ConsistencyCondition",
+    "MetricsSink",
+    "MonitorRelation",
+    "MonitoringStore",
+    "NodeId",
+    "NodeRuntime",
+    "NullMetrics",
+    "RawHistory",
+    "RecentWindowHistory",
+    "ReportVerdict",
+    "TargetRecord",
+    "aggregate_availability",
+    "audit_subject",
+    "available_algorithms",
+    "count_cross_pairs",
+    "hash_pair",
+    "make_history",
+    "messages",
+    "optimal",
+    "pack_endpoint",
+    "verify_monitor_report",
+]

@@ -1,0 +1,113 @@
+"""The AVMON consistency condition (Section 3.1).
+
+Two nodes are related as ``u ∈ PS(v)`` (``u`` monitors ``v``) if and only if
+
+    ``H(u, v) <= K / N``
+
+where ``K`` is a small constant (the expected pinging-set size) and ``N`` is
+the expected stable system size.  The relationship is *consistent* (it never
+changes while ``K`` and ``N`` are fixed), *verifiable* (any third node can
+recompute it), and *random* (``H`` behaves uniformly).
+
+:class:`ConsistencyCondition` is the object every component shares: protocol
+nodes use it to re-check NOTIFY messages, third parties use it to audit
+reported monitors, and the discovery relation (:mod:`repro.core.relation`)
+builds its indexes on top of it.  Evaluations are memoised — the condition
+for a fixed pair never changes, so caching is sound — and the number of
+distinct hash evaluations is tracked for cost accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .hashing import NodeId, PairHasher
+
+__all__ = ["ConsistencyCondition"]
+
+
+class ConsistencyCondition:
+    """Evaluates and memoises ``H(u, v) <= K/N`` for ordered node pairs."""
+
+    __slots__ = ("k", "n", "threshold", "_hasher", "_cache")
+
+    def __init__(self, k: int, n: int, hash_algorithm: str = "md5") -> None:
+        if k <= 0:
+            raise ValueError(f"K must be positive, got {k}")
+        if n <= 0:
+            raise ValueError(f"N must be positive, got {n}")
+        if k > n:
+            raise ValueError(f"K ({k}) must not exceed N ({n})")
+        self.k = k
+        self.n = n
+        #: The probability that an ordered pair is in the monitoring relation.
+        self.threshold = k / n
+        self._hasher = PairHasher(hash_algorithm)
+        self._cache: Dict[Tuple[NodeId, NodeId], bool] = {}
+
+    @property
+    def hash_algorithm(self) -> str:
+        """Name of the underlying pair-hash algorithm."""
+        return self._hasher.algorithm
+
+    @property
+    def hash_evaluations(self) -> int:
+        """Number of distinct pair hashes actually computed so far."""
+        return self._hasher.evaluations
+
+    def hash_value(self, monitor: NodeId, target: NodeId) -> float:
+        """Raw ``H(monitor, target)`` value (not memoised)."""
+        return self._hasher(monitor, target)
+
+    def holds(self, monitor: NodeId, target: NodeId) -> bool:
+        """True iff ``monitor ∈ PS(target)``, i.e. *monitor* monitors *target*.
+
+        The pair is ordered: ``holds(u, v)`` and ``holds(v, u)`` are
+        independent relations (``u`` may monitor ``v`` without the reverse).
+        """
+        if monitor == target:
+            # A node never monitors itself; self-reporting is exactly what
+            # the scheme is designed to rule out (Section 1, goal 3a).
+            return False
+        key = (monitor, target)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._hasher(monitor, target) <= self.threshold
+            self._cache[key] = cached
+        return cached
+
+    # The two directed views of the same relation, named for readability at
+    # call sites that think in terms of pinging sets and target sets.
+
+    def is_monitor_of(self, candidate: NodeId, target: NodeId) -> bool:
+        """Alias of :meth:`holds`: is *candidate* in ``PS(target)``?"""
+        return self.holds(candidate, target)
+
+    def is_target_of(self, candidate: NodeId, monitor: NodeId) -> bool:
+        """Is *candidate* in ``TS(monitor)``, i.e. does *monitor* watch it?"""
+        return self.holds(monitor, candidate)
+
+    def verify_report(self, target: NodeId, reported_monitors) -> bool:
+        """Third-party verification used by the "l out of K" policy.
+
+        Returns True iff every node in *reported_monitors* genuinely
+        satisfies the consistency condition for *target*.  This is what makes
+        monitor reports unforgeable (Section 3.3): a selfish node cannot
+        slip a colluder into its report because any recipient runs this
+        check.
+        """
+        return all(self.holds(monitor, target) for monitor in reported_monitors)
+
+    def expected_ps_size(self) -> float:
+        """Expected ``|PS(x)|`` over a population of exactly ``N`` nodes."""
+        return self.threshold * (self.n - 1)
+
+    def cache_size(self) -> int:
+        """Number of memoised ordered pairs (diagnostics/tests)."""
+        return len(self._cache)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConsistencyCondition(k={self.k}, n={self.n}, "
+            f"algorithm={self.hash_algorithm!r})"
+        )

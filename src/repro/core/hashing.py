@@ -1,0 +1,158 @@
+"""Consistent pair hashing for the AVMON monitor-selection scheme.
+
+Section 3.1 of the paper defines the monitoring relationship through a
+consistent hash function ``H`` applied to the ``<IPaddress, portnumber>``
+pairs of two nodes, with its range normalised to the real interval
+``[0, 1)``.  The paper's implementation used libSSL's MD5 and considered only
+the first 64 bits of the digest (Section 5); we reproduce exactly that, and
+additionally offer SHA-1, BLAKE2b and a fast non-cryptographic SplitMix64
+mixer for very large simulations.
+
+Node identities in this library are plain integers.  To stay faithful to the
+paper's hashing over endpoints, each integer id is packed into a synthetic
+6-byte ``<IP, port>`` endpoint (4 bytes of address, 2 bytes of port) before
+hashing, so a hashed pair covers 12 bytes of input exactly as in the paper's
+back-of-the-envelope computation cost analysis (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict
+
+__all__ = [
+    "NodeId",
+    "ENDPOINT_BYTES",
+    "pack_endpoint",
+    "unpack_endpoint",
+    "hash_pair",
+    "PairHasher",
+    "available_algorithms",
+]
+
+NodeId = int
+
+#: Number of bytes a packed ``<IP, port>`` endpoint occupies.
+ENDPOINT_BYTES = 6
+
+#: Normalisation constant: first 64 bits of a digest divided by 2**64.
+_TWO_64 = float(2**64)
+
+# SplitMix64 constants (Steele, Lea, Flood 2014); used by the fast
+# non-cryptographic algorithm only.
+_SM64_GAMMA = 0x9E3779B97F4A7C15
+_SM64_MIX1 = 0xBF58476D1CE4E5B9
+_SM64_MIX2 = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+
+
+def pack_endpoint(node: NodeId) -> bytes:
+    """Pack an integer node id into a synthetic 6-byte ``<IP, port>`` pair.
+
+    The low 16 bits become the port and the next 32 bits the IPv4 address,
+    mirroring how a deployment would feed a real endpoint to the hash.  Ids
+    must be non-negative and fit in 48 bits.
+    """
+    if node < 0:
+        raise ValueError(f"node id must be non-negative, got {node}")
+    if node >= 1 << 48:
+        raise ValueError(f"node id must fit in 48 bits, got {node}")
+    return node.to_bytes(ENDPOINT_BYTES, "big")
+
+
+def unpack_endpoint(data: bytes) -> NodeId:
+    """Inverse of :func:`pack_endpoint`."""
+    if len(data) != ENDPOINT_BYTES:
+        raise ValueError(f"endpoint must be {ENDPOINT_BYTES} bytes, got {len(data)}")
+    return int.from_bytes(data, "big")
+
+
+def _digest_to_unit(digest: bytes) -> float:
+    """Map the first 64 bits of a digest to ``[0, 1)``."""
+    return int.from_bytes(digest[:8], "big") / _TWO_64
+
+
+def _md5_pair(a: NodeId, b: NodeId) -> float:
+    return _digest_to_unit(hashlib.md5(pack_endpoint(a) + pack_endpoint(b)).digest())
+
+
+def _sha1_pair(a: NodeId, b: NodeId) -> float:
+    return _digest_to_unit(hashlib.sha1(pack_endpoint(a) + pack_endpoint(b)).digest())
+
+
+def _blake2b_pair(a: NodeId, b: NodeId) -> float:
+    digest = hashlib.blake2b(
+        pack_endpoint(a) + pack_endpoint(b), digest_size=8
+    ).digest()
+    return _digest_to_unit(digest)
+
+
+def _splitmix64(value: int) -> int:
+    """One round of the SplitMix64 finaliser over a 64-bit value."""
+    value = (value + _SM64_GAMMA) & _MASK64
+    value = ((value ^ (value >> 30)) * _SM64_MIX1) & _MASK64
+    value = ((value ^ (value >> 27)) * _SM64_MIX2) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _splitmix_pair(a: NodeId, b: NodeId) -> float:
+    # Two dependent rounds keep the pair ordering significant: H(a,b) and
+    # H(b,a) are unrelated values, exactly as for the cryptographic hashes.
+    mixed = _splitmix64(_splitmix64(a) ^ ((b << 1) & _MASK64) ^ 0xA5A5A5A5A5A5A5A5)
+    return mixed / _TWO_64
+
+_ALGORITHMS: Dict[str, Callable[[NodeId, NodeId], float]] = {
+    "md5": _md5_pair,
+    "sha1": _sha1_pair,
+    "blake2b": _blake2b_pair,
+    "splitmix64": _splitmix_pair,
+}
+
+
+def available_algorithms() -> tuple:
+    """Names of the registered pair-hash algorithms."""
+    return tuple(sorted(_ALGORITHMS))
+
+
+def hash_pair(a: NodeId, b: NodeId, algorithm: str = "md5") -> float:
+    """Return ``H(a, b)`` in ``[0, 1)`` for the ordered node pair ``(a, b)``.
+
+    ``H`` is consistent (a pure function of the two ids), verifiable by any
+    third party, and behaves like a uniform random value over ``[0, 1)`` —
+    the three properties Section 3.1 requires of the selection scheme.
+    """
+    try:
+        fn = _ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown hash algorithm {algorithm!r}; "
+            f"available: {', '.join(available_algorithms())}"
+        ) from None
+    return fn(a, b)
+
+
+class PairHasher:
+    """A bound pair-hash function with per-instance evaluation counting.
+
+    The counter lets callers measure how many *actual* hash evaluations an
+    algorithm performed, which the analysis in Section 4.1 cares about.
+    """
+
+    __slots__ = ("algorithm", "_fn", "evaluations")
+
+    def __init__(self, algorithm: str = "md5") -> None:
+        if algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"unknown hash algorithm {algorithm!r}; "
+                f"available: {', '.join(available_algorithms())}"
+            )
+        self.algorithm = algorithm
+        self._fn = _ALGORITHMS[algorithm]
+        self.evaluations = 0
+
+    def __call__(self, a: NodeId, b: NodeId) -> float:
+        self.evaluations += 1
+        return self._fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PairHasher(algorithm={self.algorithm!r}, evaluations={self.evaluations})"

@@ -1,0 +1,164 @@
+"""Protocol messages with wire-size accounting.
+
+Every message reports its wire size so the network layer can account
+per-node outgoing bandwidth the way Section 5 does (8 bytes per coarse-view
+entry and per ping message).  Sizes are parameterised on ``entry_bytes`` so
+experiments may model 6-byte entries (Section 4.1's example) or 8-byte
+entries (Section 5.1's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .hashing import NodeId
+
+__all__ = [
+    "Message",
+    "Join",
+    "CvPing",
+    "CvPong",
+    "CvFetchRequest",
+    "CvFetchReply",
+    "Notify",
+    "MonitorPing",
+    "MonitorPong",
+    "Pr2Refresh",
+    "ReportRequest",
+    "ReportReply",
+    "HistoryRequest",
+    "HistoryReply",
+]
+
+#: Fixed overhead charged per message (type tag + sequence number).
+_HEADER_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; ``sender`` is the node id the reply should go to."""
+
+    sender: NodeId
+
+    def size_bytes(self, entry_bytes: int = 8) -> int:
+        """Wire size of this message; one endpoint entry by default."""
+        return _HEADER_BYTES + entry_bytes
+
+
+@dataclass(frozen=True)
+class Join(Message):
+    """``JOIN(origin, weight)`` of the joining sub-protocol (Figure 1)."""
+
+    origin: NodeId
+    weight: int
+
+    def size_bytes(self, entry_bytes: int = 8) -> int:
+        # Origin endpoint + small integer weight.
+        return _HEADER_BYTES + entry_bytes + 2
+
+
+@dataclass(frozen=True)
+class CvPing(Message):
+    """Liveness probe of a coarse-view entry (first step of Figure 2)."""
+
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class CvPong(Message):
+    """Reply to :class:`CvPing`."""
+
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class CvFetchRequest(Message):
+    """Request for the recipient's coarse view (Figure 2)."""
+
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class CvFetchReply(Message):
+    """The recipient's coarse view; dominates AVMON's bandwidth."""
+
+    seq: int = 0
+    view: Tuple[NodeId, ...] = field(default_factory=tuple)
+
+    def size_bytes(self, entry_bytes: int = 8) -> int:
+        return _HEADER_BYTES + entry_bytes * len(self.view)
+
+
+@dataclass(frozen=True)
+class Notify(Message):
+    """``NOTIFY(monitor, target)``: *monitor* ∈ PS(*target*) was discovered."""
+
+    monitor: NodeId = 0
+    target: NodeId = 0
+
+    def size_bytes(self, entry_bytes: int = 8) -> int:
+        # Two endpoints: the matched ordered pair.
+        return _HEADER_BYTES + 2 * entry_bytes
+
+
+@dataclass(frozen=True)
+class MonitorPing(Message):
+    """Availability-measurement ping from a monitor to a TS target."""
+
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class MonitorPong(Message):
+    """Reply to :class:`MonitorPing`."""
+
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class Pr2Refresh(Message):
+    """PR2 (Section 5.4): sender forces itself into the recipient's CV."""
+
+
+@dataclass(frozen=True)
+class ReportRequest(Message):
+    """Ask *subject* to report at least ``min_monitors`` of its PS (§3.3)."""
+
+    subject: NodeId = 0
+    min_monitors: int = 1
+
+    def size_bytes(self, entry_bytes: int = 8) -> int:
+        return _HEADER_BYTES + entry_bytes + 2
+
+
+@dataclass(frozen=True)
+class ReportReply(Message):
+    """The subject's (verifiable) list of monitor ids."""
+
+    subject: NodeId = 0
+    monitors: Tuple[NodeId, ...] = field(default_factory=tuple)
+
+    def size_bytes(self, entry_bytes: int = 8) -> int:
+        return _HEADER_BYTES + entry_bytes * (1 + len(self.monitors))
+
+
+@dataclass(frozen=True)
+class HistoryRequest(Message):
+    """Ask a monitor for its measured availability of *subject*."""
+
+    subject: NodeId = 0
+
+    def size_bytes(self, entry_bytes: int = 8) -> int:
+        return _HEADER_BYTES + entry_bytes
+
+
+@dataclass(frozen=True)
+class HistoryReply(Message):
+    """A monitor's measured availability for *subject* in ``[0, 1]``."""
+
+    subject: NodeId = 0
+    availability: float = 0.0
+
+    def size_bytes(self, entry_bytes: int = 8) -> int:
+        return _HEADER_BYTES + entry_bytes + 8

@@ -1,0 +1,207 @@
+"""Monitoring-layer state: per-target records and forgetful pinging (§3.3).
+
+A monitor keeps, for every node in its target set ``TS``, a persistent
+:class:`TargetRecord` that tracks ping outcomes, the target's last observed
+session length, and how long the target has currently been unresponsive.
+The record implements the *forgetful pinging* optimisation: once a target
+has been unresponsive for longer than τ, it is pinged only with probability
+
+    ``c · ts(u) / (ts(u) + t)``
+
+per monitoring period, where ``ts(u)`` is the last measured up-session
+length and ``t`` the current downtime.  On average a dead-until-rejoin node
+still receives an expected ``c`` pings from each monitor between two
+successive joins, but the bandwidth wasted on nodes that never return drops
+by an order of magnitude (Figure 18).
+
+Records live in a :class:`MonitoringStore`, which models the persistent
+storage the system model grants each node ("Nodes are assumed to have
+persistent storage that can be retrieved after a failure or a rejoin").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from .hashing import NodeId
+from .history import AvailabilityHistory, RawHistory
+
+__all__ = ["TargetRecord", "MonitoringStore"]
+
+
+class TargetRecord:
+    """Availability bookkeeping for one TS target at one monitor."""
+
+    __slots__ = (
+        "target",
+        "pings_sent",
+        "pings_answered",
+        "history",
+        "_session_start",
+        "_last_response",
+        "_down_since",
+        "last_session_length",
+    )
+
+    def __init__(self, target: NodeId, history: Optional[AvailabilityHistory] = None):
+        self.target = target
+        self.pings_sent = 0
+        self.pings_answered = 0
+        self.history = history if history is not None else RawHistory()
+        # Start of the up-session currently being observed (None if the
+        # target has not answered since the last gap).
+        self._session_start: Optional[float] = None
+        self._last_response: Optional[float] = None
+        # Time of the first unanswered ping after the last response.
+        self._down_since: Optional[float] = None
+        #: ``ts(u)`` in the paper: length of the last fully observed session.
+        self.last_session_length: float = 0.0
+
+    # -- ping outcomes ---------------------------------------------------------
+
+    def record_sent(self) -> None:
+        self.pings_sent += 1
+
+    def record_reply(self, now: float) -> None:
+        """The target answered a monitoring ping at *now*."""
+        self.pings_answered += 1
+        self.history.record(now, True)
+        if self._session_start is None:
+            self._session_start = now
+        self._last_response = now
+        self._down_since = None
+
+    def record_timeout(self, now: float) -> None:
+        """A monitoring ping to the target went unanswered."""
+        self.history.record(now, False)
+        if self._session_start is not None and self._last_response is not None:
+            # The observed session just ended; remember its length.
+            self.last_session_length = max(
+                0.0, self._last_response - self._session_start
+            )
+        self._session_start = None
+        if self._down_since is None:
+            self._down_since = now
+
+    # -- state queries -----------------------------------------------------------
+
+    def downtime(self, now: float) -> float:
+        """Seconds the target has currently been unresponsive (0 if up)."""
+        if self._down_since is None:
+            return 0.0
+        return max(0.0, now - self._down_since)
+
+    def is_responsive(self) -> bool:
+        return self._down_since is None and self._last_response is not None
+
+    def estimated_availability(self) -> float:
+        """The paper's §5.4 estimator: answered pings / sent pings."""
+        if self.pings_sent == 0:
+            return 0.0
+        return self.pings_answered / self.pings_sent
+
+    # -- forgetful pinging ----------------------------------------------------------
+
+    def ping_probability(self, now: float, tau: float, c: float) -> float:
+        """Probability of pinging this period under forgetful pinging.
+
+        1.0 while the target is responsive or only briefly down (t <= τ);
+        ``min(1, c·ts/(ts+t))`` afterwards.  A target that was never seen up
+        has ``ts = 0``, and the paper's formula would silence it forever; we
+        floor ``ts`` at one monitoring period's worth of time only through
+        the caller's choice of ``c``, i.e. we faithfully return 0 — the
+        *store* handles never-seen targets by keeping their probe alive
+        until a first session is observed (see
+        :meth:`MonitoringStore.should_ping`).
+        """
+        downtime = self.downtime(now)
+        if downtime <= tau:
+            return 1.0
+        ts = self.last_session_length
+        if ts <= 0.0:
+            return 0.0
+        return min(1.0, c * ts / (ts + downtime))
+
+    def should_ping(
+        self, now: float, tau: float, c: float, rng: random.Random
+    ) -> bool:
+        """Bernoulli draw against :meth:`ping_probability`."""
+        probability = self.ping_probability(now, tau, c)
+        if probability >= 1.0:
+            return True
+        if probability <= 0.0:
+            return False
+        return rng.random() < probability
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TargetRecord(target={self.target}, sent={self.pings_sent}, "
+            f"answered={self.pings_answered})"
+        )
+
+
+class MonitoringStore:
+    """Persistent per-monitor storage of every target's record.
+
+    Survives leaves and rejoins of the monitor (the node's persistent
+    storage); only a *death* of the monitor discards it, and deaths never
+    rejoin by definition.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[NodeId, TargetRecord] = {}
+        #: Pings sent to nodes that were not in the system at send time.
+        self.useless_pings = 0
+
+    def record_for(self, target: NodeId) -> TargetRecord:
+        """Get-or-create the record for *target*."""
+        record = self._records.get(target)
+        if record is None:
+            record = TargetRecord(target)
+            self._records[target] = record
+        return record
+
+    def get(self, target: NodeId) -> Optional[TargetRecord]:
+        return self._records.get(target)
+
+    def __contains__(self, target: NodeId) -> bool:
+        return target in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def targets(self):
+        return self._records.keys()
+
+    def records(self):
+        return self._records.values()
+
+    def should_ping(
+        self,
+        target: NodeId,
+        now: float,
+        tau: float,
+        c: float,
+        rng: random.Random,
+        enabled: bool = True,
+    ) -> bool:
+        """Forgetful-pinging decision for *target* this monitoring period.
+
+        With the optimisation disabled every target is pinged every period
+        (the paper's NON-Forgetful baseline in Figures 17–18).  A target
+        never yet observed up is always pinged — without at least one
+        observed session there is no ``ts(u)`` to feed the formula.
+        """
+        if not enabled:
+            return True
+        record = self.record_for(target)
+        if record.pings_answered == 0:
+            return True
+        return record.should_ping(now, tau, c, rng)
+
+    def estimated_availability(self, target: NodeId) -> float:
+        record = self._records.get(target)
+        if record is None:
+            return 0.0
+        return record.estimated_availability()

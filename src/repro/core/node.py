@@ -1,0 +1,453 @@
+"""The AVMON node: join, discovery and monitoring protocols (Section 3).
+
+:class:`AvmonNode` is pure protocol logic.  It talks to the outside world
+only through a :class:`NodeRuntime` — a small interface providing the clock,
+message transport, timer scheduling, a per-node RNG and a bootstrap oracle —
+so the same class runs unchanged under the discrete-event simulator (see
+:mod:`repro.net.network`) or any other harness a downstream user provides.
+
+Protocol summary
+----------------
+
+* **Joining sub-protocol (Figure 1)**: a (re-)joining node sends a weighted
+  ``JOIN`` to one random node and inherits that node's coarse view.  Each
+  recipient adds the joiner to its coarse view (decrementing the weight) and
+  forwards two half-weight copies to random coarse-view members, building a
+  random spanning tree that reaches an expected ``cvs`` nodes in
+  ``O(log cvs)`` periods.  A rejoining node uses weight
+  ``min(cvs, t_down / T)`` to replace exactly the entries lost while away.
+
+* **Coarse-view maintenance and discovery (Figure 2)**: once per protocol
+  period a node (a) pings one random coarse-view entry and prunes it on
+  timeout, and (b) fetches the coarse view of another random entry ``w``,
+  checks the consistency condition over all ordered pairs of the two views
+  (plus ``x`` and ``w`` themselves), sends ``NOTIFY(u, v)`` to both endpoints
+  of every match, and reshuffles its view to ``cvs`` random entries from the
+  union.
+
+* **Monitoring (Section 3.3)**: ``NOTIFY`` receipts are re-verified against
+  the consistency condition before updating ``PS``/``TS``.  Once per
+  monitoring period the node pings every target in ``TS`` (modulated by
+  forgetful pinging) and records the outcome in its persistent store.
+
+* **PR2 (Section 5.4)**: optionally, a node that has not received a
+  monitoring ping for two successive protocol periods forces itself back
+  into its coarse-view members' views.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Protocol, Set
+
+from .coarse_view import CoarseView
+from .config import AvmonConfig
+from .hashing import NodeId
+from .messages import (
+    CvFetchReply,
+    CvFetchRequest,
+    CvPing,
+    CvPong,
+    HistoryReply,
+    HistoryRequest,
+    Join,
+    Message,
+    MonitorPing,
+    MonitorPong,
+    Notify,
+    Pr2Refresh,
+    ReportReply,
+    ReportRequest,
+)
+from .monitoring import MonitoringStore
+from .relation import MonitorRelation, count_cross_pairs
+
+__all__ = ["NodeRuntime", "TimerHandle", "MetricsSink", "NullMetrics", "AvmonNode"]
+
+
+class TimerHandle(Protocol):
+    """Handle returned by :meth:`NodeRuntime.schedule`; supports cancel()."""
+
+    def cancel(self) -> None: ...
+
+
+class NodeRuntime(Protocol):
+    """Environment services an :class:`AvmonNode` needs."""
+
+    rng: random.Random
+
+    def now(self) -> float: ...
+
+    def send(self, dst: NodeId, message: Message) -> None: ...
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle: ...
+
+    def choose_bootstrap(self, exclude: NodeId) -> Optional[NodeId]:
+        """A uniformly random currently-alive node other than *exclude*."""
+        ...
+
+    def target_in_system(self, node: NodeId) -> bool:
+        """Global oracle used only for the useless-ping *metric* (§5.4)."""
+        ...
+
+
+class MetricsSink(Protocol):
+    """Observer hooks the experiment harness wires into every node."""
+
+    def on_monitor_discovered(
+        self, target: NodeId, monitor: NodeId, time: float, ps_size: int
+    ) -> None: ...
+
+    def on_target_discovered(
+        self, monitor: NodeId, target: NodeId, time: float
+    ) -> None: ...
+
+    def on_computations(self, node: NodeId, count: int) -> None: ...
+
+    def on_monitor_ping_sent(
+        self, monitor: NodeId, target: NodeId, useless: bool
+    ) -> None: ...
+
+
+class NullMetrics:
+    """Default sink: ignores everything."""
+
+    def on_monitor_discovered(self, target, monitor, time, ps_size) -> None:
+        pass
+
+    def on_target_discovered(self, monitor, target, time) -> None:
+        pass
+
+    def on_computations(self, node, count) -> None:
+        pass
+
+    def on_monitor_ping_sent(self, monitor, target, useless) -> None:
+        pass
+
+
+class AvmonNode:
+    """One AVMON participant; see the module docstring for the protocol."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: AvmonConfig,
+        relation: MonitorRelation,
+        runtime: NodeRuntime,
+        metrics: Optional[MetricsSink] = None,
+    ) -> None:
+        self.id = node_id
+        self.config = config
+        self.relation = relation
+        self.runtime = runtime
+        self.metrics: MetricsSink = metrics if metrics is not None else NullMetrics()
+
+        self.cv = CoarseView(owner=node_id, capacity=config.cvs)
+        #: Discovered pinging set: monitor id -> discovery time.
+        self.ps: Dict[NodeId, float] = {}
+        #: Discovered target set (ids this node monitors).
+        self.ts: Set[NodeId] = set()
+        #: Persistent availability records for TS targets (survives rejoins).
+        self.store = MonitoringStore()
+
+        #: Total consistency-condition evaluations this node has performed,
+        #: charged at protocol fidelity (see repro.core.relation docstring).
+        self.computations = 0
+        #: When this node last left the system (for the rejoin JOIN weight).
+        self.last_leave_time: Optional[float] = None
+        #: When this node last received a monitoring ping (PR2 trigger).
+        self.last_monitor_ping_received: float = 0.0
+        #: Attack flag for Figure 20: report 100% availability for TS nodes.
+        self.overreports = False
+
+        self._joined_before = False
+        self._seq = 0
+        self._pending: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle: joining, rejoining, leaving
+    # ------------------------------------------------------------------
+
+    def begin_join(self) -> None:
+        """Execute Figure 1 for this node (first join or rejoin)."""
+        now = self.runtime.now()
+        self.last_monitor_ping_received = now
+        bootstrap = self.runtime.choose_bootstrap(exclude=self.id)
+        if self._joined_before:
+            weight = self._rejoin_weight(now)
+        else:
+            weight = self.config.cvs
+            self._joined_before = True
+        if bootstrap is None:
+            # First node in the system: nobody to announce to.
+            return
+        if weight > 0:
+            self.runtime.send(bootstrap, Join(sender=self.id, origin=self.id, weight=weight))
+        # "Inherit view from this random node": fetch its coarse view and
+        # adopt it (no pair-checking during inheritance).
+        seq = self._next_seq()
+        self._pending[seq] = {"kind": "fetch", "peer": bootstrap, "inherit": True}
+        self.runtime.send(bootstrap, CvFetchRequest(sender=self.id, seq=seq))
+        self._arm_timeout(seq)
+
+    def _rejoin_weight(self, now: float) -> int:
+        if self.last_leave_time is None:
+            return self.config.cvs
+        periods_down = int(
+            (now - self.last_leave_time) / self.config.protocol_period
+        )
+        return min(self.config.cvs, periods_down)
+
+    def on_leave(self, now: float) -> None:
+        """Called by the host when this node leaves or fails.
+
+        Coarse view, PS/TS and the store stay in persistent storage; only
+        in-flight request state is dropped.
+        """
+        self.last_leave_time = now
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Periodic activity
+    # ------------------------------------------------------------------
+
+    def protocol_tick(self) -> None:
+        """One round of the coarse-membership protocol (Figure 2)."""
+        rng = self.runtime.rng
+        ping_target = self.cv.random_choice(rng)
+        if ping_target is not None:
+            seq = self._next_seq()
+            self._pending[seq] = {"kind": "cvping", "peer": ping_target}
+            self.runtime.send(ping_target, CvPing(sender=self.id, seq=seq))
+            self._arm_timeout(seq)
+
+        fetch_target = self.cv.random_choice(rng)
+        if fetch_target is not None:
+            seq = self._next_seq()
+            self._pending[seq] = {"kind": "fetch", "peer": fetch_target, "inherit": False}
+            self.runtime.send(fetch_target, CvFetchRequest(sender=self.id, seq=seq))
+            self._arm_timeout(seq)
+
+        if self.config.enable_pr2:
+            self._maybe_pr2_refresh()
+
+    def monitoring_tick(self) -> None:
+        """One round of monitoring pings to every TS target (Section 3.3)."""
+        now = self.runtime.now()
+        rng = self.runtime.rng
+        config = self.config
+        for target in list(self.ts):
+            if not self.store.should_ping(
+                target,
+                now,
+                config.forgetful_tau,
+                config.forgetful_c,
+                rng,
+                enabled=config.enable_forgetful,
+            ):
+                continue
+            record = self.store.record_for(target)
+            record.record_sent()
+            useless = not self.runtime.target_in_system(target)
+            if useless:
+                self.store.useless_pings += 1
+            self.metrics.on_monitor_ping_sent(self.id, target, useless)
+            seq = self._next_seq()
+            self._pending[seq] = {"kind": "mping", "peer": target}
+            self.runtime.send(target, MonitorPing(sender=self.id, seq=seq))
+            self._arm_timeout(seq)
+
+    def _maybe_pr2_refresh(self) -> None:
+        now = self.runtime.now()
+        silent_for = now - self.last_monitor_ping_received
+        if silent_for < 2.0 * self.config.protocol_period:
+            return
+        for neighbour in self.cv.entries():
+            self.runtime.send(neighbour, Pr2Refresh(sender=self.id))
+        # Reset the trigger so the refresh is not spammed every period.
+        self.last_monitor_ping_received = now
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        """Dispatch one delivered message (called by the host while alive)."""
+        if isinstance(message, Join):
+            self._handle_join(message)
+        elif isinstance(message, CvPing):
+            self.runtime.send(message.sender, CvPong(sender=self.id, seq=message.seq))
+        elif isinstance(message, CvPong):
+            self._pending.pop(message.seq, None)
+        elif isinstance(message, CvFetchRequest):
+            self.runtime.send(
+                message.sender,
+                CvFetchReply(sender=self.id, seq=message.seq, view=self.cv.entries()),
+            )
+        elif isinstance(message, CvFetchReply):
+            self._handle_fetch_reply(message)
+        elif isinstance(message, Notify):
+            self._accept_notify(message.monitor, message.target)
+        elif isinstance(message, MonitorPing):
+            self.last_monitor_ping_received = self.runtime.now()
+            self.runtime.send(
+                message.sender, MonitorPong(sender=self.id, seq=message.seq)
+            )
+        elif isinstance(message, MonitorPong):
+            info = self._pending.pop(message.seq, None)
+            if info is not None and info["kind"] == "mping":
+                self.store.record_for(info["peer"]).record_reply(self.runtime.now())
+        elif isinstance(message, Pr2Refresh):
+            self.cv.add(message.sender, self.runtime.rng)
+        elif isinstance(message, ReportRequest):
+            self._handle_report_request(message)
+        elif isinstance(message, HistoryRequest):
+            self._handle_history_request(message)
+        # ReportReply / HistoryReply are consumed by application-level
+        # callers (see repro.core.reporting), not by the protocol node.
+
+    # -- joining ---------------------------------------------------------
+
+    def _handle_join(self, message: Join) -> None:
+        weight = message.weight
+        if weight <= 0:
+            return
+        origin = message.origin
+        if origin != self.id and origin not in self.cv:
+            self.cv.add(origin, self.runtime.rng)
+            weight -= 1
+        if weight <= 0:
+            return
+        low, high = weight // 2, weight - weight // 2
+        rng = self.runtime.rng
+        for part in (low, high):
+            if part <= 0:
+                continue
+            next_hop = self.cv.random_choice_excluding(rng, excluded=origin)
+            if next_hop is None:
+                continue
+            self.runtime.send(next_hop, Join(sender=self.id, origin=origin, weight=part))
+
+    # -- coarse-view exchange ---------------------------------------------
+
+    def _handle_fetch_reply(self, message: CvFetchReply) -> None:
+        info = self._pending.pop(message.seq, None)
+        if info is None or info["kind"] != "fetch":
+            return
+        peer = info["peer"]
+        fetched = set(message.view)
+        if info["inherit"]:
+            self.cv.reshuffle(fetched | {peer}, self.runtime.rng)
+            return
+        view_a = self.cv.as_set() | {self.id, peer}
+        view_b = fetched | {self.id, peer}
+        checked = count_cross_pairs(view_a, view_b)
+        self.computations += checked
+        self.metrics.on_computations(self.id, checked)
+        for monitor, target in self.relation.find_matches(view_a, view_b):
+            self._dispatch_notify(monitor, target)
+        self.cv.reshuffle(fetched | {peer}, self.runtime.rng)
+
+    def _dispatch_notify(self, monitor: NodeId, target: NodeId) -> None:
+        for endpoint in (monitor, target):
+            if endpoint == self.id:
+                self._accept_notify(monitor, target)
+            else:
+                self.runtime.send(
+                    endpoint, Notify(sender=self.id, monitor=monitor, target=target)
+                )
+
+    def _accept_notify(self, monitor: NodeId, target: NodeId) -> None:
+        """Apply a NOTIFY at this node, re-verifying the condition (§3.3)."""
+        condition = self.relation.condition
+        now = self.runtime.now()
+        if target == self.id and monitor != self.id and monitor not in self.ps:
+            self.computations += 1
+            if condition.holds(monitor, self.id):
+                self.ps[monitor] = now
+                self.metrics.on_monitor_discovered(self.id, monitor, now, len(self.ps))
+        if monitor == self.id and target != self.id and target not in self.ts:
+            self.computations += 1
+            if condition.holds(self.id, target):
+                self.ts.add(target)
+                self.store.record_for(target)
+                self.metrics.on_target_discovered(self.id, target, now)
+
+    # -- application-facing requests ----------------------------------------
+
+    def _handle_report_request(self, message: ReportRequest) -> None:
+        monitors = self.report_monitors(message.min_monitors)
+        self.runtime.send(
+            message.sender,
+            ReportReply(sender=self.id, subject=self.id, monitors=monitors),
+        )
+
+    def report_monitors(self, min_monitors: int) -> tuple:
+        """Select ``l`` discovered monitors to report (cannot be forged).
+
+        The node may pick *any* of its PS — callers verify each against the
+        consistency condition, so only genuine monitors pass.
+        """
+        known = list(self.ps)
+        if len(known) <= min_monitors:
+            return tuple(known)
+        return tuple(self.runtime.rng.sample(known, min_monitors))
+
+    def _handle_history_request(self, message: HistoryRequest) -> None:
+        self.runtime.send(
+            message.sender,
+            HistoryReply(
+                sender=self.id,
+                subject=message.subject,
+                availability=self.availability_report(message.subject),
+            ),
+        )
+
+    def availability_report(self, target: NodeId) -> float:
+        """This monitor's measured availability of *target*.
+
+        An overreporting colluder (Figure 20's attack) returns 100 % for
+        every node it monitors.
+        """
+        if self.overreports:
+            return 1.0
+        return self.store.estimated_availability(target)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def memory_entries(self) -> int:
+        """The paper's memory metric: ``|CV| + |PS| + |TS|``."""
+        return len(self.cv) + len(self.ps) + len(self.ts)
+
+    # ------------------------------------------------------------------
+    # Timeouts
+    # ------------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _arm_timeout(self, seq: int) -> None:
+        self.runtime.schedule(
+            self.config.ping_timeout, lambda: self._on_timeout(seq)
+        )
+
+    def _on_timeout(self, seq: int) -> None:
+        info = self._pending.pop(seq, None)
+        if info is None:
+            return
+        kind = info["kind"]
+        if kind == "cvping":
+            self.cv.remove(info["peer"])
+        elif kind == "mping":
+            self.store.record_for(info["peer"]).record_timeout(self.runtime.now())
+        # A timed-out fetch is simply skipped for this round (Figure 2 picks
+        # a fresh partner next period).
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AvmonNode(id={self.id}, cv={len(self.cv)}, ps={len(self.ps)}, "
+            f"ts={len(self.ts)})"
+        )

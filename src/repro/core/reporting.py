@@ -1,0 +1,111 @@
+"""The "l out of K" monitor-reporting policy with verification (§3.3, §4.3).
+
+When a node ``y`` wants a node ``x``'s availability, it is ``x``'s burden to
+report at least ``l <= K`` of its monitors.  ``x`` can choose *which*
+monitors to reveal but cannot lie: ``y`` re-checks the consistency condition
+``H(m, x) <= K/N`` for every reported monitor and rejects the report
+otherwise.  ``y`` then queries each verified monitor for ``x``'s measured
+availability and aggregates.
+
+These helpers are deliberately synchronous/pure so that application code,
+tests and the collusion-audit example can use them without a simulator; the
+message-level path (``ReportRequest``/``HistoryRequest``) lives on
+:class:`~repro.core.node.AvmonNode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from .condition import ConsistencyCondition
+from .hashing import NodeId
+
+__all__ = [
+    "ReportVerdict",
+    "verify_monitor_report",
+    "aggregate_availability",
+    "audit_subject",
+]
+
+
+@dataclass(frozen=True)
+class ReportVerdict:
+    """Outcome of verifying one monitor report."""
+
+    subject: NodeId
+    accepted: Tuple[NodeId, ...]
+    rejected: Tuple[NodeId, ...]
+    satisfied: bool
+
+    @property
+    def all_genuine(self) -> bool:
+        return not self.rejected
+
+
+def verify_monitor_report(
+    condition: ConsistencyCondition,
+    subject: NodeId,
+    reported: Sequence[NodeId],
+    min_monitors: int = 1,
+) -> ReportVerdict:
+    """Third-party verification of a reported monitor list.
+
+    A report *satisfies* the policy when at least *min_monitors* of its
+    entries genuinely pass the consistency condition for *subject*.  Fake
+    entries (colluders the subject tried to slip in) land in ``rejected``.
+    """
+    if min_monitors < 1:
+        raise ValueError(f"min_monitors must be >= 1, got {min_monitors}")
+    accepted = []
+    rejected = []
+    seen = set()
+    for monitor in reported:
+        if monitor in seen:
+            continue
+        seen.add(monitor)
+        if condition.holds(monitor, subject):
+            accepted.append(monitor)
+        else:
+            rejected.append(monitor)
+    return ReportVerdict(
+        subject=subject,
+        accepted=tuple(accepted),
+        rejected=tuple(rejected),
+        satisfied=len(accepted) >= min_monitors,
+    )
+
+
+def aggregate_availability(reports: Iterable[float]) -> float:
+    """Combine per-monitor availability reports (plain average).
+
+    The paper leaves aggregation to the application ("We do not consider the
+    problem of aggregating node availability histories"); the experiments of
+    Figure 20 average over the PS, which is what we do here.
+    """
+    values = list(reports)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def audit_subject(
+    condition: ConsistencyCondition,
+    subject: NodeId,
+    reported: Sequence[NodeId],
+    monitor_reports: Dict[NodeId, float],
+    min_monitors: int = 1,
+) -> Tuple[ReportVerdict, float]:
+    """Full audit: verify the monitor list, aggregate verified reports.
+
+    *monitor_reports* maps monitor id -> that monitor's measured
+    availability for *subject* (as returned by
+    :meth:`AvmonNode.availability_report`).  Only *verified* monitors
+    contribute to the aggregate, so unverifiable colluders cannot inflate
+    the subject's availability even if the subject names them.
+    """
+    verdict = verify_monitor_report(condition, subject, reported, min_monitors)
+    aggregate = aggregate_availability(
+        monitor_reports[m] for m in verdict.accepted if m in monitor_reports
+    )
+    return verdict, aggregate

@@ -1,0 +1,32 @@
+"""Evaluation harness: runner, scenarios and one module per paper artifact."""
+
+from .cache import SimulationCache, default_cache
+from .registry import EXPERIMENTS, Experiment, experiment_ids, run_experiment
+from .runner import Cluster, SimulationConfig, SimulationResult, run_simulation
+from .scenarios import (
+    SCALES,
+    n_values,
+    overnet_scenario,
+    planetlab_scenario,
+    scenario,
+    trace_for,
+)
+
+__all__ = [
+    "Cluster",
+    "EXPERIMENTS",
+    "Experiment",
+    "SCALES",
+    "SimulationCache",
+    "SimulationConfig",
+    "SimulationResult",
+    "default_cache",
+    "experiment_ids",
+    "n_values",
+    "overnet_scenario",
+    "planetlab_scenario",
+    "run_experiment",
+    "run_simulation",
+    "scenario",
+    "trace_for",
+]

@@ -1,0 +1,87 @@
+"""Result cache shared across figure computations.
+
+Figures 3–10 all consume the same base runs (three churn models × the N
+sweep); the cache keys runs by their full configuration so each distinct
+simulation executes once per process, whether it is requested by the fig-3
+module, the fig-9 module or a benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .runner import SimulationConfig, SimulationResult, run_simulation
+
+__all__ = ["SimulationCache", "default_cache"]
+
+
+class SimulationCache:
+    """Memoises :func:`run_simulation` on a structural config key."""
+
+    def __init__(self) -> None:
+        self._runs: Dict[Tuple, SimulationResult] = {}
+
+    @staticmethod
+    def key_of(config: SimulationConfig) -> Tuple:
+        avmon = config.resolved_avmon()
+        trace_fingerprint = None
+        if config.trace is not None:
+            trace_fingerprint = (
+                len(config.trace),
+                config.trace.duration,
+                config.trace.born_before(config.trace.duration),
+            )
+        return (
+            config.model_key,
+            config.n,
+            config.duration,
+            config.warmup,
+            config.control_fraction,
+            config.seed,
+            config.churn_per_hour,
+            config.birth_death_per_day,
+            config.overreport_fraction,
+            config.latency_low,
+            config.latency_high,
+            config.sample_interval,
+            trace_fingerprint,
+            (
+                avmon.n_expected,
+                avmon.k,
+                avmon.cvs,
+                avmon.protocol_period,
+                avmon.monitoring_period,
+                avmon.forgetful_tau,
+                avmon.forgetful_c,
+                avmon.enable_forgetful,
+                avmon.enable_pr2,
+                avmon.ping_timeout,
+                avmon.entry_bytes,
+                avmon.hash_algorithm,
+            ),
+        )
+
+    def get(self, config: SimulationConfig) -> SimulationResult:
+        key = self.key_of(config)
+        result = self._runs.get(key)
+        if result is None:
+            result = run_simulation(config)
+            self._runs[key] = result
+        return result
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def clear(self) -> None:
+        self._runs.clear()
+
+
+_DEFAULT: Optional[SimulationCache] = None
+
+
+def default_cache() -> SimulationCache:
+    """Process-wide cache used when callers do not supply one."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = SimulationCache()
+    return _DEFAULT

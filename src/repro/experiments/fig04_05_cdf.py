@@ -1,0 +1,75 @@
+"""Figures 4 and 5: CDFs of first-monitor discovery time.
+
+Figure 4 plots the CDF for the STAT model at the smallest and largest N
+(paper: ≥ 96 % of control nodes discovered within 30 seconds); Figure 5
+does the same for SYNTH-BD (paper: ≥ 93.3 % within 60 seconds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics import stats
+from .cache import SimulationCache, default_cache
+from .report import format_cdf, format_table
+from .scenarios import n_values, scenario
+
+__all__ = ["compute", "render", "run", "run_fig4", "run_fig5"]
+
+
+def compute(
+    model: str, scale: str = "bench", cache: Optional[SimulationCache] = None
+) -> Dict[int, dict]:
+    """Per N: CDF points plus the paper's checkpoint fractions."""
+    cache = cache if cache is not None else default_cache()
+    sweep = n_values(scale)
+    selected = [sweep[0], sweep[-1]]
+    out: Dict[int, dict] = {}
+    for n in selected:
+        result = cache.get(scenario(model, n, scale))
+        delays = result.first_monitor_delays()
+        out[n] = {
+            "cdf": stats.cdf_points(delays),
+            "within_30s": stats.fraction_below(delays, 30.0),
+            "within_60s": stats.fraction_below(delays, 60.0),
+            "count": len(delays),
+        }
+    return out
+
+
+def render(model: str, data: Dict[int, dict], checkpoint: str) -> str:
+    lines = [
+        f"CDF of first-monitor discovery time, {model} model",
+        f"paper: {checkpoint}",
+        "",
+        format_table(
+            ("N", "nodes", "frac <= 30 s", "frac <= 60 s"),
+            [
+                (n, info["count"], info["within_30s"], info["within_60s"])
+                for n, info in sorted(data.items())
+            ],
+        ),
+    ]
+    for n, info in sorted(data.items()):
+        lines.append("")
+        lines.append(f"CDF, N = {n}:")
+        lines.append(format_cdf(info["cdf"], value_label="discovery time (s)"))
+    return "\n".join(lines)
+
+
+def run_fig4(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+    data = compute("STAT", scale, cache)
+    return "Figure 4 - " + render(
+        "STAT", data, "at least 96% of nodes discovered in under 30 seconds"
+    )
+
+
+def run_fig5(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+    data = compute("SYNTH-BD", scale, cache)
+    return "Figure 5 - " + render(
+        "SYNTH-BD", data, "at least 93.3% of nodes discovered within 60 seconds"
+    )
+
+
+def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+    return run_fig4(scale, cache) + "\n\n" + run_fig5(scale, cache)

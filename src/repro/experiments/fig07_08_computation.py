@@ -1,0 +1,82 @@
+"""Figures 7 and 8: computational overhead of the discovery protocol.
+
+Figure 7: average consistency-condition evaluations per second per node
+(with ±1 σ) against N for the three synthetic models — the paper finds it
+sublinear in N and "close to 2·cvs² per minute", essentially unaffected by
+churn.  Figure 8: the CDF of the same quantity across nodes at the smallest
+and largest N.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core import optimal
+from ..metrics import stats
+from .cache import SimulationCache, default_cache
+from .fig03_discovery import MODELS
+from .report import format_cdf, format_table
+from .scenarios import n_values, scenario
+
+__all__ = ["compute_fig7", "compute_fig8", "run_fig7", "run_fig8", "run"]
+
+
+def compute_fig7(
+    scale: str = "bench", cache: Optional[SimulationCache] = None
+) -> List[Tuple[str, int, float, float, float]]:
+    """Rows of (model, N, avg comps/s, std, expected 2·cvs²/period)."""
+    cache = cache if cache is not None else default_cache()
+    rows = []
+    for model in MODELS:
+        for n in n_values(scale):
+            result = cache.get(scenario(model, n, scale))
+            rates = result.computation_rates(control_only=True)
+            expected = (
+                2.0
+                * result.avmon_config.cvs ** 2
+                / result.avmon_config.protocol_period
+            )
+            rows.append((model, n, stats.mean(rates), stats.std(rates), expected))
+    return rows
+
+
+def compute_fig8(
+    scale: str = "bench", cache: Optional[SimulationCache] = None
+) -> Dict[Tuple[str, int], List[Tuple[float, float]]]:
+    """CDF points of per-node comps/s at the sweep's extreme Ns."""
+    cache = cache if cache is not None else default_cache()
+    sweep = n_values(scale)
+    out = {}
+    for model in MODELS:
+        for n in (sweep[0], sweep[-1]):
+            result = cache.get(scenario(model, n, scale))
+            out[(model, n)] = stats.cdf_points(
+                result.computation_rates(control_only=True)
+            )
+    return out
+
+
+def run_fig7(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+    rows = compute_fig7(scale, cache)
+    header = (
+        "Figure 7 - average computations per second per node\n"
+        "paper: sublinear in N, close to 2*cvs^2 per minute, barely\n"
+        "influenced by churn\n"
+    )
+    return header + format_table(
+        ("model", "N", "avg comps/s", "std", "expected 2*cvs^2/T"), rows
+    )
+
+
+def run_fig8(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+    data = compute_fig8(scale, cache)
+    lines = ["Figure 8 - CDF of per-node computations per second"]
+    for (model, n), points in sorted(data.items()):
+        lines.append("")
+        lines.append(f"{model}, N = {n}:")
+        lines.append(format_cdf(points, value_label="comps/s"))
+    return "\n".join(lines)
+
+
+def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+    return run_fig7(scale, cache) + "\n\n" + run_fig8(scale, cache)

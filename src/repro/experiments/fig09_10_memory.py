@@ -1,0 +1,83 @@
+"""Figures 9 and 10: per-node memory usage (|CV| + |PS| + |TS|).
+
+Figure 9: mean memory entries per node (±1 σ) against N for the three
+synthetic models — the paper expects values near ``cvs + 2K``, with churned
+models slightly above because of garbage PS/TS entries.  Figure 10: the CDF
+across nodes at the extreme Ns, showing memory is minimally influenced by
+churn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics import stats
+from .cache import SimulationCache, default_cache
+from .fig03_discovery import MODELS
+from .report import format_cdf, format_table
+from .scenarios import n_values, scenario
+
+__all__ = ["compute_fig9", "compute_fig10", "run_fig9", "run_fig10", "run"]
+
+
+def compute_fig9(
+    scale: str = "bench", cache: Optional[SimulationCache] = None
+) -> List[Tuple[str, int, float, float, float]]:
+    """Rows of (model, N, avg entries, std, expected cvs + 2K)."""
+    cache = cache if cache is not None else default_cache()
+    rows = []
+    for model in MODELS:
+        for n in n_values(scale):
+            result = cache.get(scenario(model, n, scale))
+            values = result.memory_values(control_only=True)
+            rows.append(
+                (
+                    model,
+                    n,
+                    stats.mean(values),
+                    stats.std(values),
+                    result.avmon_config.expected_memory_entries,
+                )
+            )
+    return rows
+
+
+def compute_fig10(
+    scale: str = "bench", cache: Optional[SimulationCache] = None
+) -> Dict[Tuple[str, int], List[Tuple[float, float]]]:
+    cache = cache if cache is not None else default_cache()
+    sweep = n_values(scale)
+    out = {}
+    for model in MODELS:
+        for n in (sweep[0], sweep[-1]):
+            result = cache.get(scenario(model, n, scale))
+            out[(model, n)] = stats.cdf_points(
+                result.memory_values(control_only=True)
+            )
+    return out
+
+
+def run_fig9(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+    rows = compute_fig9(scale, cache)
+    header = (
+        "Figure 9 - average memory entries per node (|PS| + |TS| + |CV|)\n"
+        "paper: close to the expected cvs + 2K; churned models slightly\n"
+        "above due to garbage PS/TS entries\n"
+    )
+    return header + format_table(
+        ("model", "N", "avg entries", "std", "expected cvs+2K"), rows
+    )
+
+
+def run_fig10(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+    data = compute_fig10(scale, cache)
+    lines = ["Figure 10 - CDF of per-node memory entries"]
+    for (model, n), points in sorted(data.items()):
+        lines.append("")
+        lines.append(f"{model}, N = {n}:")
+        lines.append(format_cdf(points, value_label="memory entries"))
+    return "\n".join(lines)
+
+
+def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+    return run_fig9(scale, cache) + "\n\n" + run_fig10(scale, cache)

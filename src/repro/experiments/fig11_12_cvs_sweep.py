@@ -1,0 +1,79 @@
+"""Figures 11 and 12: the effect of varying the coarse-view size.
+
+On the STAT model (isolating cvs from churn), cvs is swept over
+``{4, 6, 8, 10} · N^{1/4}``.  Figure 11: average discovery time (±1 σ) falls
+with cvs and shows a knee around ``8·N^{1/4}``, beyond which extra view
+entries buy little.  Figure 12: memory grows linearly with cvs and
+computations quadratically, independent of N — so cvs should be set at the
+knee of Figure 11's curve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.config import AvmonConfig
+from ..metrics import stats
+from .cache import SimulationCache, default_cache
+from .report import format_table
+from .scenarios import n_values, scenario
+
+__all__ = ["MULTIPLIERS", "compute", "render", "run"]
+
+#: The paper's sweep: cvs = multiplier * N^(1/4).
+MULTIPLIERS = (4, 6, 8, 10)
+
+
+def compute(
+    scale: str = "bench", cache: Optional[SimulationCache] = None
+) -> List[Tuple[int, int, int, float, float, float, float]]:
+    """Rows of (N, multiplier, cvs, avg disc s, std disc, avg mem, comps/s)."""
+    cache = cache if cache is not None else default_cache()
+    sweep = n_values(scale)
+    selected = sweep[-2:] if len(sweep) >= 2 else sweep
+    rows = []
+    for n in selected:
+        for multiplier in MULTIPLIERS:
+            cvs = max(1, round(multiplier * n ** 0.25))
+            avmon = AvmonConfig.paper_defaults(n, cvs=cvs)
+            result = cache.get(scenario("STAT", n, scale, avmon=avmon))
+            delays = result.first_monitor_delays()
+            memory = result.memory_values(control_only=True)
+            comps = result.computation_rates(control_only=True)
+            rows.append(
+                (
+                    n,
+                    multiplier,
+                    cvs,
+                    stats.mean(delays),
+                    stats.std(delays),
+                    stats.mean(memory),
+                    stats.mean(comps),
+                )
+            )
+    return rows
+
+
+def render(rows) -> str:
+    header = (
+        "Figures 11 & 12 - varying coarse view size (STAT model)\n"
+        "paper fig 11: discovery time decreases with cvs, knee at 8*N^(1/4)\n"
+        "paper fig 12: memory linear in cvs, computations quadratic,\n"
+        "independent of N\n"
+    )
+    return header + format_table(
+        (
+            "N",
+            "mult",
+            "cvs",
+            "avg discovery (s)",
+            "std (s)",
+            "avg memory entries",
+            "avg comps/s",
+        ),
+        rows,
+    )
+
+
+def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+    return render(compute(scale, cache))

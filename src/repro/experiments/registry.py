@@ -1,0 +1,88 @@
+"""Experiment registry: every paper artifact by id.
+
+Maps experiment ids (``fig3`` … ``fig20``, ``table1``, ``ext_baselines``)
+to the callable that regenerates the corresponding table or figure series.
+Used by the CLI and by the per-artifact benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from . import (
+    ext_baselines,
+    fig03_discovery,
+    fig04_05_cdf,
+    fig06_l_monitors,
+    fig07_08_computation,
+    fig09_10_memory,
+    fig11_12_cvs_sweep,
+    fig13_14_traces,
+    fig15_16_high_churn,
+    fig17_18_forgetful,
+    fig19_bandwidth,
+    fig20_overreport,
+    table1,
+)
+from .cache import SimulationCache
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    id: str
+    title: str
+    runner: Callable[..., str]
+
+    def run(self, scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+        return self.runner(scale, cache)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.id: exp
+    for exp in (
+        Experiment("table1", "Complexity of Broadcast vs AVMON variants", table1.run),
+        Experiment("fig3", "Average first-monitor discovery time vs N", fig03_discovery.run),
+        Experiment("fig4", "Discovery-time CDF, STAT", fig04_05_cdf.run_fig4),
+        Experiment("fig5", "Discovery-time CDF, SYNTH-BD", fig04_05_cdf.run_fig5),
+        Experiment("fig6", "Time to first L monitors", fig06_l_monitors.run),
+        Experiment("fig7", "Computations per second vs N", fig07_08_computation.run_fig7),
+        Experiment("fig8", "CDF of computations per second", fig07_08_computation.run_fig8),
+        Experiment("fig9", "Memory entries vs N", fig09_10_memory.run_fig9),
+        Experiment("fig10", "CDF of memory entries", fig09_10_memory.run_fig10),
+        Experiment("fig11", "Discovery time vs coarse-view size", fig11_12_cvs_sweep.run),
+        Experiment("fig12", "Memory and computation vs coarse-view size", fig11_12_cvs_sweep.run),
+        Experiment("fig13", "Discovery-time CDF, PL and OV traces", fig13_14_traces.run_fig13),
+        Experiment("fig14", "Memory CDF, PL and OV traces", fig13_14_traces.run_fig14),
+        Experiment("fig15", "Discovery CDF under doubled birth/death", fig15_16_high_churn.run_fig15),
+        Experiment("fig16", "Memory under doubled birth/death", fig15_16_high_churn.run_fig16),
+        Experiment("fig17", "Forgetful pinging: estimation accuracy", fig17_18_forgetful.run_fig17),
+        Experiment("fig18", "Forgetful pinging: useless pings saved", fig17_18_forgetful.run_fig18),
+        Experiment("fig19", "Outgoing-bandwidth CDF (STAT, STAT-PR2, OV)", fig19_bandwidth.run),
+        Experiment("fig20", "Overreporting attack resilience", fig20_overreport.run),
+        Experiment("ext_baselines", "Baselines vs AVMON (extension)", ext_baselines.run),
+    )
+}
+
+
+def experiment_ids() -> tuple:
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str,
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+) -> str:
+    try:
+        experiment = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return experiment.run(scale, cache)

@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment outputs.
+
+Every experiment module renders its result as an aligned text table (the
+"same rows/series the paper reports"), so benchmark logs and the CLI give a
+direct paper-vs-measured comparison without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["format_table", "format_cdf", "format_kv", "indent"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Aligned monospace table with a header rule."""
+    string_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in string_rows:
+        lines.append("  ".join(text.ljust(widths[i]) for i, text in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_cdf(
+    points: Sequence[Tuple[float, float]],
+    *,
+    value_label: str = "value",
+    max_rows: int = 12,
+) -> str:
+    """Down-sampled CDF rendering: at most *max_rows* evenly spaced points."""
+    if not points:
+        return "(empty CDF)"
+    if len(points) <= max_rows:
+        chosen = list(points)
+    else:
+        step = (len(points) - 1) / (max_rows - 1)
+        chosen = [points[round(i * step)] for i in range(max_rows)]
+        chosen[-1] = points[-1]
+    return format_table(
+        (value_label, "fraction <= value"),
+        [(value, fraction) for value, fraction in chosen],
+    )
+
+
+def format_kv(pairs: Sequence[Tuple[str, object]]) -> str:
+    """Aligned ``key: value`` block for scalar findings."""
+    width = max((len(key) for key, _ in pairs), default=0)
+    return "\n".join(f"{key.ljust(width)} : {_cell(value)}" for key, value in pairs)
+
+
+def indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,0 +1,173 @@
+"""Canonical experiment parameterisations at three scales.
+
+* ``paper`` — the paper's exact settings: N up to 2000, 48-hour runs,
+  one-hour warm-up, PL with N = 239 and OV with N ≈ 550.  CPU-hungry in a
+  pure-Python simulator; available through the CLI for full replication.
+* ``bench`` — the benchmark default: N scaled into the 60–400 range and
+  runs of 1–3 simulated hours, preserving every protocol constant and
+  therefore the qualitative shape of each figure.
+* ``test`` — tiny settings for the integration test suite.
+
+``n_values`` returns the per-scale stand-ins for the paper's N sweep
+{100, 500, 1000, 2000}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import AvmonConfig
+from ..traces.format import AvailabilityTrace
+from ..traces.overnet import generate_overnet_trace
+from ..traces.planetlab import generate_planetlab_trace
+from .runner import SimulationConfig
+
+__all__ = [
+    "SCALES",
+    "n_values",
+    "scenario",
+    "trace_for",
+    "planetlab_scenario",
+    "overnet_scenario",
+]
+
+SCALES = ("paper", "bench", "test")
+
+#: (warmup seconds, measurement seconds) per scale.
+_WINDOWS: Dict[str, Tuple[float, float]] = {
+    "paper": (3600.0, 47.0 * 3600.0),
+    "bench": (1500.0, 5400.0),
+    "test": (600.0, 1500.0),
+}
+
+#: Stand-ins for the paper's N sweep {100, 500, 1000, 2000}.
+_N_SWEEP: Dict[str, List[int]] = {
+    "paper": [100, 500, 1000, 2000],
+    "bench": [60, 120, 240],
+    "test": [30, 60],
+}
+
+_TRACE_CACHE: Dict[tuple, AvailabilityTrace] = {}
+
+
+def _check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    return scale
+
+
+def n_values(scale: str = "bench") -> List[int]:
+    """The system sizes standing in for the paper's {100..2000} sweep."""
+    return list(_N_SWEEP[_check_scale(scale)])
+
+
+def scenario(
+    model: str,
+    n: int,
+    scale: str = "bench",
+    *,
+    seed: int = 1,
+    avmon: Optional[AvmonConfig] = None,
+    **overrides,
+) -> SimulationConfig:
+    """Build a :class:`SimulationConfig` for a synthetic model at a scale.
+
+    For the birth/death models the birth rate is scaled so the *cumulative*
+    birth count over the run matches the paper's: 0.2·N/day over 48 h means
+    ≈ 0.4·N births in total (their SYNTH-BD N_longterm of 2809 for N = 2000).
+    Each birth's discovery behaviour is independent of the rate, so this
+    preserves the figures' shape while giving scaled-down runs enough
+    control-group samples.
+    """
+    warmup, window = _WINDOWS[_check_scale(scale)]
+    duration = warmup + window
+    if (
+        model.upper().replace("_", "-") in ("SYNTH-BD", "SYNTH-BD2")
+        and "birth_death_per_day" not in overrides
+    ):
+        overrides["birth_death_per_day"] = 0.4 / (duration / 86400.0)
+    return SimulationConfig(
+        model=model,
+        n=n,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        avmon=avmon,
+        **overrides,
+    )
+
+
+def trace_for(system: str, scale: str = "bench", *, seed: int = 7) -> AvailabilityTrace:
+    """Generate (and cache) the PL/OV replacement trace at a scale."""
+    key = (system.upper(), _check_scale(scale), seed)
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    warmup, window = _WINDOWS[scale]
+    duration = warmup + window
+    if system.upper() == "PL":
+        if scale == "paper":
+            trace = generate_planetlab_trace(duration=48 * 3600.0, seed=seed)
+        else:
+            trace = generate_planetlab_trace(
+                n=120 if scale == "bench" else 40, duration=duration, seed=seed
+            )
+    elif system.upper() == "OV":
+        if scale == "paper":
+            trace = generate_overnet_trace(duration=48 * 3600.0, seed=seed)
+        else:
+            n_stable = 130 if scale == "bench" else 40
+            # Keep the full generator's birth-rate-to-size ratio (4.6/550).
+            births_per_hour = (4.6 / 550.0) * n_stable
+            trace = generate_overnet_trace(
+                n_stable=n_stable,
+                duration=duration,
+                seed=seed,
+                births_per_hour=births_per_hour,
+            )
+    else:
+        raise ValueError(f"unknown trace system {system!r}; expected PL or OV")
+    _TRACE_CACHE[key] = trace
+    return trace
+
+
+def planetlab_scenario(scale: str = "bench", *, seed: int = 1, **overrides) -> SimulationConfig:
+    """The paper's PL experiment: N = 239, K = 8, cvs = 16 (scaled)."""
+    warmup, window = _WINDOWS[_check_scale(scale)]
+    trace = trace_for("PL", scale)
+    stable = 239 if scale == "paper" else len(trace)
+    avmon = overrides.pop("avmon", None)
+    if avmon is None:
+        avmon = AvmonConfig.paper_defaults(stable)
+    duration = min(warmup + window, trace.duration)
+    return SimulationConfig(
+        model="PL",
+        n=stable,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        trace=trace,
+        avmon=avmon,
+        **overrides,
+    )
+
+
+def overnet_scenario(scale: str = "bench", *, seed: int = 1, **overrides) -> SimulationConfig:
+    """The paper's OV experiment: stable N = 550, K = 9, cvs = 19 (scaled)."""
+    warmup, window = _WINDOWS[_check_scale(scale)]
+    trace = trace_for("OV", scale)
+    stable = 550 if scale == "paper" else max(2, round(len(trace) / 2))
+    avmon = overrides.pop("avmon", None)
+    if avmon is None:
+        avmon = AvmonConfig.paper_defaults(stable)
+    duration = min(warmup + window, trace.duration)
+    return SimulationConfig(
+        model="OV",
+        n=stable,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        trace=trace,
+        avmon=avmon,
+        **overrides,
+    )

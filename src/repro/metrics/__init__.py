@@ -1,0 +1,31 @@
+"""Metric collection and statistics for the evaluation harness."""
+
+from .collectors import (
+    ComputationCollector,
+    DiscoveryTimeCollector,
+    MetricsHub,
+    PingActivityCollector,
+)
+from .stats import (
+    Summary,
+    cdf_points,
+    fraction_below,
+    mean,
+    percentile,
+    std,
+    summarize,
+)
+
+__all__ = [
+    "ComputationCollector",
+    "DiscoveryTimeCollector",
+    "MetricsHub",
+    "PingActivityCollector",
+    "Summary",
+    "cdf_points",
+    "fraction_below",
+    "mean",
+    "percentile",
+    "std",
+    "summarize",
+]

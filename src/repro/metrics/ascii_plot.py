@@ -1,0 +1,120 @@
+"""Terminal plotting: render CDFs, series and histograms as ASCII art.
+
+The evaluation harness is plotting-library-free by design (the repository
+runs offline); these renderers give experiment reports a visual shape —
+enough to eyeball a knee, a heavy tail or two overlapping CDFs — without
+any dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["plot_cdf", "plot_series", "histogram"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    """Map *value* in [low, high] to an integer cell in [0, size-1]."""
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, int(position * size)))
+
+
+def plot_cdf(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "value",
+) -> str:
+    """Plot one or more CDFs on shared axes.
+
+    *series* maps a label to its ``(value, fraction)`` points; each series
+    is drawn with its own marker character.
+    """
+    if not series:
+        return "(no series)"
+    markers = "ox+*#@"
+    xs = [x for points in series.values() for x, _ in points]
+    if not xs:
+        return "(empty series)"
+    x_low, x_high = min(xs), max(xs)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, fraction in points:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(fraction, 0.0, 1.0, height)
+            grid[row][column] = marker
+    lines = ["1.0 |" + "".join(row_cells) for row_cells in grid[:1]]
+    for row_cells in grid[1:-1]:
+        lines.append("    |" + "".join(row_cells))
+    lines.append("0.0 |" + "".join(grid[-1]))
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {x_low:<12.4g}{x_label:^{max(0, width - 24)}}{x_high:>12.4g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} = {label}" for i, label in enumerate(series)
+    )
+    lines.append("     " + legend)
+    return "\n".join(lines)
+
+
+def plot_series(
+    points: Sequence[Tuple[float, float]],
+    *,
+    width: int = 60,
+    height: int = 10,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Scatter-plot one (x, y) series."""
+    if not points:
+        return "(no points)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = _scale(x, x_low, x_high, width)
+        row = height - 1 - _scale(y, y_low, y_high, height)
+        grid[row][column] = "o"
+    lines = [f"{y_high:>10.4g} |" + "".join(grid[0])]
+    for row_cells in grid[1:-1]:
+        lines.append(" " * 11 + "|" + "".join(row_cells))
+    lines.append(f"{y_low:>10.4g} |" + "".join(grid[-1]))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_low:<12.4g}{x_label:^{max(0, width - 24)}}{x_high:>12.4g}"
+    )
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 10,
+    width: int = 40,
+) -> str:
+    """Horizontal-bar histogram of *values*."""
+    if not values:
+        return "(no values)"
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    low, high = min(values), max(values)
+    if high == low:
+        return f"[{low:.4g}] {'#' * width} ({len(values)})"
+    counts = [0] * bins
+    for value in values:
+        counts[_scale(value, low, high, bins)] += 1
+    peak = max(counts)
+    lines = []
+    span = (high - low) / bins
+    for index, count in enumerate(counts):
+        bar = "#" * max(0, round(width * count / peak))
+        left = low + index * span
+        lines.append(f"[{left:>10.4g}, {left + span:>10.4g}) {bar} ({count})")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Small statistics helpers used by collectors, experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "mean",
+    "std",
+    "percentile",
+    "cdf_points",
+    "fraction_below",
+    "Summary",
+    "summarize",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> float:
+    """Population standard deviation (the paper plots ±1 σ error bars)."""
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((v - centre) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    interpolated = ordered[low] * (1.0 - weight) + ordered[high] * weight
+    # Clamp away float drift so the result stays between its bracketing
+    # order statistics (p90 must never exceed the maximum).
+    return min(max(interpolated, ordered[low]), ordered[high])
+
+
+def cdf_points(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as ``(value, fraction <= value)`` pairs.
+
+    The fractions are non-decreasing and end at 1.0 — the format every CDF
+    figure in the paper uses.
+    """
+    ordered = sorted(values)
+    total = len(ordered)
+    if total == 0:
+        return []
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / total)
+        else:
+            points.append((value, index / total))
+    return points
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= threshold (reading a CDF at a point)."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary used in experiment reports."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary`; zeros for an empty input."""
+    if not values:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        std=std(values),
+        minimum=min(values),
+        median=percentile(values, 50.0),
+        p90=percentile(values, 90.0),
+        maximum=max(values),
+    )

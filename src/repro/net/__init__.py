@@ -1,0 +1,15 @@
+"""Simulated network substrate: transport, latency models, accounting."""
+
+from .accounting import BandwidthAccountant
+from .latency import ConstantLatency, LatencyModel, LogNormalLatency, UniformLatency
+from .network import Network, SimHost
+
+__all__ = [
+    "BandwidthAccountant",
+    "ConstantLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Network",
+    "SimHost",
+    "UniformLatency",
+]

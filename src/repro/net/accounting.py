@@ -1,0 +1,51 @@
+"""Per-node bandwidth accounting.
+
+Section 5.4 plots the CDF of per-node *outgoing* bytes per second, so the
+network charges each sent message's wire size to the sender at send time
+(whether or not the destination turns out to be alive — the bytes leave the
+NIC either way).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+__all__ = ["BandwidthAccountant"]
+
+
+class BandwidthAccountant:
+    """Accumulates outgoing bytes and message counts per node."""
+
+    def __init__(self) -> None:
+        self._bytes_out: Dict[int, int] = defaultdict(int)
+        self._messages_out: Dict[int, int] = defaultdict(int)
+        self.total_bytes = 0
+        self.total_messages = 0
+
+    def charge(self, sender: int, size_bytes: int) -> None:
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
+        self._bytes_out[sender] += size_bytes
+        self._messages_out[sender] += 1
+        self.total_bytes += size_bytes
+        self.total_messages += 1
+
+    def bytes_out(self, node: int) -> int:
+        return self._bytes_out.get(node, 0)
+
+    def messages_out(self, node: int) -> int:
+        return self._messages_out.get(node, 0)
+
+    def rate_bps(self, node: int, duration: float) -> float:
+        """Average outgoing bytes/second for *node* over *duration*."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        return self._bytes_out.get(node, 0) / duration
+
+    def nodes(self):
+        return self._bytes_out.keys()
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of the per-node byte counters (for windowed measurement)."""
+        return dict(self._bytes_out)

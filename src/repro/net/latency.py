@@ -1,0 +1,77 @@
+"""Network latency models.
+
+The paper assumes "communication between pairs of nodes is reliable and
+timely if both nodes are currently alive"; concretely the simulator needs a
+one-way delay for each message.  Latencies only matter at sub-second scale
+(discovery-time CDFs are measured in seconds), so simple models suffice;
+all are pluggable.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["LatencyModel", "ConstantLatency", "UniformLatency", "LogNormalLatency"]
+
+
+class LatencyModel:
+    """Interface: one-way message delay in seconds."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly *delay* seconds."""
+
+    def __init__(self, delay: float = 0.05) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ConstantLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay uniform in ``[low, high]`` — the experiments' default."""
+
+    def __init__(self, low: float = 0.02, high: float = 0.1) -> None:
+        if low < 0:
+            raise ValueError(f"low must be non-negative, got {low}")
+        if high < low:
+            raise ValueError(f"high ({high}) must be >= low ({low})")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed wide-area delays, truncated at *cap* seconds."""
+
+    def __init__(self, median: float = 0.06, sigma: float = 0.5, cap: float = 1.0):
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median}")
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        if cap <= 0:
+            raise ValueError(f"cap must be positive, got {cap}")
+        import math
+
+        self.mu = math.log(median)
+        self.sigma = sigma
+        self.cap = cap
+
+    def sample(self, rng: random.Random) -> float:
+        return min(self.cap, rng.lognormvariate(self.mu, self.sigma))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LogNormalLatency(mu={self.mu:.3f}, sigma={self.sigma}, cap={self.cap})"

@@ -1,0 +1,212 @@
+"""Simulated message-passing network and per-node hosts.
+
+:class:`Network` owns the registry of hosts, tracks which are alive,
+delivers messages with a sampled latency, and charges outgoing bytes to
+senders.  Delivery is gated on *destination* aliveness at arrival time —
+messages to departed nodes vanish silently, which is what makes ping
+timeouts (and therefore coarse-view pruning, forgetful pinging and
+availability measurement) behave as in a real deployment.
+
+:class:`SimHost` adapts a protocol node (an
+:class:`~repro.core.node.AvmonNode` or a baseline node) to the simulator:
+it implements the :class:`~repro.core.node.NodeRuntime` interface, guards
+message handling and timer callbacks on aliveness, and manages the node's
+periodic processes across leaves and rejoins.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..core.hashing import NodeId
+from ..core.messages import Message
+from ..sim.engine import Simulator
+from ..sim.process import PeriodicProcess
+from .accounting import BandwidthAccountant
+from .latency import LatencyModel, UniformLatency
+
+__all__ = ["Network", "SimHost"]
+
+
+class Network:
+    """Latency-delayed, aliveness-gated message fabric with accounting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        rng: Optional[random.Random] = None,
+        entry_bytes: int = 8,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else UniformLatency()
+        self.rng = rng if rng is not None else random.Random(0)
+        self.entry_bytes = entry_bytes
+        self.accountant = BandwidthAccountant()
+        self._hosts: Dict[NodeId, "SimHost"] = {}
+        self._alive_list: List[NodeId] = []
+        self._alive_pos: Dict[NodeId, int] = {}
+        #: Messages whose destination was down at delivery time.
+        self.dropped_messages = 0
+        #: Total messages handed to the network.
+        self.sent_messages = 0
+
+    # -- registry ----------------------------------------------------------
+
+    def register(self, host: "SimHost") -> None:
+        if host.id in self._hosts:
+            raise ValueError(f"host {host.id} already registered")
+        self._hosts[host.id] = host
+
+    def host(self, node_id: NodeId) -> "SimHost":
+        return self._hosts[node_id]
+
+    def hosts(self):
+        return self._hosts.values()
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._hosts
+
+    # -- aliveness ----------------------------------------------------------
+
+    def set_alive(self, node_id: NodeId, alive: bool) -> None:
+        currently = node_id in self._alive_pos
+        if alive and not currently:
+            self._alive_pos[node_id] = len(self._alive_list)
+            self._alive_list.append(node_id)
+        elif not alive and currently:
+            position = self._alive_pos.pop(node_id)
+            last = self._alive_list[-1]
+            self._alive_list[position] = last
+            if last != node_id:
+                self._alive_pos[last] = position
+            self._alive_list.pop()
+
+    def is_alive(self, node_id: NodeId) -> bool:
+        return node_id in self._alive_pos
+
+    def alive_count(self) -> int:
+        return len(self._alive_list)
+
+    def alive_ids(self) -> tuple:
+        return tuple(self._alive_list)
+
+    def random_alive(self, exclude: Optional[NodeId] = None) -> Optional[NodeId]:
+        """Uniform random alive node id, excluding *exclude* (may be None)."""
+        population = len(self._alive_list)
+        if population == 0:
+            return None
+        if population == 1:
+            only = self._alive_list[0]
+            return None if only == exclude else only
+        while True:
+            candidate = self._alive_list[self.rng.randrange(population)]
+            if candidate != exclude:
+                return candidate
+
+    # -- transport ----------------------------------------------------------
+
+    def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        """Charge *src* for the bytes and deliver to *dst* after a delay."""
+        self.sent_messages += 1
+        self.accountant.charge(src, message.size_bytes(self.entry_bytes))
+        delay = self.latency.sample(self.rng)
+        self.sim.schedule(delay, lambda: self._deliver(dst, message))
+
+    def _deliver(self, dst: NodeId, message: Message) -> None:
+        host = self._hosts.get(dst)
+        if host is None or not host.alive:
+            self.dropped_messages += 1
+            return
+        host.deliver(message)
+
+
+class SimHost:
+    """One machine: aliveness, runtime services and periodic processes."""
+
+    def __init__(self, network: Network, node_id: NodeId, rng: random.Random) -> None:
+        self.network = network
+        self.id = node_id
+        self.rng = rng
+        self.alive = False
+        #: Permanently departed (death is silent but final).
+        self.dead = False
+        self.node = None
+        self._processes: List[PeriodicProcess] = []
+        network.register(self)
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, node) -> None:
+        """Bind the protocol node handled by this host."""
+        self.node = node
+
+    def add_periodic(self, period: float, callback: Callable[[], None]) -> PeriodicProcess:
+        """Register a periodic process gated on this host's aliveness."""
+        process = PeriodicProcess(
+            self.network.sim, period, callback, guard=lambda: self.alive
+        )
+        self._processes.append(process)
+        return process
+
+    # -- NodeRuntime interface ----------------------------------------------------
+
+    def now(self) -> float:
+        return self.network.sim.now
+
+    def send(self, dst: NodeId, message: Message) -> None:
+        if not self.alive:
+            return
+        self.network.send(self.id, dst, message)
+
+    def schedule(self, delay: float, callback: Callable[[], None]):
+        """Timer that only fires while this host is alive."""
+
+        def guarded() -> None:
+            if self.alive:
+                callback()
+
+        return self.network.sim.schedule(delay, guarded)
+
+    def choose_bootstrap(self, exclude: NodeId) -> Optional[NodeId]:
+        return self.network.random_alive(exclude=exclude)
+
+    def target_in_system(self, node: NodeId) -> bool:
+        return self.network.is_alive(node)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def bring_up(self) -> None:
+        """Mark alive and (re)start periodic processes with fresh phases."""
+        if self.dead:
+            raise RuntimeError(f"host {self.id} is dead and cannot come back")
+        if self.alive:
+            return
+        self.alive = True
+        self.network.set_alive(self.id, True)
+        for process in self._processes:
+            process.start(self.rng)
+
+    def take_down(self, *, death: bool = False) -> None:
+        """Mark departed; silently stops responding, per the system model."""
+        if not self.alive:
+            if death:
+                self.dead = True
+            return
+        self.alive = False
+        self.network.set_alive(self.id, False)
+        for process in self._processes:
+            process.stop()
+        if death:
+            self.dead = True
+        if self.node is not None and hasattr(self.node, "on_leave"):
+            self.node.on_leave(self.network.sim.now)
+
+    def deliver(self, message: Message) -> None:
+        if self.alive and self.node is not None:
+            self.node.handle_message(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "dead" if self.dead else ("up" if self.alive else "down")
+        return f"SimHost(id={self.id}, {state})"

@@ -1,0 +1,7 @@
+"""Discrete-event simulation substrate (engine, periodic processes, RNG)."""
+
+from .engine import EventHandle, Simulator
+from .process import PeriodicProcess
+from .randomness import RandomSource
+
+__all__ = ["EventHandle", "PeriodicProcess", "RandomSource", "Simulator"]

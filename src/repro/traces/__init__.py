@@ -1,0 +1,26 @@
+"""Availability traces: data model, synthetic generators, statistics."""
+
+from .analysis import TraceStats, churn_events_per_hour, stable_system_size, summarize_trace
+from .format import AvailabilityTrace, NodeTrace, Session, TraceEvent
+from .overnet import OVERNET_GRID, OVERNET_N, generate_overnet_trace
+from .planetlab import PLANETLAB_N, generate_planetlab_trace
+from .synthesis import alternating_renewal_sessions, renewal_node_trace, snap_sessions
+
+__all__ = [
+    "AvailabilityTrace",
+    "NodeTrace",
+    "OVERNET_GRID",
+    "OVERNET_N",
+    "PLANETLAB_N",
+    "Session",
+    "TraceEvent",
+    "TraceStats",
+    "alternating_renewal_sessions",
+    "churn_events_per_hour",
+    "generate_overnet_trace",
+    "generate_planetlab_trace",
+    "renewal_node_trace",
+    "snap_sessions",
+    "stable_system_size",
+    "summarize_trace",
+]

@@ -1,0 +1,121 @@
+"""Shared machinery for synthetic trace generation.
+
+Both the PlanetLab-like and Overnet-like generators model each node as an
+alternating-renewal process: exponentially distributed up-sessions and
+down-times whose means are derived from a per-node target availability and
+a characteristic cycle length.  Event times can be snapped to a measurement
+grid (1 s for PlanetLab, 20 min for Overnet) to reproduce the granularity
+at which the original traces were collected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .format import NodeTrace, Session
+
+__all__ = ["alternating_renewal_sessions", "snap_sessions", "renewal_node_trace"]
+
+
+def alternating_renewal_sessions(
+    rng: random.Random,
+    start: float,
+    end: float,
+    mean_up: float,
+    mean_down: float,
+    *,
+    starts_up: Optional[bool] = None,
+) -> List[Session]:
+    """Sessions of one node alternating Exp(mean_up)/Exp(mean_down) on
+    ``[start, end)``.
+
+    When *starts_up* is None the initial state is drawn from the stationary
+    distribution (up with probability ``mean_up / (mean_up + mean_down)``),
+    which avoids a transient at the start of the trace.
+    """
+    if end <= start:
+        raise ValueError(f"end ({end}) must exceed start ({start})")
+    if mean_up <= 0 or mean_down <= 0:
+        raise ValueError(
+            f"means must be positive, got up={mean_up}, down={mean_down}"
+        )
+    availability = mean_up / (mean_up + mean_down)
+    up = rng.random() < availability if starts_up is None else starts_up
+    sessions: List[Session] = []
+    cursor = start
+    while cursor < end:
+        if up:
+            length = rng.expovariate(1.0 / mean_up)
+            session_end = min(cursor + length, end)
+            if session_end > cursor:
+                sessions.append(Session(cursor, session_end))
+            cursor = session_end
+        else:
+            cursor += rng.expovariate(1.0 / mean_down)
+        up = not up
+    return sessions
+
+
+def snap_sessions(sessions: List[Session], grid: float, end: float) -> List[Session]:
+    """Round session boundaries to multiples of *grid*, merging collisions.
+
+    Zero-length sessions after rounding are dropped; sessions whose rounded
+    boundaries touch or overlap are merged — exactly the information loss a
+    20-minute crawler (the Overnet measurement) introduces.
+    """
+    if grid <= 0:
+        raise ValueError(f"grid must be positive, got {grid}")
+    snapped: List[Session] = []
+    for session in sessions:
+        start = round(session.start / grid) * grid
+        stop = round(session.end / grid) * grid
+        stop = min(stop, end)
+        if stop <= start:
+            continue
+        if snapped and start <= snapped[-1].end:
+            previous = snapped.pop()
+            start = previous.start
+            stop = max(stop, previous.end)
+        snapped.append(Session(start, stop))
+    return snapped
+
+
+def renewal_node_trace(
+    node_id: int,
+    rng: random.Random,
+    *,
+    birth: float,
+    trace_end: float,
+    availability: float,
+    cycle: float,
+    grid: Optional[float] = None,
+    death: Optional[float] = None,
+) -> NodeTrace:
+    """Build one node's trace from a target availability and cycle length.
+
+    ``mean_up = availability * cycle`` and ``mean_down = (1-a) * cycle``, so
+    the stationary availability matches the target while ``cycle`` controls
+    session granularity.  Lifetime is ``[birth, death or trace_end)``.
+    """
+    if not 0.0 < availability < 1.0:
+        raise ValueError(
+            f"availability must be strictly inside (0, 1), got {availability}"
+        )
+    if cycle <= 0:
+        raise ValueError(f"cycle must be positive, got {cycle}")
+    lifetime_end = trace_end if death is None else min(death, trace_end)
+    sessions: List[Session] = []
+    if lifetime_end > birth:
+        sessions = alternating_renewal_sessions(
+            rng,
+            birth,
+            lifetime_end,
+            mean_up=availability * cycle,
+            mean_down=(1.0 - availability) * cycle,
+            # A freshly born node starts its life online.
+            starts_up=True if birth > 0 else None,
+        )
+        if grid is not None:
+            sessions = snap_sessions(sessions, grid, lifetime_end)
+    return NodeTrace(node_id, sessions, death=death)

@@ -1,0 +1,96 @@
+"""Unit tests for the availability predictors."""
+
+import pytest
+
+from repro.apps.prediction import (
+    PeriodicPredictor,
+    SaturatingCounterPredictor,
+    hit_rate,
+)
+
+
+class TestSaturatingCounter:
+    def test_starts_predicting_up(self):
+        assert SaturatingCounterPredictor(bits=2).predict()
+
+    def test_saturates_down_after_misses(self):
+        predictor = SaturatingCounterPredictor(bits=2)
+        predictor.train([False, False, False])
+        assert not predictor.predict()
+
+    def test_recovers_after_ups(self):
+        predictor = SaturatingCounterPredictor(bits=2)
+        predictor.train([False] * 5 + [True] * 3)
+        assert predictor.predict()
+
+    def test_one_bit_is_last_value(self):
+        predictor = SaturatingCounterPredictor(bits=1)
+        predictor.observe(False)
+        assert not predictor.predict()
+        predictor.observe(True)
+        assert predictor.predict()
+
+    def test_hysteresis_with_more_bits(self):
+        predictor = SaturatingCounterPredictor(bits=3)
+        predictor.train([True] * 10)
+        predictor.observe(False)  # a single blip must not flip it
+        assert predictor.predict()
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterPredictor(bits=0)
+
+    def test_tracks_stable_node_perfectly(self):
+        predictor = SaturatingCounterPredictor()
+        samples = [True] * 50
+        predictions = []
+        for sample in samples:
+            predictions.append(predictor.predict())
+            predictor.observe(sample)
+        assert hit_rate(predictions, samples) == 1.0
+
+
+class TestPeriodicPredictor:
+    def test_learns_diurnal_pattern(self):
+        predictor = PeriodicPredictor(cycle=24.0, buckets=24)
+        # Up during hours [8, 20), down otherwise, for 10 days.
+        for day in range(10):
+            for hour in range(24):
+                time = day * 24.0 + hour
+                predictor.observe(time, 8 <= hour < 20)
+        assert predictor.predict(20 * 24.0 + 12.0)  # noon, ten days later
+        assert not predictor.predict(20 * 24.0 + 3.0)  # 3 am
+
+    def test_probability_bounds(self):
+        predictor = PeriodicPredictor(cycle=10.0, buckets=5)
+        for t in range(100):
+            predictor.observe(float(t), t % 3 == 0)
+        for t in range(20):
+            assert 0.0 <= predictor.probability_up(float(t)) <= 1.0
+
+    def test_unseen_bucket_falls_back_to_global(self):
+        predictor = PeriodicPredictor(cycle=10.0, buckets=10)
+        predictor.observe(0.5, True)
+        predictor.observe(0.7, True)
+        assert predictor.probability_up(9.5) == 1.0
+
+    def test_no_data_is_uncertain(self):
+        assert PeriodicPredictor().probability_up(5.0) == 0.5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PeriodicPredictor(cycle=0.0)
+        with pytest.raises(ValueError):
+            PeriodicPredictor(buckets=0)
+
+
+class TestHitRate:
+    def test_basic(self):
+        assert hit_rate([True, False], [True, True]) == 0.5
+
+    def test_empty(self):
+        assert hit_rate([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hit_rate([True], [])

@@ -1,0 +1,94 @@
+"""Tests of the network-level availability query flow (§3.3)."""
+
+import pytest
+
+from repro.apps.query import QueryClient
+from repro.experiments.runner import SimulationConfig, run_simulation
+from repro.net.network import SimHost
+
+
+@pytest.fixture(scope="module")
+def system():
+    """A warmed-up STAT system plus an attached query client."""
+    result = run_simulation(
+        SimulationConfig(model="STAT", n=60, duration=2400.0, warmup=600.0, seed=23)
+    )
+    network = result.network
+    condition = result.cluster.relation.condition
+    host = SimHost(network, 100_000, result.cluster.source.node_stream(100_000))
+    client = QueryClient(100_000, condition, host, min_monitors=1, timeout=10.0)
+    host.attach(client)
+    host.bring_up()
+    return result, client
+
+
+def run_query(system, subject, **kwargs):
+    result, client = system
+    sim = result.cluster.sim
+    outcome = []
+    client.query(subject, outcome.append, **kwargs)
+    sim.run_until(sim.now + 30.0)
+    assert len(outcome) == 1
+    return outcome[0]
+
+
+class TestQueryFlow:
+    def test_successful_query(self, system):
+        result, _ = system
+        subject = next(
+            node.id
+            for node in result.cluster.nodes.values()
+            if node.ps and result.network.is_alive(node.id)
+        )
+        query_result = run_query(system, subject)
+        assert query_result.policy_satisfied
+        assert query_result.complete
+        assert query_result.verified_monitors
+        assert not query_result.rejected_monitors
+        # STAT network: the subject was up the whole time.
+        assert query_result.availability > 0.9
+
+    def test_reports_come_from_monitors(self, system):
+        result, _ = system
+        subject = next(
+            node.id
+            for node in result.cluster.nodes.values()
+            if len(node.ps) >= 2 and result.network.is_alive(node.id)
+        )
+        query_result = run_query(system, subject)
+        condition = result.cluster.relation.condition
+        for monitor in query_result.reports:
+            assert condition.holds(monitor, subject)
+
+    def test_query_to_down_subject_times_out_empty(self, system):
+        result, client = system
+        sim = result.cluster.sim
+        victim = next(
+            node.id
+            for node in result.cluster.nodes.values()
+            if result.network.is_alive(node.id) and node.id not in client.pending_subjects()
+        )
+        result.cluster.take_down(victim)
+        outcome = []
+        client.query(victim, outcome.append)
+        sim.run_until(sim.now + 30.0)
+        assert len(outcome) == 1
+        assert not outcome[0].policy_satisfied
+        assert outcome[0].reports == {}
+        result.cluster.bring_up(victim)
+
+    def test_duplicate_query_rejected(self, system):
+        result, client = system
+        client.query(999_999, lambda _: None)
+        with pytest.raises(ValueError):
+            client.query(999_999, lambda _: None)
+        result.cluster.sim.run_until(result.cluster.sim.now + 30.0)
+
+    def test_invalid_parameters(self, system):
+        result, _ = system
+        condition = result.cluster.relation.condition
+        host = result.network.host(100_000)
+        with pytest.raises(ValueError):
+            QueryClient(1, condition, host, min_monitors=0)
+        with pytest.raises(ValueError):
+            QueryClient(1, condition, host, timeout=0.0)

@@ -1,0 +1,77 @@
+"""Unit tests for availability-aware replica selection."""
+
+import random
+
+import pytest
+
+from repro.apps.replication import (
+    compare_policies,
+    placement_availability,
+    select_replicas_by_availability,
+    select_replicas_randomly,
+)
+
+
+@pytest.fixture
+def availability():
+    return {1: 0.9, 2: 0.5, 3: 0.99, 4: 0.1, 5: 0.7}
+
+
+class TestPlacementAvailability:
+    def test_single_replica(self, availability):
+        assert placement_availability([1], availability) == pytest.approx(0.9)
+
+    def test_independent_combination(self, availability):
+        expected = 1.0 - (1 - 0.9) * (1 - 0.5)
+        assert placement_availability([1, 2], availability) == pytest.approx(expected)
+
+    def test_empty_placement(self, availability):
+        assert placement_availability([], availability) == 0.0
+
+    def test_unknown_node_counts_as_down(self, availability):
+        assert placement_availability([99], availability) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            placement_availability([1], {1: 1.5})
+
+
+class TestSelection:
+    def test_greedy_picks_top_nodes(self, availability):
+        placement = select_replicas_by_availability(availability, 2)
+        assert set(placement.replicas) == {3, 1}
+        assert placement.policy == "highest-availability"
+
+    def test_greedy_deterministic_tiebreak(self):
+        placement = select_replicas_by_availability({2: 0.5, 1: 0.5, 3: 0.5}, 2)
+        assert placement.replicas == (1, 2)
+
+    def test_random_is_subset(self, availability):
+        rng = random.Random(3)
+        placement = select_replicas_randomly(availability, 3, rng)
+        assert len(placement.replicas) == 3
+        assert set(placement.replicas) <= set(availability)
+
+    def test_count_capped_at_population(self, availability):
+        rng = random.Random(3)
+        placement = select_replicas_randomly(availability, 50, rng)
+        assert len(placement.replicas) == 5
+
+    def test_invalid_count(self, availability):
+        with pytest.raises(ValueError):
+            select_replicas_by_availability(availability, 0)
+        with pytest.raises(ValueError):
+            select_replicas_randomly(availability, 0, random.Random(1))
+
+
+class TestComparePolicies:
+    def test_smart_never_worse_on_average(self):
+        rng = random.Random(5)
+        availability = {n: (n % 10) / 10.0 + 0.05 for n in range(50)}
+        smart, random_mean = compare_policies(availability, 3, rng, trials=50)
+        assert smart.availability >= random_mean
+
+    def test_empty_population(self):
+        smart, random_mean = compare_policies({}, 3, random.Random(1))
+        assert random_mean == 0.0
+        assert smart.replicas == ()

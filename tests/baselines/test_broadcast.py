@@ -1,0 +1,108 @@
+"""Unit tests for the Broadcast baseline (AVCast's discovery)."""
+
+import random
+
+import pytest
+
+from repro.baselines.broadcast import BroadcastNode
+from repro.core.condition import ConsistencyCondition
+from repro.core.messages import Join
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network, SimHost
+from repro.sim.engine import Simulator
+
+
+def build_system(n=40, k=12, seed=1):
+    sim = Simulator()
+    network = Network(sim, latency=ConstantLatency(0.05), rng=random.Random(seed))
+    condition = ConsistencyCondition(k, n)
+    nodes = {}
+    for node_id in range(n):
+        host = SimHost(network, node_id, random.Random(node_id))
+        node = BroadcastNode(node_id, condition, host)
+        host.attach(node)
+        host.add_periodic(60.0, node.monitoring_tick)
+        nodes[node_id] = node
+        host.bring_up()
+    return sim, network, condition, nodes
+
+
+class TestBroadcastDiscovery:
+    def test_join_reaches_everyone(self):
+        sim, network, condition, nodes = build_system()
+        joiner = nodes[0]
+        joiner.begin_join(network.alive_ids())
+        sim.run_until(1.0)
+        # O(N) join messages were sent.
+        joins = sum(
+            1 for _ in range(1)
+        )  # placeholder replaced by accountant check below
+        assert network.sent_messages >= len(nodes) - 1
+
+    def test_monitors_discovered_immediately(self):
+        sim, network, condition, nodes = build_system()
+        joiner = nodes[0]
+        expected_monitors = {
+            u for u in nodes if u != 0 and condition.holds(u, 0)
+        }
+        joiner.begin_join(network.alive_ids())
+        sim.run_until(1.0)
+        assert set(joiner.ps) == expected_monitors
+
+    def test_targets_discovered_immediately(self):
+        sim, network, condition, nodes = build_system()
+        joiner = nodes[0]
+        expected_targets = {v for v in nodes if v != 0 and condition.holds(0, v)}
+        joiner.begin_join(network.alive_ids())
+        sim.run_until(1.0)
+        assert joiner.ts == expected_targets
+
+    def test_receivers_learn_monitoring_roles(self):
+        sim, network, condition, nodes = build_system()
+        joiner = nodes[0]
+        joiner.begin_join(network.alive_ids())
+        sim.run_until(1.0)
+        for other_id, other in nodes.items():
+            if other_id == 0:
+                continue
+            if condition.holds(other_id, 0):
+                assert 0 in other.ts
+            if condition.holds(0, other_id):
+                assert 0 in other.ps
+
+    def test_join_cost_is_linear_in_n(self):
+        sim, network, condition, nodes = build_system()
+        before = network.accountant.messages_out(0)
+        nodes[0].begin_join(network.alive_ids())
+        assert network.accountant.messages_out(0) - before == len(nodes) - 1
+
+    def test_fake_notify_rejected(self):
+        from repro.core.messages import Notify
+
+        sim, network, condition, nodes = build_system()
+        node = nodes[0]
+        fake = next(
+            u for u in range(1, 40) if not condition.holds(u, 0)
+        )
+        node.handle_message(Notify(sender=fake, monitor=fake, target=0))
+        assert fake not in node.ps
+
+    def test_monitoring_pings_work(self):
+        sim, network, condition, nodes = build_system()
+        nodes[0].begin_join(network.alive_ids())
+        sim.run_until(180.0)
+        targets_with_data = [
+            record
+            for record in nodes[0].store.records()
+            if record.pings_sent > 0
+        ]
+        if nodes[0].ts:
+            assert targets_with_data
+            for record in targets_with_data:
+                assert record.pings_answered > 0
+
+    def test_memory_has_no_coarse_view(self):
+        sim, network, condition, nodes = build_system()
+        nodes[0].begin_join(network.alive_ids())
+        sim.run_until(1.0)
+        assert nodes[0].memory_entries() == len(nodes[0].ps) + len(nodes[0].ts)

@@ -1,0 +1,73 @@
+"""Unit tests for the central-monitor and self-reporting baselines."""
+
+import pytest
+
+from repro.baselines.central import CentralMonitorScheme
+from repro.baselines.self_report import SelfReportScheme
+
+
+class TestCentralMonitor:
+    def test_pinging_sets(self):
+        scheme = CentralMonitorScheme(server=0)
+        assert scheme.pinging_set(5) == (0,)
+        assert scheme.pinging_set(0) == ()
+
+    def test_target_set(self):
+        scheme = CentralMonitorScheme(server=0)
+        population = range(5)
+        assert scheme.target_set(0, population) == (1, 2, 3, 4)
+        assert scheme.target_set(3, population) == ()
+
+    def test_load_concentration(self):
+        scheme = CentralMonitorScheme(server=0)
+        report = scheme.load_report(range(100))
+        assert report.targets_per_node[0] == 99
+        assert report.max_load() == 99
+        # max/mean = 99 / (99/100) = 100: the server does all the work.
+        assert report.load_imbalance() == pytest.approx(100.0)
+
+    def test_bytes_per_second(self):
+        scheme = CentralMonitorScheme(server=0)
+        report = scheme.load_report(
+            range(10), ping_bytes=8, monitoring_period=60.0
+        )
+        assert report.bytes_per_second[0] == pytest.approx(9 * 8 / 60.0)
+        assert report.bytes_per_second[5] == 0.0
+
+    def test_empty_population(self):
+        scheme = CentralMonitorScheme(server=0)
+        report = scheme.load_report([0])
+        assert report.max_load() == 0
+
+
+class TestSelfReport:
+    def test_everyone_monitors_themselves(self):
+        assert SelfReportScheme().pinging_set(9) == (9,)
+
+    def test_selfish_nodes_lie_undetected(self):
+        scheme = SelfReportScheme()
+        actual = {0: 0.3, 1: 0.9, 2: 0.1}
+        outcome = scheme.evaluate(actual, selfish_nodes={0, 2})
+        assert outcome.reported[0] == 1.0
+        assert outcome.reported[1] == 0.9
+        assert outcome.nodes_with_error_above(0.5) == 2
+
+    def test_mean_inflation(self):
+        scheme = SelfReportScheme()
+        outcome = scheme.evaluate({0: 0.5, 1: 0.5}, selfish_nodes={0})
+        assert outcome.mean_inflation() == pytest.approx(0.25)
+
+    def test_honest_population_accurate(self):
+        scheme = SelfReportScheme()
+        outcome = scheme.evaluate({0: 0.4, 1: 0.6}, selfish_nodes=set())
+        assert outcome.nodes_with_error_above(0.0) == 0
+        assert outcome.mean_inflation() == 0.0
+
+    def test_custom_claim(self):
+        scheme = SelfReportScheme()
+        outcome = scheme.evaluate({0: 0.2}, {0}, claimed_availability=0.8)
+        assert outcome.reported[0] == 0.8
+
+    def test_invalid_claim(self):
+        with pytest.raises(ValueError):
+            SelfReportScheme().evaluate({0: 0.5}, {0}, claimed_availability=1.5)

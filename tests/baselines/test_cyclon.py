@@ -1,0 +1,91 @@
+"""Unit tests for the CYCLON membership baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.cyclon import CyclonNode, CyclonOverlay
+from repro.metrics import stats
+
+
+class TestCyclonNode:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CyclonNode(1, capacity=0, shuffle_size=1)
+        with pytest.raises(ValueError):
+            CyclonNode(1, capacity=5, shuffle_size=6)
+
+    def test_seed_respects_capacity_and_self(self):
+        node = CyclonNode(1, capacity=3, shuffle_size=2)
+        node.add_seed(1)  # self rejected
+        for neighbour in (2, 3, 4, 5):
+            node.add_seed(neighbour)
+        assert len(node) == 3
+        assert 1 not in node
+
+    def test_oldest_neighbour(self):
+        node = CyclonNode(1, capacity=5, shuffle_size=2)
+        node.add_seed(2)
+        node.age_entries()
+        node.add_seed(3)
+        assert node.oldest_neighbour() == 2
+
+    def test_subset_contains_self_first(self):
+        node = CyclonNode(1, capacity=5, shuffle_size=3)
+        for neighbour in (2, 3, 4):
+            node.add_seed(neighbour)
+        subset = node.select_subset(random.Random(0), exclude=2)
+        assert subset[0] == 1
+        assert 2 not in subset
+        assert len(subset) <= 3
+
+    def test_integrate_prefers_evicting_sent(self):
+        node = CyclonNode(1, capacity=2, shuffle_size=2)
+        node.add_seed(2)
+        node.add_seed(3)
+        node.integrate(received=[4], sent=[2])
+        assert 4 in node
+        assert 2 not in node
+        assert 3 in node
+
+    def test_integrate_ignores_self_and_duplicates(self):
+        node = CyclonNode(1, capacity=3, shuffle_size=2)
+        node.add_seed(2)
+        node.integrate(received=[1, 2, 5], sent=[])
+        assert len(node) == 2
+        assert 5 in node
+
+
+class TestCyclonOverlay:
+    def test_population_must_exceed_capacity(self):
+        with pytest.raises(ValueError):
+            CyclonOverlay(population=10, capacity=10)
+
+    def test_ring_seed_initial_clustering_is_high(self):
+        overlay = CyclonOverlay(population=100, capacity=10, seed=1)
+        # Neighbours are ring-adjacent: a sampled neighbour pair (i+a, i+b)
+        # is linked iff 1 <= b-a <= capacity, which holds for just under
+        # half of the ordered pairs.
+        assert overlay.clustering_sample(300) > 0.35
+
+    def test_shuffling_mixes_the_overlay(self):
+        overlay = CyclonOverlay(population=100, capacity=10, shuffle_size=5, seed=1)
+        before = overlay.clustering_sample(300)
+        overlay.run(rounds=30)
+        after = overlay.clustering_sample(300)
+        # Well-mixed random graph: clustering ~ capacity/population = 0.1.
+        assert after < before / 2
+
+    def test_indegree_stays_balanced(self):
+        overlay = CyclonOverlay(population=80, capacity=8, shuffle_size=4, seed=2)
+        overlay.run(rounds=25)
+        indegrees = list(overlay.indegree_distribution().values())
+        assert stats.mean(indegrees) == pytest.approx(8, abs=1.5)
+        assert max(indegrees) < 4 * stats.mean(indegrees)
+
+    def test_view_sizes_bounded(self):
+        overlay = CyclonOverlay(population=60, capacity=6, shuffle_size=3, seed=3)
+        overlay.run(rounds=20)
+        for node in overlay.nodes.values():
+            assert len(node) <= 6
+            assert node.id not in node

@@ -1,0 +1,124 @@
+"""Unit tests for the DHT baseline: ring mechanics and violation metrics."""
+
+import pytest
+
+from repro.baselines.dht import DhtMonitorScheme, HashRing
+
+
+class TestHashRing:
+    def test_join_and_members(self):
+        ring = HashRing()
+        for node in range(5):
+            ring.join(node)
+        assert len(ring) == 5
+        assert set(ring.members()) == {0, 1, 2, 3, 4}
+
+    def test_members_sorted_by_position(self):
+        ring = HashRing()
+        for node in range(10):
+            ring.join(node)
+        positions = [ring.position_of(n) for n in ring.members()]
+        assert positions == sorted(positions)
+
+    def test_duplicate_join_ignored(self):
+        ring = HashRing()
+        ring.join(1)
+        ring.join(1)
+        assert len(ring) == 1
+
+    def test_leave(self):
+        ring = HashRing()
+        ring.join(1)
+        ring.join(2)
+        ring.leave(1)
+        assert 1 not in ring
+        assert len(ring) == 1
+
+    def test_leave_absent_noop(self):
+        ring = HashRing()
+        ring.leave(42)
+        assert len(ring) == 0
+
+    def test_position_consistent(self):
+        ring = HashRing()
+        assert ring.position_of(7) == ring.position_of(7)
+        assert 0.0 <= ring.position_of(7) < 1.0
+
+    def test_successors_wrap_around(self):
+        ring = HashRing()
+        for node in range(6):
+            ring.join(node)
+        # Key beyond the last position wraps to the first members.
+        successors = ring.successors(0.999999, 3)
+        assert len(successors) == 3
+        assert successors[0] == ring.members()[0] or ring.position_of(successors[0]) > 0.999999
+
+    def test_successors_limited_by_size(self):
+        ring = HashRing()
+        ring.join(1)
+        ring.join(2)
+        assert len(ring.successors(0.5, 10)) == 2
+
+    def test_successors_empty_ring(self):
+        assert HashRing().successors(0.5, 3) == ()
+
+    def test_successors_invalid_count(self):
+        with pytest.raises(ValueError):
+            HashRing().successors(0.5, -1)
+
+
+class TestDhtMonitorScheme:
+    def test_pinging_set_size(self):
+        scheme = DhtMonitorScheme(k=4)
+        for node in range(50):
+            scheme.ring.join(node)
+        ps = scheme.pinging_set(7)
+        assert len(ps) == 4
+        assert 7 not in ps
+
+    def test_pinging_set_deterministic(self):
+        scheme = DhtMonitorScheme(k=3)
+        for node in range(30):
+            scheme.ring.join(node)
+        assert scheme.pinging_set(5) == scheme.pinging_set(5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            DhtMonitorScheme(k=0)
+
+    def test_churn_changes_monitor_sets(self):
+        scheme = DhtMonitorScheme(k=4)
+        for node in range(100):
+            scheme.ring.join(node)
+        monitored = list(range(50))
+        scheme.record_baseline(monitored)
+        total_affected = 0
+        for newcomer in range(100, 160):
+            total_affected += scheme.apply_churn_event(monitored, joined=newcomer)
+        # Ring-based selection is churn-sensitive: joins displace monitors.
+        assert total_affected > 0
+        assert scheme.total_monitor_changes() == total_affected
+
+    def test_leave_churn_counted(self):
+        scheme = DhtMonitorScheme(k=4)
+        for node in range(100):
+            scheme.ring.join(node)
+        monitored = list(range(20))
+        scheme.record_baseline(monitored)
+        affected = 0
+        for victim in range(50, 90):
+            affected += scheme.apply_churn_event(monitored, left=victim)
+        assert affected > 0
+
+    def test_cooccurrence_reflects_ring_adjacency(self):
+        scheme = DhtMonitorScheme(k=5)
+        for node in range(200):
+            scheme.ring.join(node)
+        monitored = list(range(200))
+        # Adjacent ring members appear together in many pinging sets: with
+        # K = 5, two neighbours co-occur in up to 4 consecutive sets.
+        assert scheme.max_cooccurrence(monitored) >= 3
+
+    def test_cooccurrence_empty(self):
+        scheme = DhtMonitorScheme(k=3)
+        assert scheme.max_cooccurrence([]) == 0

@@ -1,0 +1,149 @@
+"""Unit tests for trace-replay churn."""
+
+import pytest
+
+from repro.churn.replay import TraceReplayModel
+from repro.sim.engine import Simulator
+from repro.traces.format import AvailabilityTrace, NodeTrace, Session
+
+
+class FakeDriver:
+    def __init__(self, sim):
+        self.sim = sim
+        self.alive = set()
+        self.next_id = 100
+        self.events = []
+
+    def request_birth(self):
+        node = self.next_id
+        self.next_id += 1
+        self.alive.add(node)
+        self.events.append(("birth", node, self.sim.now))
+        return node
+
+    def request_rejoin(self, node):
+        self.alive.add(node)
+        self.events.append(("rejoin", node, self.sim.now))
+
+    def request_leave(self, node):
+        self.alive.discard(node)
+        self.events.append(("leave", node, self.sim.now))
+
+    def request_death(self, node):
+        raise AssertionError("replay never calls request_death")
+
+    def random_alive(self):
+        return None
+
+    def is_alive(self, node):
+        return node in self.alive
+
+    def is_dead(self, node):
+        return False
+
+
+@pytest.fixture
+def setup():
+    trace = AvailabilityTrace(
+        duration=1000.0,
+        nodes=[
+            NodeTrace(0, [Session(0.0, 300.0), Session(600.0, 1000.0)]),
+            NodeTrace(1, [Session(100.0, 500.0)], death=500.0),
+        ],
+    )
+    sim = Simulator()
+    driver = FakeDriver(sim)
+    # bootstrap_window=0 tests verbatim replay; the jitter has its own test.
+    model = TraceReplayModel(trace, bootstrap_window=0.0)
+    model.bind(driver)
+    model.setup()
+    return trace, sim, driver, model
+
+
+class TestReplay:
+    def test_first_join_is_birth(self, setup):
+        _, sim, driver, model = setup
+        sim.run_until(50.0)
+        assert driver.events == [("birth", 100, 0.0)]
+        assert model.cluster_id_of(0) == 100
+
+    def test_full_schedule(self, setup):
+        _, sim, driver, model = setup
+        sim.run_until(1000.0)
+        kinds = [(kind, node) for kind, node, _ in driver.events]
+        node0 = model.cluster_id_of(0)
+        node1 = model.cluster_id_of(1)
+        assert kinds == [
+            ("birth", node0),
+            ("birth", node1),
+            ("leave", node0),
+            ("leave", node1),
+            ("rejoin", node0),
+        ]
+
+    def test_leave_at_trace_end_skipped(self, setup):
+        # Node 0's second session is clamped at duration=1000: no leave event.
+        _, sim, driver, model = setup
+        sim.run_until(1000.0)
+        node0 = model.cluster_id_of(0)
+        leaves = [t for kind, node, t in driver.events if kind == "leave" and node == node0]
+        assert leaves == [300.0]
+        assert driver.is_alive(node0)
+
+    def test_dead_node_never_rejoins(self, setup):
+        _, sim, driver, model = setup
+        sim.run_until(1000.0)
+        node1 = model.cluster_id_of(1)
+        rejoins = [1 for kind, node, _ in driver.events if kind == "rejoin" and node == node1]
+        assert rejoins == []
+
+    def test_unknown_trace_node(self, setup):
+        _, _, _, model = setup
+        assert model.cluster_id_of(42) is None
+
+    def test_custom_name(self):
+        trace = AvailabilityTrace(100.0, [NodeTrace(0, [Session(0.0, 100.0)])])
+        model = TraceReplayModel(trace, name="OV")
+        assert model.name == "OV"
+
+    def test_bootstrap_jitter_spreads_time_zero_joins(self):
+        import random
+
+        trace = AvailabilityTrace(
+            5000.0,
+            [NodeTrace(n, [Session(0.0, 5000.0)]) for n in range(20)],
+        )
+        sim = Simulator()
+        driver = FakeDriver(sim)
+        model = TraceReplayModel(
+            trace, rng=random.Random(3), bootstrap_window=200.0
+        )
+        model.bind(driver)
+        model.setup()
+        sim.run_until(300.0)
+        times = [t for kind, _, t in driver.events if kind == "birth"]
+        assert len(times) == 20
+        assert max(times) <= 200.0
+        assert len(set(times)) > 10  # actually spread out, not a herd
+
+    def test_jitter_never_passes_session_midpoint(self):
+        import random
+
+        trace = AvailabilityTrace(
+            5000.0, [NodeTrace(0, [Session(0.0, 100.0)])]
+        )
+        sim = Simulator()
+        driver = FakeDriver(sim)
+        model = TraceReplayModel(
+            trace, rng=random.Random(5), bootstrap_window=1000.0
+        )
+        model.bind(driver)
+        model.setup()
+        sim.run_until(5000.0)
+        birth_time = next(t for kind, _, t in driver.events if kind == "birth")
+        assert birth_time <= 50.0
+
+    def test_negative_window_rejected(self):
+        trace = AvailabilityTrace(100.0, [NodeTrace(0, [Session(0.0, 100.0)])])
+        with pytest.raises(ValueError):
+            TraceReplayModel(trace, bootstrap_window=-1.0)

@@ -1,0 +1,21 @@
+"""Shared test configuration: hypothesis profiles and common fixtures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

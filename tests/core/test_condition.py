@@ -1,0 +1,106 @@
+"""Unit tests for the consistency condition (Section 3.1)."""
+
+import pytest
+
+from repro.core.condition import ConsistencyCondition
+from repro.core.hashing import hash_pair
+
+
+@pytest.fixture
+def condition():
+    return ConsistencyCondition(k=8, n=100)
+
+
+class TestConstruction:
+    def test_threshold(self, condition):
+        assert condition.threshold == pytest.approx(0.08)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ConsistencyCondition(k=0, n=100)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ConsistencyCondition(k=5, n=0)
+
+    def test_k_exceeding_n(self):
+        with pytest.raises(ValueError):
+            ConsistencyCondition(k=101, n=100)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            ConsistencyCondition(k=1, n=10, hash_algorithm="bogus")
+
+
+class TestHolds:
+    def test_matches_raw_hash(self, condition):
+        for a in range(30):
+            for b in range(30):
+                if a == b:
+                    continue
+                expected = hash_pair(a, b) <= 0.08
+                assert condition.holds(a, b) == expected
+
+    def test_self_pair_never_holds(self, condition):
+        for node in range(50):
+            assert not condition.holds(node, node)
+
+    def test_memoisation_avoids_rehash(self, condition):
+        condition.holds(1, 2)
+        evaluations = condition.hash_evaluations
+        for _ in range(10):
+            condition.holds(1, 2)
+        assert condition.hash_evaluations == evaluations
+
+    def test_cache_size_grows(self, condition):
+        before = condition.cache_size()
+        condition.holds(10, 20)
+        condition.holds(20, 10)
+        assert condition.cache_size() == before + 2
+
+    def test_directed_relation(self):
+        # Over a large population, u in PS(v) must not imply v in PS(u).
+        condition = ConsistencyCondition(k=30, n=100)
+        asymmetric = sum(
+            1
+            for a in range(80)
+            for b in range(a)
+            if condition.holds(a, b) != condition.holds(b, a)
+        )
+        assert asymmetric > 0
+
+    def test_aliases(self, condition):
+        assert condition.is_monitor_of(3, 4) == condition.holds(3, 4)
+        assert condition.is_target_of(4, 3) == condition.holds(3, 4)
+
+
+class TestVerifyReport:
+    def test_accepts_genuine_monitors(self, condition):
+        target = 7
+        genuine = [u for u in range(500) if condition.holds(u, target)]
+        assert genuine, "expected at least one genuine monitor in 500 ids"
+        assert condition.verify_report(target, genuine[:3])
+
+    def test_rejects_fake_monitor(self, condition):
+        target = 7
+        fake = next(u for u in range(500) if u != target and not condition.holds(u, target))
+        assert not condition.verify_report(target, [fake])
+
+    def test_empty_report_verifies(self, condition):
+        assert condition.verify_report(7, [])
+
+
+class TestExpectedPsSize:
+    def test_value(self, condition):
+        assert condition.expected_ps_size() == pytest.approx(0.08 * 99)
+
+    def test_empirical_ps_size_near_expected(self):
+        condition = ConsistencyCondition(k=10, n=200)
+        population = range(200)
+        sizes = [
+            sum(1 for u in population if condition.holds(u, target))
+            for target in range(40)
+        ]
+        average = sum(sizes) / len(sizes)
+        # Binomial(199, 0.05): mean ~10; allow generous slack.
+        assert 6.0 < average < 14.0

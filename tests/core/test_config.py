@@ -1,0 +1,86 @@
+"""Unit tests for AvmonConfig validation and derived quantities."""
+
+import pytest
+
+from repro.core import optimal
+from repro.core.config import AvmonConfig
+
+
+def make(**overrides):
+    base = dict(n_expected=1000, k=10, cvs=22)
+    base.update(overrides)
+    return AvmonConfig(**base)
+
+
+class TestValidation:
+    def test_valid_defaults(self):
+        config = make()
+        assert config.protocol_period == 60.0
+        assert config.enable_forgetful
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_expected", 1),
+            ("k", 0),
+            ("cvs", 0),
+            ("protocol_period", 0.0),
+            ("monitoring_period", -1.0),
+            ("forgetful_tau", -0.1),
+            ("forgetful_c", 0.0),
+            ("ping_timeout", 0.0),
+            ("entry_bytes", 0),
+        ],
+    )
+    def test_invalid_scalars(self, field, value):
+        with pytest.raises(ValueError):
+            make(**{field: value})
+
+    def test_k_exceeding_n(self):
+        with pytest.raises(ValueError):
+            make(k=1001)
+
+    def test_timeout_must_undercut_periods(self):
+        with pytest.raises(ValueError):
+            make(ping_timeout=60.0)
+
+    def test_unknown_hash_algorithm(self):
+        with pytest.raises(ValueError):
+            make(hash_algorithm="rot13")
+
+
+class TestFactories:
+    def test_paper_defaults(self):
+        config = AvmonConfig.paper_defaults(1_000_000)
+        assert config.k == 20  # log2(1e6) ~ 19.93
+        assert config.cvs == optimal.cvs_paper_default(1_000_000)
+
+    def test_paper_defaults_override(self):
+        config = AvmonConfig.paper_defaults(1000, cvs=50, k=7)
+        assert config.cvs == 50
+        assert config.k == 7
+
+    @pytest.mark.parametrize("variant", ["md", "mdc", "dc", "log", "paper"])
+    def test_for_variant(self, variant):
+        config = AvmonConfig.for_variant(10_000, variant)
+        assert config.cvs == optimal.cvs_for_variant(10_000, variant)
+
+    def test_with_overrides_is_functional(self):
+        config = make()
+        updated = config.with_overrides(enable_pr2=True)
+        assert updated.enable_pr2
+        assert not config.enable_pr2
+
+
+class TestDerived:
+    def test_threshold(self):
+        assert make().consistency_threshold == pytest.approx(0.01)
+
+    def test_expected_memory(self):
+        assert make().expected_memory_entries == pytest.approx(22 + 20)
+
+    def test_expected_discovery(self):
+        config = make()
+        assert config.expected_discovery_periods == pytest.approx(
+            optimal.expected_discovery_time(22, 1000)
+        )

@@ -1,0 +1,96 @@
+"""Tests of the joining sub-protocol's analytical claims (§4.1).
+
+The JOIN message spreads through a random spanning tree: the initial
+weight bounds the number of coarse views that adopt the joiner, the spread
+completes in O(log cvs) hops, and duplicate deliveries are rare for
+cvs = o(sqrt(N)).
+"""
+
+import random
+
+import pytest
+
+from repro.core import messages as m
+from repro.core.condition import ConsistencyCondition
+from repro.core.config import AvmonConfig
+from repro.core.node import AvmonNode
+from repro.core.relation import MonitorRelation
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network, SimHost
+from repro.sim.engine import Simulator
+
+
+def build_static_overlay(n=120, cvs=10, seed=3):
+    """N nodes with random pre-seeded coarse views and no periodic ticks.
+
+    Isolates the JOIN spread from the rest of the protocol: the only events
+    are JOIN forwards.
+    """
+    sim = Simulator()
+    network = Network(sim, latency=ConstantLatency(0.05), rng=random.Random(seed))
+    config = AvmonConfig(n_expected=n, k=5, cvs=cvs)
+    condition = ConsistencyCondition(5, n)
+    relation = MonitorRelation(condition)
+    relation.add_nodes(range(n + 1))
+    rng = random.Random(seed + 1)
+    nodes = {}
+    for node_id in range(n):
+        host = SimHost(network, node_id, random.Random(node_id))
+        node = AvmonNode(node_id, config, relation, host)
+        host.attach(node)
+        nodes[node_id] = node
+        host.bring_up()
+    for node in nodes.values():
+        pool = [i for i in range(n) if i != node.id]
+        for neighbour in rng.sample(pool, cvs):
+            node.cv.add(neighbour)
+    return sim, network, config, nodes
+
+
+class TestJoinSpread:
+    def test_weight_bounds_adoptions(self):
+        sim, network, config, nodes = build_static_overlay()
+        joiner = 500  # an id no view contains
+        nodes[0].relation.add_node(joiner)
+        network.host(0).deliver(m.Join(sender=joiner, origin=joiner, weight=config.cvs))
+        sim.run_until(60.0)
+        holders = sum(1 for node in nodes.values() if joiner in node.cv)
+        assert holders <= config.cvs
+        # The tree should reach most of the weight (losses only via
+        # forwarding dead-ends, which are rare in a well-seeded overlay).
+        assert holders >= config.cvs - 2
+
+    def test_small_weight_spreads_exactly(self):
+        sim, network, config, nodes = build_static_overlay()
+        joiner = 501
+        network.host(0).deliver(m.Join(sender=joiner, origin=joiner, weight=3))
+        sim.run_until(60.0)
+        holders = sum(1 for node in nodes.values() if joiner in node.cv)
+        assert 1 <= holders <= 3
+
+    def test_spread_time_logarithmic(self):
+        """With 0.05 s hops and weight halving each hop, the spread
+        completes within ~log2(cvs)+2 hop times."""
+        sim, network, config, nodes = build_static_overlay()
+        joiner = 502
+
+        import math
+
+        network.host(0).deliver(m.Join(sender=joiner, origin=joiner, weight=config.cvs))
+        deadline = (math.log2(config.cvs) + 3) * 0.05
+        sim.run_until(deadline)
+        holders_early = sum(1 for node in nodes.values() if joiner in node.cv)
+        sim.run_until(60.0)
+        holders_final = sum(1 for node in nodes.values() if joiner in node.cv)
+        assert holders_early == holders_final
+
+    def test_join_messages_linear_in_weight(self):
+        sim, network, config, nodes = build_static_overlay()
+        joiner = 503
+        before = network.sent_messages
+        network.host(0).deliver(m.Join(sender=joiner, origin=joiner, weight=config.cvs))
+        sim.run_until(60.0)
+        join_messages = network.sent_messages - before
+        # Each unit of weight is consumed once; forwarding fan-out of two
+        # bounds the message count by ~2x the weight.
+        assert join_messages <= 3 * config.cvs

@@ -1,0 +1,61 @@
+"""Unit tests for message wire-size accounting."""
+
+from repro.core import messages as m
+
+
+class TestSizes:
+    def test_ping_sizes(self):
+        assert m.CvPing(sender=1, seq=2).size_bytes(8) == 12
+        assert m.MonitorPing(sender=1, seq=2).size_bytes(8) == 12
+
+    def test_fetch_reply_scales_with_view(self):
+        empty = m.CvFetchReply(sender=1, seq=1, view=())
+        five = m.CvFetchReply(sender=1, seq=1, view=(1, 2, 3, 4, 5))
+        assert five.size_bytes(8) - empty.size_bytes(8) == 40
+
+    def test_fetch_reply_respects_entry_bytes(self):
+        reply = m.CvFetchReply(sender=1, seq=1, view=(1, 2))
+        assert reply.size_bytes(6) == 4 + 12
+
+    def test_notify_carries_two_endpoints(self):
+        assert m.Notify(sender=1, monitor=2, target=3).size_bytes(8) == 4 + 16
+
+    def test_join_carries_weight(self):
+        assert m.Join(sender=1, origin=2, weight=16).size_bytes(8) == 4 + 8 + 2
+
+    def test_report_reply_scales_with_monitors(self):
+        short = m.ReportReply(sender=1, subject=2, monitors=(3,))
+        long = m.ReportReply(sender=1, subject=2, monitors=(3, 4, 5))
+        assert long.size_bytes(8) - short.size_bytes(8) == 16
+
+    def test_history_reply_includes_float(self):
+        reply = m.HistoryReply(sender=1, subject=2, availability=0.5)
+        assert reply.size_bytes(8) == 4 + 8 + 8
+
+    def test_all_messages_positive_size(self):
+        instances = [
+            m.Join(sender=1, origin=2, weight=3),
+            m.CvPing(sender=1),
+            m.CvPong(sender=1),
+            m.CvFetchRequest(sender=1),
+            m.CvFetchReply(sender=1),
+            m.Notify(sender=1, monitor=2, target=3),
+            m.MonitorPing(sender=1),
+            m.MonitorPong(sender=1),
+            m.Pr2Refresh(sender=1),
+            m.ReportRequest(sender=1, subject=2),
+            m.ReportReply(sender=1, subject=2),
+            m.HistoryRequest(sender=1, subject=2),
+            m.HistoryReply(sender=1, subject=2),
+        ]
+        for message in instances:
+            assert message.size_bytes() > 0
+
+    def test_messages_are_immutable(self):
+        ping = m.CvPing(sender=1, seq=9)
+        try:
+            ping.seq = 10
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,152 @@
+"""Unit tests for target records and forgetful pinging (Section 3.3)."""
+
+import random
+
+import pytest
+
+from repro.core.monitoring import MonitoringStore, TargetRecord
+
+
+class TestTargetRecord:
+    def test_initial_state(self):
+        record = TargetRecord(target=5)
+        assert record.estimated_availability() == 0.0
+        assert record.downtime(100.0) == 0.0
+        assert not record.is_responsive()
+
+    def test_estimated_availability(self):
+        record = TargetRecord(5)
+        for t in range(4):
+            record.record_sent()
+        record.record_reply(0.0)
+        record.record_reply(60.0)
+        record.record_timeout(120.0)
+        record.record_timeout(180.0)
+        assert record.estimated_availability() == pytest.approx(0.5)
+
+    def test_session_length_measured_on_first_timeout(self):
+        record = TargetRecord(5)
+        record.record_reply(0.0)
+        record.record_reply(60.0)
+        record.record_reply(120.0)
+        record.record_timeout(180.0)
+        assert record.last_session_length == pytest.approx(120.0)
+
+    def test_downtime_tracks_first_miss(self):
+        record = TargetRecord(5)
+        record.record_reply(0.0)
+        record.record_timeout(60.0)
+        record.record_timeout(120.0)
+        assert record.downtime(200.0) == pytest.approx(140.0)
+
+    def test_reply_resets_downtime(self):
+        record = TargetRecord(5)
+        record.record_reply(0.0)
+        record.record_timeout(60.0)
+        record.record_reply(120.0)
+        assert record.downtime(200.0) == 0.0
+        assert record.is_responsive()
+
+    def test_new_session_after_gap(self):
+        record = TargetRecord(5)
+        record.record_reply(0.0)
+        record.record_timeout(60.0)
+        record.record_reply(300.0)
+        record.record_reply(360.0)
+        record.record_timeout(420.0)
+        assert record.last_session_length == pytest.approx(60.0)
+
+
+class TestPingProbability:
+    def test_full_while_responsive(self):
+        record = TargetRecord(5)
+        record.record_reply(0.0)
+        assert record.ping_probability(60.0, tau=120.0, c=1.0) == 1.0
+
+    def test_full_within_tau(self):
+        record = TargetRecord(5)
+        record.record_reply(0.0)
+        record.record_timeout(60.0)
+        assert record.ping_probability(100.0, tau=120.0, c=1.0) == 1.0
+
+    def test_decay_beyond_tau(self):
+        record = TargetRecord(5)
+        record.record_reply(0.0)
+        record.record_reply(300.0)  # session of length 300
+        record.record_timeout(360.0)
+        # downtime t = 640 - 360 = 280 > tau; ts = 300.
+        probability = record.ping_probability(640.0, tau=120.0, c=1.0)
+        assert probability == pytest.approx(300.0 / (300.0 + 280.0))
+
+    def test_c_scales_probability(self):
+        record = TargetRecord(5)
+        record.record_reply(0.0)
+        record.record_reply(100.0)
+        record.record_timeout(200.0)
+        base = record.ping_probability(1000.0, tau=60.0, c=1.0)
+        doubled = record.ping_probability(1000.0, tau=60.0, c=2.0)
+        assert doubled == pytest.approx(min(1.0, 2.0 * base))
+
+    def test_zero_session_silences(self):
+        record = TargetRecord(5)
+        record.record_timeout(0.0)
+        assert record.ping_probability(1000.0, tau=60.0, c=1.0) == 0.0
+
+    def test_probability_decreases_with_downtime(self):
+        record = TargetRecord(5)
+        record.record_reply(0.0)
+        record.record_reply(600.0)
+        record.record_timeout(660.0)
+        p1 = record.ping_probability(1000.0, tau=60.0, c=1.0)
+        p2 = record.ping_probability(5000.0, tau=60.0, c=1.0)
+        assert p2 < p1
+
+    def test_should_ping_bernoulli(self):
+        record = TargetRecord(5)
+        record.record_reply(0.0)
+        record.record_reply(300.0)
+        record.record_timeout(360.0)
+        rng = random.Random(7)
+        now = 5000.0
+        probability = record.ping_probability(now, tau=60.0, c=1.0)
+        hits = sum(record.should_ping(now, 60.0, 1.0, rng) for _ in range(2000))
+        assert hits / 2000 == pytest.approx(probability, abs=0.05)
+
+
+class TestMonitoringStore:
+    def test_record_for_creates_once(self):
+        store = MonitoringStore()
+        first = store.record_for(5)
+        second = store.record_for(5)
+        assert first is second
+        assert len(store) == 1
+
+    def test_get_missing(self):
+        assert MonitoringStore().get(5) is None
+
+    def test_contains(self):
+        store = MonitoringStore()
+        store.record_for(3)
+        assert 3 in store
+        assert 4 not in store
+
+    def test_should_ping_disabled_always_pings(self, rng):
+        store = MonitoringStore()
+        record = store.record_for(5)
+        record.record_timeout(0.0)
+        assert store.should_ping(5, 10_000.0, 60.0, 1.0, rng, enabled=False)
+
+    def test_never_seen_up_always_pinged(self, rng):
+        store = MonitoringStore()
+        record = store.record_for(5)
+        for t in range(20):
+            record.record_timeout(float(t * 60))
+        assert store.should_ping(5, 10_000.0, 60.0, 1.0, rng, enabled=True)
+
+    def test_estimated_availability_passthrough(self):
+        store = MonitoringStore()
+        record = store.record_for(5)
+        record.record_sent()
+        record.record_reply(0.0)
+        assert store.estimated_availability(5) == 1.0
+        assert store.estimated_availability(6) == 0.0

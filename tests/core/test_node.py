@@ -1,0 +1,452 @@
+"""Unit tests for the AVMON node protocol logic, on a fake runtime."""
+
+import random
+
+import pytest
+
+from repro.core import messages as m
+from repro.core.condition import ConsistencyCondition
+from repro.core.config import AvmonConfig
+from repro.core.node import AvmonNode
+from repro.core.relation import MonitorRelation
+
+
+class FakeTimer:
+    def __init__(self, delay, callback):
+        self.delay = delay
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class FakeRuntime:
+    """Deterministic NodeRuntime capturing sends and timers."""
+
+    def __init__(self, seed=0, bootstrap=None, in_system=()):
+        self.rng = random.Random(seed)
+        self.time = 0.0
+        self.sent = []  # (dst, message)
+        self.timers = []
+        self.bootstrap = bootstrap
+        self.in_system = set(in_system)
+
+    def now(self):
+        return self.time
+
+    def send(self, dst, message):
+        self.sent.append((dst, message))
+
+    def schedule(self, delay, callback):
+        timer = FakeTimer(delay, callback)
+        self.timers.append(timer)
+        return timer
+
+    def choose_bootstrap(self, exclude):
+        return self.bootstrap
+
+    def target_in_system(self, node):
+        return node in self.in_system
+
+    # Helpers -------------------------------------------------------------
+
+    def fire_timers(self):
+        pending, self.timers = self.timers, []
+        for timer in pending:
+            if not timer.cancelled:
+                timer.callback()
+
+    def sent_of_type(self, message_type):
+        return [(dst, msg) for dst, msg in self.sent if isinstance(msg, message_type)]
+
+
+def build_node(node_id=0, n=64, k=8, cvs=6, universe=64, seed=0, bootstrap=None,
+               **config_overrides):
+    config = AvmonConfig(n_expected=n, k=k, cvs=cvs, **config_overrides)
+    condition = ConsistencyCondition(k, n, config.hash_algorithm)
+    relation = MonitorRelation(condition)
+    relation.add_nodes(range(universe))
+    runtime = FakeRuntime(seed=seed, bootstrap=bootstrap)
+    node = AvmonNode(node_id, config, relation, runtime)
+    return node, runtime, relation
+
+
+class TestJoinInitiation:
+    def test_first_join_sends_full_weight(self):
+        node, runtime, _ = build_node(bootstrap=9)
+        node.begin_join()
+        joins = runtime.sent_of_type(m.Join)
+        assert len(joins) == 1
+        dst, join = joins[0]
+        assert dst == 9
+        assert join.origin == node.id
+        assert join.weight == node.config.cvs
+
+    def test_first_join_inherits_view(self):
+        node, runtime, _ = build_node(bootstrap=9)
+        node.begin_join()
+        fetches = runtime.sent_of_type(m.CvFetchRequest)
+        assert len(fetches) == 1
+        assert fetches[0][0] == 9
+
+    def test_no_bootstrap_no_messages(self):
+        node, runtime, _ = build_node(bootstrap=None)
+        node.begin_join()
+        assert runtime.sent == []
+
+    def test_rejoin_weight_tracks_downtime(self):
+        node, runtime, _ = build_node(bootstrap=9, cvs=10)
+        node.begin_join()
+        runtime.sent.clear()
+        node.on_leave(600.0)
+        runtime.time = 600.0 + 3 * 60.0  # down for 3 protocol periods
+        node.begin_join()
+        joins = runtime.sent_of_type(m.Join)
+        assert joins[0][1].weight == 3
+
+    def test_rejoin_weight_capped_at_cvs(self):
+        node, runtime, _ = build_node(bootstrap=9, cvs=10)
+        node.begin_join()
+        runtime.sent.clear()
+        node.on_leave(0.0)
+        runtime.time = 60.0 * 1000
+        node.begin_join()
+        assert runtime.sent_of_type(m.Join)[0][1].weight == 10
+
+    def test_rejoin_zero_weight_sends_no_join(self):
+        node, runtime, _ = build_node(bootstrap=9)
+        node.begin_join()
+        runtime.sent.clear()
+        node.on_leave(100.0)
+        runtime.time = 110.0  # less than one period down
+        node.begin_join()
+        assert runtime.sent_of_type(m.Join) == []
+        # The view is still inherited on rejoin.
+        assert len(runtime.sent_of_type(m.CvFetchRequest)) == 1
+
+
+class TestJoinHandling:
+    def test_adds_origin_and_splits_weight(self):
+        node, runtime, _ = build_node(node_id=0)
+        for neighbour in (1, 2, 3):
+            node.cv.add(neighbour)
+        node.handle_message(m.Join(sender=5, origin=50, weight=5))
+        assert 50 in node.cv
+        forwarded = runtime.sent_of_type(m.Join)
+        assert len(forwarded) == 2
+        weights = sorted(join.weight for _, join in forwarded)
+        assert weights == [2, 2]  # 5 - 1 = 4 split as 2/2
+        assert all(join.origin == 50 for _, join in forwarded)
+
+    def test_weight_one_consumed_entirely(self):
+        node, runtime, _ = build_node()
+        node.cv.add(1)
+        node.handle_message(m.Join(sender=5, origin=50, weight=1))
+        assert 50 in node.cv
+        assert runtime.sent_of_type(m.Join) == []
+
+    def test_zero_weight_discarded(self):
+        node, runtime, _ = build_node()
+        node.handle_message(m.Join(sender=5, origin=50, weight=0))
+        assert 50 not in node.cv
+        assert runtime.sent == []
+
+    def test_known_origin_not_decremented(self):
+        node, runtime, _ = build_node()
+        node.cv.add(50)
+        node.cv.add(1)
+        node.handle_message(m.Join(sender=5, origin=50, weight=4))
+        weights = sorted(j.weight for _, j in runtime.sent_of_type(m.Join))
+        assert weights == [2, 2]  # full weight forwarded
+
+    def test_own_join_not_added(self):
+        node, runtime, _ = build_node(node_id=7)
+        node.cv.add(1)
+        node.handle_message(m.Join(sender=5, origin=7, weight=4))
+        assert 7 not in node.cv
+
+    def test_forwarding_avoids_origin(self):
+        node, runtime, _ = build_node()
+        node.cv.add(50)  # origin is the only other CV member after add
+        node.handle_message(m.Join(sender=5, origin=50, weight=6))
+        # Only possible next hop was the origin itself -> nothing forwarded.
+        assert all(dst != 50 for dst, _ in runtime.sent_of_type(m.Join))
+
+
+class TestCoarseViewExchange:
+    def test_tick_pings_and_fetches(self):
+        node, runtime, _ = build_node()
+        node.cv.add(1)
+        node.protocol_tick()
+        assert len(runtime.sent_of_type(m.CvPing)) == 1
+        assert len(runtime.sent_of_type(m.CvFetchRequest)) == 1
+        assert len(runtime.timers) == 2
+
+    def test_empty_view_tick_is_silent(self):
+        node, runtime, _ = build_node()
+        node.protocol_tick()
+        assert runtime.sent == []
+
+    def test_ping_timeout_removes_entry(self):
+        node, runtime, _ = build_node()
+        node.cv.add(1)
+        node.protocol_tick()
+        runtime.fire_timers()
+        assert 1 not in node.cv
+
+    def test_pong_cancels_removal(self):
+        node, runtime, _ = build_node()
+        node.cv.add(1)
+        node.protocol_tick()
+        ping = runtime.sent_of_type(m.CvPing)[0][1]
+        node.handle_message(m.CvPong(sender=1, seq=ping.seq))
+        runtime.fire_timers()
+        assert 1 in node.cv
+
+    def test_fetch_request_answered_with_view(self):
+        node, runtime, _ = build_node()
+        node.cv.add(1)
+        node.cv.add(2)
+        node.handle_message(m.CvFetchRequest(sender=9, seq=4))
+        replies = runtime.sent_of_type(m.CvFetchReply)
+        assert len(replies) == 1
+        dst, reply = replies[0]
+        assert dst == 9 and reply.seq == 4
+        assert sorted(reply.view) == [1, 2]
+
+    def test_fetch_reply_reshuffles_view(self):
+        node, runtime, _ = build_node(cvs=4)
+        for neighbour in (1, 2):
+            node.cv.add(neighbour)
+        node.protocol_tick()
+        fetch = runtime.sent_of_type(m.CvFetchRequest)[0]
+        peer = fetch[0]
+        node.handle_message(
+            m.CvFetchReply(sender=peer, seq=fetch[1].seq, view=(5, 6, 7))
+        )
+        assert node.cv.as_set() <= {1, 2, 5, 6, 7, peer}
+        assert len(node.cv) == 4
+
+    def test_fetch_reply_counts_computations(self):
+        node, runtime, _ = build_node()
+        for neighbour in (1, 2, 3):
+            node.cv.add(neighbour)
+        node.protocol_tick()
+        fetch = runtime.sent_of_type(m.CvFetchRequest)[0]
+        node.handle_message(
+            m.CvFetchReply(sender=fetch[0], seq=fetch[1].seq, view=(10, 11))
+        )
+        assert node.computations > 0
+
+    def test_stale_fetch_reply_ignored(self):
+        node, runtime, _ = build_node()
+        before = node.cv.as_set()
+        node.handle_message(m.CvFetchReply(sender=1, seq=999, view=(5, 6)))
+        assert node.cv.as_set() == before
+
+    def test_matches_generate_notifies(self):
+        node, runtime, relation = build_node(node_id=0, k=32, n=64)
+        # Find a pair (u, v) with u in PS(v) among small ids.
+        condition = relation.condition
+        pair = next(
+            (u, v)
+            for u in range(1, 20)
+            for v in range(1, 20)
+            if u != v and condition.holds(u, v)
+        )
+        monitor, target = pair
+        node.cv.add(monitor)
+        node.protocol_tick()
+        fetch = runtime.sent_of_type(m.CvFetchRequest)[0]
+        runtime.sent.clear()
+        node.handle_message(
+            m.CvFetchReply(sender=fetch[0], seq=fetch[1].seq, view=(target,))
+        )
+        notified = {
+            (msg.monitor, msg.target) for _, msg in runtime.sent_of_type(m.Notify)
+        }
+        assert (monitor, target) in notified
+
+
+class TestNotifyHandling:
+    def _find_monitor_of(self, relation, target, limit=200):
+        condition = relation.condition
+        return next(
+            u for u in range(limit) if u != target and condition.holds(u, target)
+        )
+
+    def test_genuine_monitor_accepted(self):
+        node, runtime, relation = build_node(node_id=0, universe=200)
+        monitor = self._find_monitor_of(relation, 0)
+        node.handle_message(m.Notify(sender=5, monitor=monitor, target=0))
+        assert monitor in node.ps
+
+    def test_fake_monitor_rejected(self):
+        node, runtime, relation = build_node(node_id=0, universe=200)
+        condition = relation.condition
+        fake = next(
+            u for u in range(1, 200) if not condition.holds(u, 0)
+        )
+        node.handle_message(m.Notify(sender=5, monitor=fake, target=0))
+        assert fake not in node.ps
+
+    def test_target_accepted_into_ts(self):
+        node, runtime, relation = build_node(node_id=0, universe=200)
+        condition = relation.condition
+        target = next(v for v in range(1, 200) if condition.holds(0, v))
+        node.handle_message(m.Notify(sender=5, monitor=0, target=target))
+        assert target in node.ts
+        assert node.store.get(target) is not None
+
+    def test_duplicate_notify_idempotent(self):
+        node, runtime, relation = build_node(node_id=0, universe=200)
+        monitor = self._find_monitor_of(relation, 0)
+        node.handle_message(m.Notify(sender=5, monitor=monitor, target=0))
+        first_time = node.ps[monitor]
+        runtime.time = 500.0
+        node.handle_message(m.Notify(sender=5, monitor=monitor, target=0))
+        assert node.ps[monitor] == first_time
+
+
+class TestMonitoringTick:
+    def test_pings_all_targets(self):
+        node, runtime, _ = build_node()
+        node.ts.update({1, 2, 3})
+        node.monitoring_tick()
+        assert len(runtime.sent_of_type(m.MonitorPing)) == 3
+
+    def test_pong_records_reply(self):
+        node, runtime, _ = build_node()
+        node.ts.add(1)
+        node.monitoring_tick()
+        ping = runtime.sent_of_type(m.MonitorPing)[0][1]
+        node.handle_message(m.MonitorPong(sender=1, seq=ping.seq))
+        record = node.store.get(1)
+        assert record.pings_answered == 1
+        runtime.fire_timers()
+        assert record.downtime(runtime.time) == 0.0
+
+    def test_timeout_records_miss(self):
+        node, runtime, _ = build_node()
+        node.ts.add(1)
+        node.monitoring_tick()
+        runtime.fire_timers()
+        record = node.store.get(1)
+        assert record.pings_answered == 0
+        assert record.pings_sent == 1
+
+    def test_useless_ping_counted(self):
+        node, runtime, _ = build_node()
+        runtime.in_system = set()
+        node.ts.add(1)
+        node.monitoring_tick()
+        assert node.store.useless_pings == 1
+
+    def test_monitor_ping_answered(self):
+        node, runtime, _ = build_node(node_id=3)
+        runtime.time = 42.0
+        node.handle_message(m.MonitorPing(sender=8, seq=2))
+        pongs = runtime.sent_of_type(m.MonitorPong)
+        assert pongs == [(8, m.MonitorPong(sender=3, seq=2))]
+        assert node.last_monitor_ping_received == 42.0
+
+
+class TestPr2:
+    def test_refresh_sent_when_silent(self):
+        node, runtime, _ = build_node(enable_pr2=True)
+        node.cv.add(1)
+        node.cv.add(2)
+        node.last_monitor_ping_received = 0.0
+        runtime.time = 60.0 * 3
+        node.protocol_tick()
+        refreshes = runtime.sent_of_type(m.Pr2Refresh)
+        assert {dst for dst, _ in refreshes} == {1, 2}
+
+    def test_no_refresh_when_recently_pinged(self):
+        node, runtime, _ = build_node(enable_pr2=True)
+        node.cv.add(1)
+        node.last_monitor_ping_received = 100.0
+        runtime.time = 130.0
+        node.protocol_tick()
+        assert runtime.sent_of_type(m.Pr2Refresh) == []
+
+    def test_refresh_received_adds_sender(self):
+        node, runtime, _ = build_node()
+        node.handle_message(m.Pr2Refresh(sender=17))
+        assert 17 in node.cv
+
+    def test_disabled_by_default(self):
+        node, runtime, _ = build_node()
+        node.cv.add(1)
+        node.last_monitor_ping_received = 0.0
+        runtime.time = 1000.0
+        node.protocol_tick()
+        assert runtime.sent_of_type(m.Pr2Refresh) == []
+
+
+class TestReporting:
+    def test_report_request_answered(self):
+        node, runtime, _ = build_node(node_id=3)
+        node.ps = {10: 0.0, 11: 0.0, 12: 0.0}
+        node.handle_message(m.ReportRequest(sender=8, subject=3, min_monitors=2))
+        replies = runtime.sent_of_type(m.ReportReply)
+        assert len(replies) == 1
+        dst, reply = replies[0]
+        assert dst == 8
+        assert len(reply.monitors) == 2
+        assert set(reply.monitors) <= {10, 11, 12}
+
+    def test_report_with_fewer_known(self):
+        node, runtime, _ = build_node()
+        node.ps = {10: 0.0}
+        assert node.report_monitors(5) == (10,)
+
+    def test_history_request_answered(self):
+        node, runtime, _ = build_node(node_id=3)
+        node.ts.add(7)
+        record = node.store.record_for(7)
+        record.record_sent()
+        record.record_reply(0.0)
+        node.handle_message(m.HistoryRequest(sender=8, subject=7))
+        replies = runtime.sent_of_type(m.HistoryReply)
+        assert replies[0][1].availability == 1.0
+
+    def test_overreporter_claims_full_availability(self):
+        node, runtime, _ = build_node()
+        node.overreports = True
+        record = node.store.record_for(7)
+        record.record_sent()
+        record.record_timeout(0.0)
+        assert node.availability_report(7) == 1.0
+
+    def test_honest_report_matches_record(self):
+        node, runtime, _ = build_node()
+        record = node.store.record_for(7)
+        record.record_sent()
+        record.record_sent()
+        record.record_reply(0.0)
+        record.record_timeout(60.0)
+        assert node.availability_report(7) == pytest.approx(0.5)
+
+
+class TestMemoryMetric:
+    def test_counts_all_three_sets(self):
+        node, runtime, _ = build_node()
+        node.cv.add(1)
+        node.cv.add(2)
+        node.ps = {3: 0.0}
+        node.ts = {4, 5}
+        assert node.memory_entries() == 5
+
+    def test_leave_clears_pending_only(self):
+        node, runtime, _ = build_node()
+        node.cv.add(1)
+        node.ts.add(2)
+        node.protocol_tick()
+        node.on_leave(100.0)
+        assert node.last_leave_time == 100.0
+        assert 1 in node.cv  # persistent state retained
+        assert 2 in node.ts
+        runtime.fire_timers()  # stale timeouts must be harmless
+        assert 1 in node.cv

@@ -1,0 +1,167 @@
+"""Unit tests for the Section-4 analysis and optimal variants."""
+
+import math
+
+import pytest
+
+from repro.core import optimal
+
+
+class TestExpectedDiscoveryTime:
+    def test_formula(self):
+        value = optimal.expected_discovery_time(10, 1000)
+        assert value == pytest.approx(1.0 / (1.0 - math.exp(-0.1)))
+
+    def test_asymptotic_agreement(self):
+        # For cvs << sqrt(N) the closed form approaches N/cvs^2.
+        exact = optimal.expected_discovery_time(5, 1_000_000)
+        approx = optimal.expected_discovery_time_asymptotic(5, 1_000_000)
+        assert exact == pytest.approx(approx, rel=0.01)
+
+    def test_decreasing_in_cvs(self):
+        values = [optimal.expected_discovery_time(cvs, 10_000) for cvs in (5, 10, 20, 40)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            optimal.expected_discovery_time(0, 100)
+        with pytest.raises(ValueError):
+            optimal.expected_discovery_time(5, 0)
+
+    def test_tiny_ratio_falls_back_to_asymptotic(self):
+        value = optimal.expected_discovery_time(1, 10**18)
+        assert value == pytest.approx(10**18)
+
+
+class TestOptima:
+    def test_md_closed_form(self):
+        assert optimal.cvs_optimal_md(1_000_000) == round((2e6) ** (1 / 3))
+
+    def test_mdc_closed_form(self):
+        assert optimal.cvs_optimal_mdc(1_000_000) == round(1e6**0.25)
+
+    def test_dc_equals_mdc(self):
+        for n in (100, 10_000, 1_000_000):
+            assert optimal.cvs_optimal_dc(n) == optimal.cvs_optimal_mdc(n)
+
+    def test_paper_example(self):
+        # Section 4.2: N = 1e6 gives cvs = 32 for Optimal-MDC.
+        assert optimal.cvs_optimal_mdc(1_000_000) == 32
+
+    def test_md_numeric_agreement(self):
+        for n in (1000, 100_000, 1_000_000):
+            closed = optimal.cvs_optimal_md(n, rounded=False)
+            numeric = optimal.minimize_cost(optimal.cost_md, n)
+            assert numeric == pytest.approx(closed, rel=0.02)
+
+    def test_mdc_numeric_agreement(self):
+        # The paper's N^(1/4) is an approximation of the true stationary
+        # point of g; the numeric optimum should be within a factor ~1.5.
+        for n in (10_000, 1_000_000):
+            approx = optimal.cvs_optimal_mdc(n, rounded=False)
+            numeric = optimal.minimize_cost(optimal.cost_mdc, n)
+            assert 0.5 * approx < numeric < 1.8 * approx
+
+    def test_variant_dispatch(self):
+        n = 50_000
+        assert optimal.cvs_for_variant(n, "md") == optimal.cvs_optimal_md(n)
+        assert optimal.cvs_for_variant(n, "MDC") == optimal.cvs_optimal_mdc(n)
+        assert optimal.cvs_for_variant(n, "log") == optimal.cvs_log(n)
+        assert optimal.cvs_for_variant(n, "paper") == optimal.cvs_paper_default(n)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            optimal.cvs_for_variant(100, "xyz")
+
+    def test_paper_default_is_4x_mdc(self):
+        n = 4096
+        assert optimal.cvs_paper_default(n) == pytest.approx(
+            4 * optimal.cvs_optimal_mdc(n), abs=2
+        )
+
+
+class TestKSelection:
+    def test_choose_k_monotone_in_n(self):
+        ks = [optimal.choose_k(n, 0.5) for n in (100, 1000, 10_000)]
+        assert ks == sorted(ks)
+
+    def test_choose_k_higher_for_lower_availability(self):
+        assert optimal.choose_k(1000, 0.2) > optimal.choose_k(1000, 0.8)
+
+    def test_choose_k_bounds(self):
+        with pytest.raises(ValueError):
+            optimal.choose_k(1, 0.5)
+        with pytest.raises(ValueError):
+            optimal.choose_k(100, 1.0)
+
+    def test_choose_k_for_min_monitors(self):
+        n = 1000
+        assert optimal.choose_k_for_min_monitors(n, 1) == math.ceil(2 * math.log(n))
+        assert optimal.choose_k_for_min_monitors(n, 3) == math.ceil(4 * math.log(n))
+
+    def test_prob_node_monitored(self):
+        assert optimal.prob_node_monitored(0, 0.9) == 0.0
+        assert optimal.prob_node_monitored(10, 0.5) == pytest.approx(1 - 2**-10)
+
+    def test_prob_all_nodes_monitored_high_for_log_k(self):
+        n = 10_000
+        k = optimal.choose_k(n, 0.5)
+        assert optimal.prob_all_nodes_monitored(n, k, 0.5) > 0.99
+
+
+class TestCollusion:
+    def test_unpolluted_probability(self):
+        assert optimal.prob_ps_unpolluted(1000, 10, 0) == 1.0
+        assert optimal.prob_ps_unpolluted(1000, 10, 5) == pytest.approx(0.99**5)
+
+    def test_tends_to_one_for_large_n(self):
+        small_n = optimal.prob_ps_unpolluted(1000, 10, 3)
+        large_n = optimal.prob_ps_unpolluted(1_000_000, 20, 3)
+        assert large_n > small_n
+
+    def test_system_wide(self):
+        assert optimal.prob_system_unpolluted(10_000, 13, 50) == pytest.approx(
+            (1 - 13 / 10_000) ** 50
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            optimal.prob_ps_unpolluted(10, 20, 1)
+
+
+class TestMisc:
+    def test_expected_ts_size(self):
+        assert optimal.expected_ts_size(10, 3000, 2000) == pytest.approx(15.0)
+
+    def test_dead_node_cleanup(self):
+        assert optimal.dead_node_cleanup_periods(30, 1000) == pytest.approx(
+            30 * math.log(1000)
+        )
+
+    def test_join_spread(self):
+        assert optimal.join_spread_time(32) == pytest.approx(5.0)
+        assert optimal.join_spread_time(1) == 1.0
+
+    def test_join_duplicate_probability(self):
+        assert optimal.join_duplicate_probability(32, 1_000_000) == pytest.approx(
+            64 / 1_000_000
+        )
+        assert optimal.join_duplicate_probability(1000, 100) == 1.0
+
+
+class TestVariantTable:
+    def test_rows_and_order(self):
+        rows = optimal.variant_table(1_000_000)
+        assert len(rows) == 5
+        assert rows[0].approach.startswith("Broadcast")
+        assert rows[0].memory_value == 1_000_000
+
+    def test_memory_ordering(self):
+        rows = optimal.variant_table(1_000_000)
+        broadcast, generic, log, md, mdc = rows
+        # Broadcast uses far more memory/bandwidth than any AVMON variant.
+        assert broadcast.memory_value > md.memory_value > mdc.memory_value
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            optimal.variant_table(1)

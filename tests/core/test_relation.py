@@ -1,0 +1,107 @@
+"""Unit tests for the incremental monitor relation and pair counting."""
+
+import pytest
+
+from repro.core.condition import ConsistencyCondition
+from repro.core.relation import MonitorRelation, count_cross_pairs
+
+
+def brute_force_pairs(view_a, view_b):
+    pairs = set()
+    for u in view_a:
+        for v in view_b:
+            if u != v:
+                pairs.add((u, v))
+    for u in view_b:
+        for v in view_a:
+            if u != v:
+                pairs.add((u, v))
+    return pairs
+
+
+class TestCountCrossPairs:
+    def test_disjoint(self):
+        a, b = {1, 2, 3}, {4, 5}
+        assert count_cross_pairs(a, b) == len(brute_force_pairs(a, b))
+
+    def test_identical(self):
+        a = {1, 2, 3, 4}
+        assert count_cross_pairs(a, a) == len(brute_force_pairs(a, a))
+
+    def test_partial_overlap(self):
+        a, b = {1, 2, 3}, {3, 4}
+        assert count_cross_pairs(a, b) == len(brute_force_pairs(a, b))
+
+    def test_empty(self):
+        assert count_cross_pairs(set(), {1, 2}) == 0
+        assert count_cross_pairs(set(), set()) == 0
+
+    def test_singletons(self):
+        assert count_cross_pairs({1}, {1}) == 0
+        assert count_cross_pairs({1}, {2}) == 2
+
+
+@pytest.fixture
+def relation():
+    condition = ConsistencyCondition(k=12, n=60)
+    rel = MonitorRelation(condition)
+    rel.add_nodes(range(60))
+    return rel
+
+
+class TestDirectedSets:
+    def test_targets_match_condition(self, relation):
+        condition = relation.condition
+        for monitor in range(10):
+            expected = {v for v in range(60) if condition.holds(monitor, v)}
+            assert relation.targets_of(monitor) == expected
+
+    def test_monitors_match_condition(self, relation):
+        condition = relation.condition
+        for target in range(10):
+            expected = {u for u in range(60) if condition.holds(u, target)}
+            assert relation.monitors_of(target) == expected
+
+    def test_incremental_growth(self, relation):
+        before = set(relation.targets_of(0))
+        relation.add_nodes(range(60, 120))
+        after = relation.targets_of(0)
+        assert before <= after
+        condition = relation.condition
+        expected_new = {v for v in range(60, 120) if condition.holds(0, v)}
+        assert after - before == expected_new
+
+    def test_unknown_node_rejected(self, relation):
+        with pytest.raises(KeyError):
+            relation.targets_of(999)
+        with pytest.raises(KeyError):
+            relation.monitors_of(999)
+
+    def test_duplicate_add_ignored(self, relation):
+        size = relation.universe_size()
+        relation.add_node(5)
+        assert relation.universe_size() == size
+
+    def test_contains(self, relation):
+        assert 5 in relation
+        assert 999 not in relation
+
+
+class TestFindMatches:
+    def test_matches_brute_force(self, relation):
+        condition = relation.condition
+        view_a = {0, 1, 2, 3, 10, 11}
+        view_b = {3, 4, 5, 20, 21}
+        expected = {
+            (u, v)
+            for (u, v) in brute_force_pairs(view_a, view_b)
+            if condition.holds(u, v)
+        }
+        assert relation.find_matches(view_a, view_b) == expected
+
+    def test_no_self_pairs(self, relation):
+        matches = relation.find_matches({1, 2, 3}, {1, 2, 3})
+        assert all(u != v for u, v in matches)
+
+    def test_empty_views(self, relation):
+        assert relation.find_matches(set(), {1, 2}) == set()

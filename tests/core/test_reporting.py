@@ -1,0 +1,101 @@
+"""Unit tests for the "l out of K" reporting and verification helpers."""
+
+import pytest
+
+from repro.core.condition import ConsistencyCondition
+from repro.core.reporting import (
+    aggregate_availability,
+    audit_subject,
+    verify_monitor_report,
+)
+
+
+@pytest.fixture
+def condition():
+    return ConsistencyCondition(k=20, n=100)
+
+
+def genuine_monitors(condition, subject, count=3, limit=500):
+    found = [
+        u for u in range(limit) if u != subject and condition.holds(u, subject)
+    ]
+    assert len(found) >= count
+    return found[:count]
+
+
+def fake_monitor(condition, subject, limit=500):
+    return next(
+        u for u in range(limit) if u != subject and not condition.holds(u, subject)
+    )
+
+
+class TestVerifyMonitorReport:
+    def test_all_genuine_accepted(self, condition):
+        monitors = genuine_monitors(condition, 7)
+        verdict = verify_monitor_report(condition, 7, monitors, min_monitors=3)
+        assert verdict.satisfied
+        assert verdict.all_genuine
+        assert set(verdict.accepted) == set(monitors)
+
+    def test_fake_rejected(self, condition):
+        fake = fake_monitor(condition, 7)
+        verdict = verify_monitor_report(condition, 7, [fake])
+        assert not verdict.satisfied
+        assert verdict.rejected == (fake,)
+
+    def test_mixed_report(self, condition):
+        monitors = genuine_monitors(condition, 7, count=2)
+        fake = fake_monitor(condition, 7)
+        verdict = verify_monitor_report(
+            condition, 7, monitors + [fake], min_monitors=2
+        )
+        assert verdict.satisfied
+        assert not verdict.all_genuine
+        assert fake in verdict.rejected
+
+    def test_insufficient_count_fails_policy(self, condition):
+        monitors = genuine_monitors(condition, 7, count=1)
+        verdict = verify_monitor_report(condition, 7, monitors, min_monitors=2)
+        assert not verdict.satisfied
+
+    def test_duplicates_counted_once(self, condition):
+        monitor = genuine_monitors(condition, 7, count=1)[0]
+        verdict = verify_monitor_report(
+            condition, 7, [monitor, monitor, monitor], min_monitors=2
+        )
+        assert verdict.accepted == (monitor,)
+        assert not verdict.satisfied
+
+    def test_invalid_min_monitors(self, condition):
+        with pytest.raises(ValueError):
+            verify_monitor_report(condition, 7, [], min_monitors=0)
+
+
+class TestAggregation:
+    def test_average(self):
+        assert aggregate_availability([0.5, 1.0, 0.0]) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert aggregate_availability([]) == 0.0
+
+
+class TestAuditSubject:
+    def test_colluder_cannot_inflate(self, condition):
+        subject = 7
+        monitors = genuine_monitors(condition, subject, count=2)
+        fake = fake_monitor(condition, subject)
+        reports = {monitors[0]: 0.4, monitors[1]: 0.6, fake: 1.0}
+        verdict, aggregate = audit_subject(
+            condition, subject, monitors + [fake], reports, min_monitors=2
+        )
+        assert verdict.satisfied
+        # The fake 1.0 report is excluded from the aggregate.
+        assert aggregate == pytest.approx(0.5)
+
+    def test_missing_reports_tolerated(self, condition):
+        subject = 7
+        monitors = genuine_monitors(condition, subject, count=2)
+        verdict, aggregate = audit_subject(
+            condition, subject, monitors, {monitors[0]: 0.8}, min_monitors=1
+        )
+        assert aggregate == pytest.approx(0.8)

@@ -1,0 +1,38 @@
+"""Unit tests for the simulation-result cache."""
+
+from repro.experiments.cache import SimulationCache, default_cache
+from repro.experiments.scenarios import scenario
+
+
+class TestSimulationCache:
+    def test_memoises_identical_configs(self):
+        cache = SimulationCache()
+        config_a = scenario("STAT", 30, "test", seed=4)
+        config_b = scenario("STAT", 30, "test", seed=4)
+        first = cache.get(config_a)
+        second = cache.get(config_b)
+        assert first is second
+        assert len(cache) == 1
+
+    def test_distinct_seed_distinct_run(self):
+        cache = SimulationCache()
+        first = cache.get(scenario("STAT", 30, "test", seed=1))
+        second = cache.get(scenario("STAT", 30, "test", seed=2))
+        assert first is not second
+        assert len(cache) == 2
+
+    def test_avmon_overrides_change_key(self):
+        cache = SimulationCache()
+        config_a = scenario("STAT", 30, "test", seed=1)
+        config_b = scenario("STAT", 30, "test", seed=1)
+        config_b.avmon = config_b.resolved_avmon().with_overrides(enable_pr2=True)
+        assert cache.key_of(config_a) != cache.key_of(config_b)
+
+    def test_clear(self):
+        cache = SimulationCache()
+        cache.get(scenario("STAT", 30, "test", seed=1))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_default_cache_is_singleton(self):
+        assert default_cache() is default_cache()

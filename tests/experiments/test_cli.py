@@ -1,0 +1,38 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list_shows_all_experiments(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        assert "table1" in text
+        assert "fig20" in text
+
+    def test_run_table1(self):
+        out = io.StringIO()
+        assert main(["run", "table1", "--scale", "test"], out=out) == 0
+        assert "Broadcast" in out.getvalue()
+
+    def test_run_unknown_experiment(self):
+        out = io.StringIO()
+        assert main(["run", "fig99"], out=out) == 2
+
+    def test_parser_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--scale", "galactic"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_experiment_at_test_scale(self):
+        out = io.StringIO()
+        assert main(["run", "ext_baselines", "--scale", "test"], out=out) == 0
+        assert "DHT" in out.getvalue()

@@ -1,0 +1,163 @@
+"""Smoke tests: every registered experiment runs at test scale.
+
+One shared cache keeps the total cost low — most figures reuse the same
+base simulations.  Each test asserts structural properties of the computed
+series, not just that rendering succeeds.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ext_baselines,
+    fig03_discovery,
+    fig04_05_cdf,
+    fig06_l_monitors,
+    fig07_08_computation,
+    fig09_10_memory,
+    fig11_12_cvs_sweep,
+    fig13_14_traces,
+    fig15_16_high_churn,
+    fig17_18_forgetful,
+    fig19_bandwidth,
+    fig20_overreport,
+    table1,
+)
+from repro.experiments.cache import SimulationCache
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.scenarios import n_values
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return SimulationCache()
+
+
+class TestFigureComputations:
+    def test_fig3_rows(self, cache):
+        rows = fig03_discovery.compute("test", cache)
+        assert len(rows) == 3 * len(n_values("test"))
+        for model, n, avg, std, count in rows:
+            assert model in fig03_discovery.MODELS
+            assert avg >= 0.0
+            assert count > 0
+
+    def test_fig3_discovery_below_two_periods(self, cache):
+        rows = fig03_discovery.compute("test", cache)
+        for model, n, avg, std, count in rows:
+            assert avg < 120.0, f"{model} N={n} discovery too slow: {avg}"
+
+    def test_fig4_5_cdfs(self, cache):
+        data = fig04_05_cdf.compute("STAT", "test", cache)
+        for n, info in data.items():
+            fractions = [f for _, f in info["cdf"]]
+            assert fractions == sorted(fractions)
+            assert info["within_60s"] >= info["within_30s"]
+
+    def test_fig6_l_monitor_ordering(self, cache):
+        rows = fig06_l_monitors.compute("test", cache)
+        by_model = {}
+        for model, n, level, avg, count in rows:
+            by_model.setdefault(model, {})[level] = avg
+        for model, levels in by_model.items():
+            if all(levels.get(l, 0) > 0 for l in (1, 2)):
+                assert levels[1] <= levels[2] * 1.5 + 60.0
+
+    def test_fig7_rates_positive(self, cache):
+        rows = fig07_08_computation.compute_fig7("test", cache)
+        for model, n, avg, std, expected in rows:
+            assert avg > 0.0
+            assert expected > 0.0
+            # Measured should be within a small factor of 2*cvs^2/T.
+            assert 0.2 * expected < avg < 4.0 * expected
+
+    def test_fig8_cdf_structure(self, cache):
+        data = fig07_08_computation.compute_fig8("test", cache)
+        assert data
+        for points in data.values():
+            assert points[-1][1] == 1.0
+
+    def test_fig9_memory_near_expected(self, cache):
+        rows = fig09_10_memory.compute_fig9("test", cache)
+        for model, n, avg, std, expected in rows:
+            assert 0.4 * expected < avg < 2.5 * expected
+
+    def test_fig11_12_sweep(self, cache):
+        rows = fig11_12_cvs_sweep.compute("test", cache)
+        multipliers = {row[1] for row in rows}
+        assert multipliers == set(fig11_12_cvs_sweep.MULTIPLIERS)
+        # Memory grows with cvs at fixed N.
+        by_n = {}
+        for n, mult, cvs, disc, dstd, mem, comps in rows:
+            by_n.setdefault(n, []).append((cvs, mem))
+        for pairs in by_n.values():
+            ordered = sorted(pairs)
+            memories = [m for _, m in ordered]
+            assert memories == sorted(memories)
+
+    def test_fig13_14_traces(self, cache):
+        data = fig13_14_traces.compute("test", cache)
+        assert set(data) == {"PL", "OV"}
+        for info in data.values():
+            assert info["n_longterm"] > 0
+            assert 0.0 <= info["within_63s"] <= 1.0
+
+    def test_fig15_16_high_churn(self, cache):
+        data = fig15_16_high_churn.compute_fig15("test", cache)
+        assert set(data) == {"SYNTH-BD", "SYNTH-BD2"}
+        rows = fig15_16_high_churn.compute_fig16("test", cache)
+        assert len(rows) == 2 * len(n_values("test"))
+
+    def test_fig17_forgetful_accuracy(self, cache):
+        data = fig17_18_forgetful.compute_fig17("test", cache)
+        assert set(data) == {"forgetful", "non-forgetful"}
+        for info in data.values():
+            assert info["ratios"]
+
+    def test_fig18_forgetful_saves_pings(self, cache):
+        rows = fig17_18_forgetful.compute_fig18("test", cache)
+        by_variant = {}
+        for variant, n, avg, std in rows:
+            by_variant.setdefault(variant, []).append(avg)
+        forgetful = sum(by_variant["forgetful"])
+        non = sum(by_variant["non-forgetful"])
+        assert forgetful < non
+
+    def test_fig19_bandwidth(self, cache):
+        data = fig19_bandwidth.compute("test", cache)
+        assert set(data) == {"STAT", "STAT-PR2", "OV"}
+        for info in data.values():
+            assert info["rates"]
+            assert info["max"] < 500.0
+
+    def test_fig20_attack(self, cache):
+        rows = fig20_overreport.compute("test", cache)
+        zero_rows = [r for r in rows if r[1] == 0.0]
+        for system, fraction, affected, audited in zero_rows:
+            assert affected <= 0.05, f"{system}: honest run shows {affected}"
+
+    def test_table1(self):
+        rows = table1.compute(1_000_000)
+        assert len(rows) == 5
+        text = table1.render(rows)
+        assert "Broadcast" in text
+
+    def test_ext_baselines(self):
+        data = ext_baselines.compute(n=80, churn_events=30)
+        assert data["dht_monitor_set_changes"] > 0
+        assert data["avmon_monitor_sets_losing_members"] == 0
+        assert data["broadcast_join_messages"] > data["avmon_join_messages"]
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        expected = {f"fig{i}" for i in range(3, 21)} | {"table1", "ext_baselines"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+    def test_cheap_experiments_render(self, cache):
+        for experiment_id in ("table1", "ext_baselines", "fig3"):
+            text = run_experiment(experiment_id, "test", cache)
+            assert len(text) > 50

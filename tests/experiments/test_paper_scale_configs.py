@@ -1,0 +1,85 @@
+"""Sanity checks that paper-scale parameterisations match Section 5.
+
+These do NOT run paper-scale simulations (that is a CPU-budget decision
+for the user); they verify the *configurations* the `--scale paper` path
+would execute are exactly the paper's.
+"""
+
+import math
+
+import pytest
+
+from repro.core import optimal
+from repro.experiments.scenarios import (
+    n_values,
+    overnet_scenario,
+    planetlab_scenario,
+    scenario,
+)
+
+
+class TestSyntheticPaperScale:
+    def test_n_sweep(self):
+        assert n_values("paper") == [100, 500, 1000, 2000]
+
+    @pytest.mark.parametrize("n", [100, 500, 1000, 2000])
+    def test_avmon_defaults(self, n):
+        config = scenario("STAT", n, "paper")
+        avmon = config.resolved_avmon()
+        assert avmon.k == round(math.log2(n))
+        assert avmon.cvs == round(4 * n**0.25)
+        assert avmon.protocol_period == 60.0
+        assert avmon.monitoring_period == 60.0
+        assert avmon.forgetful_tau == 120.0
+        assert avmon.forgetful_c == 1.0
+        assert avmon.hash_algorithm == "md5"
+
+    def test_run_length_is_48_hours(self):
+        config = scenario("SYNTH", 2000, "paper")
+        assert config.duration == 48 * 3600.0
+        assert config.warmup == 3600.0
+
+    def test_synth_churn_rate(self):
+        config = scenario("SYNTH", 2000, "paper")
+        # lambda_l = lambda_r = 0.2N/60 per minute == 20%/hour per node.
+        assert config.churn_per_hour == pytest.approx(0.2)
+
+    def test_synth_bd_birth_death_rate(self):
+        config = scenario("SYNTH-BD", 2000, "paper")
+        assert config.birth_death_per_day == pytest.approx(0.2, rel=0.05)
+
+    def test_control_group_fraction(self):
+        config = scenario("STAT", 1000, "paper")
+        assert config.control_fraction == 0.1
+
+    def test_n2000_expected_memory(self):
+        # Section 5.1: N=2000 -> K=11, cvs=27, expected 49 entries.
+        config = scenario("STAT", 2000, "paper")
+        avmon = config.resolved_avmon()
+        assert avmon.k == 11
+        assert avmon.cvs == 27
+        assert avmon.expected_memory_entries == 49.0
+
+
+class TestTracePaperScale:
+    def test_planetlab_parameters(self):
+        config = planetlab_scenario("paper")
+        # Section 5.3: N = 239, K = 8, cvs = 16.
+        assert config.n == 239
+        avmon = config.resolved_avmon()
+        assert avmon.k == 8
+        assert avmon.cvs == 16
+        assert config.trace.duration == 48 * 3600.0
+
+    def test_overnet_parameters(self):
+        config = overnet_scenario("paper")
+        # Section 5.3: N = 550, K = 9, cvs = 19.
+        assert config.n == 550
+        avmon = config.resolved_avmon()
+        assert avmon.k == 9
+        assert avmon.cvs == 19
+
+    def test_paper_example_constants(self):
+        # Section 4.2's running example: N = 1e6 -> cvs = 32, K = 20.
+        assert optimal.cvs_optimal_mdc(1_000_000) == 32
+        assert round(math.log2(1_000_000)) == 20

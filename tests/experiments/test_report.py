@@ -1,0 +1,60 @@
+"""Unit tests for text-report rendering."""
+
+from repro.experiments.report import format_cdf, format_kv, format_table, indent
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2.5), (100, 0.123456)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        header, rule, row1, row2 = lines
+        assert header.startswith("a")
+        assert set(rule) <= {"-", " "}
+        # Columns aligned: all lines same length-ish structure.
+        assert row1.index("2.500") == row2.index("0.123")
+
+    def test_large_numbers_group_separated(self):
+        text = format_table(("n",), [(1_000_000.0,)])
+        assert "1,000,000" in text
+
+    def test_empty_rows(self):
+        text = format_table(("x", "y"), [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatCdf:
+    def test_downsampled(self):
+        points = [(float(i), (i + 1) / 100.0) for i in range(100)]
+        text = format_cdf(points, max_rows=10)
+        # Header + rule + 10 rows.
+        assert len(text.splitlines()) == 12
+        assert "0.99" in text or "1.000" in text
+
+    def test_short_cdf_untouched(self):
+        points = [(1.0, 0.5), (2.0, 1.0)]
+        text = format_cdf(points)
+        assert len(text.splitlines()) == 4
+
+    def test_empty(self):
+        assert format_cdf([]) == "(empty CDF)"
+
+    def test_last_point_always_included(self):
+        points = [(float(i), (i + 1) / 30.0) for i in range(30)]
+        text = format_cdf(points, max_rows=5)
+        assert "29" in text
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        text = format_kv([("short", 1), ("a much longer key", 2.5)])
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv([]) == ""
+
+
+class TestIndent:
+    def test_prefixes_every_line(self):
+        assert indent("a\nb", "> ") == "> a\n> b"

@@ -1,0 +1,80 @@
+"""Unit tests for scenario presets."""
+
+import pytest
+
+from repro.experiments import scenarios
+
+
+class TestScales:
+    def test_n_values_ordered(self):
+        for scale in scenarios.SCALES:
+            values = scenarios.n_values(scale)
+            assert values == sorted(values)
+            assert all(v > 1 for v in values)
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            scenarios.n_values("huge")
+        with pytest.raises(ValueError):
+            scenarios.scenario("STAT", 100, "huge")
+
+    def test_paper_scale_matches_paper(self):
+        assert scenarios.n_values("paper") == [100, 500, 1000, 2000]
+        config = scenarios.scenario("STAT", 2000, "paper")
+        assert config.warmup == 3600.0
+        assert config.duration == 48 * 3600.0
+
+
+class TestScenario:
+    def test_basic_fields(self):
+        config = scenarios.scenario("SYNTH", 120, "bench", seed=5)
+        assert config.model == "SYNTH"
+        assert config.n == 120
+        assert config.seed == 5
+        assert config.duration > config.warmup
+
+    def test_bd_rate_scaled_for_cumulative_births(self):
+        config = scenarios.scenario("SYNTH-BD", 100, "bench")
+        duration_days = config.duration / 86400.0
+        assert config.birth_death_per_day == pytest.approx(0.4 / duration_days)
+
+    def test_bd_rate_at_paper_scale_is_paper_rate(self):
+        config = scenarios.scenario("SYNTH-BD", 2000, "paper")
+        assert config.birth_death_per_day == pytest.approx(0.2, rel=0.05)
+
+    def test_bd_rate_override_respected(self):
+        config = scenarios.scenario("SYNTH-BD", 100, "bench", birth_death_per_day=1.0)
+        assert config.birth_death_per_day == 1.0
+
+    def test_synth_rate_untouched(self):
+        config = scenarios.scenario("SYNTH", 100, "bench")
+        assert config.birth_death_per_day == 0.2  # irrelevant for SYNTH
+
+
+class TestTraces:
+    def test_trace_cached(self):
+        first = scenarios.trace_for("PL", "test")
+        second = scenarios.trace_for("PL", "test")
+        assert first is second
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            scenarios.trace_for("XYZ", "test")
+
+    def test_planetlab_scenario(self):
+        config = scenarios.planetlab_scenario("test")
+        assert config.model == "PL"
+        assert config.trace is not None
+        assert config.is_trace_model
+        assert config.duration <= config.trace.duration
+
+    def test_overnet_scenario(self):
+        config = scenarios.overnet_scenario("test")
+        assert config.model == "OV"
+        assert config.trace is not None
+        # Stable size estimate: half the population (availability ~0.5).
+        assert config.n == pytest.approx(len(config.trace) / 2, rel=0.2)
+
+    def test_scenario_overrides_forwarded(self):
+        config = scenarios.overnet_scenario("test", overreport_fraction=0.1)
+        assert config.overreport_fraction == 0.1

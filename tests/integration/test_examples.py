@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable.  Each is executed in-process (imported as a module and its
+``main`` called) with stdout captured.
+"""
+
+import importlib.util
+import io
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = load_module(path)
+    module.main()
+    captured = capsys.readouterr()
+    assert len(captured.out) > 100, f"{path.stem} produced little output"
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

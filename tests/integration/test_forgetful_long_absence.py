@@ -1,0 +1,68 @@
+"""Targeted test of forgetful pinging's purpose: dead nodes stop costing.
+
+Constructs the exact scenario §3.3 motivates — a monitored node dies
+silently — and checks that with forgetful pinging the monitor's ping rate
+to the dead target decays, while without it the monitor pings forever.
+"""
+
+import pytest
+
+from repro.experiments.runner import SimulationConfig, run_simulation
+
+
+def run_with(forgetful: bool):
+    config = SimulationConfig(
+        model="STAT", n=40, duration=1500.0, warmup=1200.0, seed=37
+    )
+    config.avmon = config.resolved_avmon().with_overrides(
+        enable_forgetful=forgetful,
+        forgetful_tau=120.0,
+    )
+    result = run_simulation(config)
+    cluster = result.cluster
+    sim = cluster.sim
+
+    # Pick a monitored node and kill it for good.
+    victim = next(
+        node_id
+        for node_id, node in cluster.nodes.items()
+        if any(victim_in(node_id, other) for other in cluster.nodes.values())
+    )
+    monitors = [
+        node
+        for node in cluster.nodes.values()
+        if victim in node.ts and node.store.get(victim) is not None
+    ]
+    assert monitors, "victim must already be monitored"
+    baseline_sent = {m.id: m.store.record_for(victim).pings_sent for m in monitors}
+    cluster.take_down(victim, death=True)
+
+    # One hour of post-death monitoring.
+    sim.run_until(sim.now + 3600.0)
+    extra = {
+        m.id: m.store.record_for(victim).pings_sent - baseline_sent[m.id]
+        for m in monitors
+    }
+    return extra
+
+
+def victim_in(node_id, other):
+    return node_id in other.ts
+
+
+class TestForgetfulLongAbsence:
+    def test_forgetful_decays_ping_rate(self):
+        extra = run_with(forgetful=True)
+        # 60 monitoring periods post-death; forgetful pinging must send
+        # well under that (probability decays as ts/(ts+t) once t > tau).
+        assert all(count < 45 for count in extra.values()), extra
+
+    def test_non_forgetful_pings_forever(self):
+        extra = run_with(forgetful=False)
+        # Every period fires a ping at the dead node, minus phase effects.
+        assert all(count >= 55 for count in extra.values()), extra
+
+    def test_forgetful_saves_versus_non(self):
+        forgetful_total = sum(run_with(forgetful=True).values())
+        non_total = sum(run_with(forgetful=False).values())
+        assert forgetful_total < 0.8 * non_total

@@ -1,0 +1,64 @@
+"""Integration tests of the JOIN-spread analysis (§4.1) and load balance (§1 goal 5)."""
+
+import pytest
+
+from repro.experiments.runner import SimulationConfig, run_simulation
+from repro.metrics import stats
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_simulation(
+        SimulationConfig(model="STAT", n=80, duration=3000.0, warmup=900.0, seed=19)
+    )
+
+
+class TestJoinSpread:
+    def test_join_reaches_about_cvs_views(self, result):
+        """After a control node joins, ~cvs other nodes should hold it in
+        their coarse views (the JOIN tree's purpose).  Reshuffling moves
+        entries around but preserves the expected count."""
+        cluster = result.cluster
+        cvs = result.avmon_config.cvs
+        counts = []
+        for control in cluster.control_nodes:
+            holders = sum(
+                1
+                for node in cluster.nodes.values()
+                if node.id != control and control in node.cv
+            )
+            counts.append(holders)
+        average = stats.mean(counts)
+        assert 0.4 * cvs < average < 2.5 * cvs
+
+    def test_established_nodes_equally_represented(self, result):
+        """In steady state every node appears in ~cvs coarse views: the
+        in-degree of the coarse overlay is balanced."""
+        cluster = result.cluster
+        cvs = result.avmon_config.cvs
+        initial = [n for n in cluster.nodes if n < 80]
+        indegree = {n: 0 for n in initial}
+        for node in cluster.nodes.values():
+            for neighbour in node.cv:
+                if neighbour in indegree:
+                    indegree[neighbour] += 1
+        values = list(indegree.values())
+        assert 0.5 * cvs < stats.mean(values) < 2.0 * cvs
+
+
+class TestLoadBalance:
+    def test_computation_spread_uniform(self, result):
+        rates = result.computation_rates(control_only=False)
+        positive = [r for r in rates if r > 0]
+        assert positive
+        assert max(positive) < 4.0 * stats.mean(positive)
+
+    def test_bandwidth_spread_uniform(self, result):
+        rates = result.bandwidth_rates()
+        assert max(rates) < 5.0 * stats.mean(rates)
+
+    def test_monitoring_duty_spread(self, result):
+        ts_sizes = [len(node.ts) for node in result.cluster.nodes.values()]
+        k = result.avmon_config.k
+        assert stats.mean(ts_sizes) < 2.0 * k
+        assert max(ts_sizes) < 5.0 * k

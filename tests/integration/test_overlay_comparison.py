@@ -1,0 +1,88 @@
+"""Cross-baseline overlay comparison: AVMON's coarse view vs CYCLON.
+
+Section 2 positions AVMON's view maintenance as a simplification of
+CYCLON; both should produce well-mixed random overlays.  This test puts
+numbers behind that: after equal mixing time, both overlays' in-degree
+distributions are balanced and their clustering is near the random-graph
+level — while AVMON additionally discovered its monitoring relationships,
+which CYCLON (membership only) cannot.
+"""
+
+import pytest
+
+from repro.baselines.cyclon import CyclonOverlay
+from repro.experiments.runner import SimulationConfig, run_simulation
+from repro.metrics import stats
+
+
+@pytest.fixture(scope="module")
+def avmon_result():
+    return run_simulation(
+        SimulationConfig(model="STAT", n=100, duration=2700.0, warmup=600.0, seed=53)
+    )
+
+
+@pytest.fixture(scope="module")
+def cyclon_overlay(avmon_result):
+    cvs = avmon_result.avmon_config.cvs
+    overlay = CyclonOverlay(
+        population=100, capacity=cvs, shuffle_size=max(2, cvs // 2), seed=53
+    )
+    # Same number of shuffle rounds as AVMON protocol periods.
+    rounds = int((2700.0 - 600.0) / 60.0)
+    overlay.run(rounds)
+    return overlay
+
+
+def avmon_indegrees(result):
+    counts = {node_id: 0 for node_id in result.cluster.nodes}
+    for node in result.cluster.nodes.values():
+        for neighbour in node.cv:
+            if neighbour in counts:
+                counts[neighbour] += 1
+    return list(counts.values())
+
+
+class TestOverlayQuality:
+    def test_mean_indegrees_match_capacity(self, avmon_result, cyclon_overlay):
+        avmon = avmon_indegrees(avmon_result)
+        cyclon = list(cyclon_overlay.indegree_distribution().values())
+        cvs = avmon_result.avmon_config.cvs
+        assert stats.mean(avmon) == pytest.approx(cvs, rel=0.25)
+        assert stats.mean(cyclon) == pytest.approx(cvs, rel=0.25)
+
+    def test_cyclon_indegree_tight_avmon_tail_heavier(
+        self, avmon_result, cyclon_overlay
+    ):
+        """CYCLON's swap-based shuffle keeps in-degree tight; AVMON's
+        union-resample drifts toward an in-degree tail on static networks —
+        exactly the 'indegree degradation owing to the static nature of
+        STAT' the paper observes in Figure 19 (and PR2 exists to patch)."""
+        avmon = avmon_indegrees(avmon_result)
+        cyclon = list(cyclon_overlay.indegree_distribution().values())
+        assert max(cyclon) < 2.0 * stats.mean(cyclon)
+        assert max(avmon) > max(cyclon)
+
+    def test_avmon_clustering_near_random(self, avmon_result):
+        """Sampled neighbour pairs should rarely be linked (~cvs/N)."""
+        import random
+
+        cluster = avmon_result.cluster
+        rng = random.Random(5)
+        nodes = [n for n in cluster.nodes.values() if len(n.cv) >= 2]
+        checked = closed = 0
+        for _ in range(400):
+            node = nodes[rng.randrange(len(nodes))]
+            a, b = rng.sample(node.cv.entries(), 2)
+            checked += 1
+            if b in cluster.nodes[a].cv:
+                closed += 1
+        cvs = avmon_result.avmon_config.cvs
+        assert closed / checked < 4.0 * cvs / 100.0
+
+    def test_only_avmon_discovers_monitors(self, avmon_result, cyclon_overlay):
+        discovered = sum(len(n.ps) for n in avmon_result.cluster.nodes.values())
+        assert discovered > 0
+        # CYCLON has no notion of monitoring relationships at all — the
+        # point of AVMON's Figure-2 piggybacking.
+        assert not hasattr(next(iter(cyclon_overlay.nodes.values())), "ps")

@@ -1,0 +1,58 @@
+"""Targeted test of the PR2 optimisation (§5.4).
+
+PR2: a node that has not received a monitoring ping for two successive
+protocol periods forces itself into its coarse-view members' views.  The
+realistic trigger is a node whose monitors all departed: monitoring pings
+stop arriving, and PR2 pushes the node back into its neighbours' views so
+it gets rediscovered quickly.
+"""
+
+import pytest
+
+from repro.experiments.runner import SimulationConfig, run_simulation
+
+
+def kill_monitors_and_run(enable_pr2: bool, horizon: float = 600.0):
+    config = SimulationConfig(
+        model="STAT", n=40, duration=1500.0, warmup=1200.0, seed=41
+    )
+    config.avmon = config.resolved_avmon().with_overrides(enable_pr2=enable_pr2)
+    result = run_simulation(config)
+    cluster = result.cluster
+    sim = cluster.sim
+
+    subject = next(
+        node_id for node_id, node in cluster.nodes.items() if len(node.ps) >= 2
+    )
+    node = cluster.nodes[subject]
+    for monitor in list(node.ps):
+        if cluster.is_alive(monitor):
+            cluster.take_down(monitor, death=True)
+    sim.run_until(sim.now + horizon)
+
+    neighbours = [n for n in node.cv.entries() if cluster.is_alive(n)]
+    held_by = sum(
+        1 for n in neighbours if subject in cluster.nodes[n].cv
+    )
+    return node, neighbours, held_by
+
+
+class TestPr2:
+    def test_pr2_forces_presence_in_neighbour_views(self):
+        node, neighbours, held_by = kill_monitors_and_run(enable_pr2=True)
+        assert neighbours
+        # PR2 refreshes every 2 periods while unpinged: the node's current
+        # CV members must hold it.
+        assert held_by >= 0.6 * len(neighbours), (held_by, len(neighbours))
+
+    def test_vanilla_presence_is_only_statistical(self):
+        node, neighbours, held_by = kill_monitors_and_run(enable_pr2=False)
+        assert neighbours
+        # Without PR2 presence in specific neighbours' views is just the
+        # background cvs/N ~ 25% chance; it cannot be near-universal.
+        assert held_by <= 0.6 * len(neighbours), (held_by, len(neighbours))
+
+    def test_pr2_strictly_improves_presence(self):
+        _, with_neigh, with_pr2 = kill_monitors_and_run(enable_pr2=True)
+        _, without_neigh, without = kill_monitors_and_run(enable_pr2=False)
+        assert with_pr2 / len(with_neigh) > without / len(without_neigh)

@@ -1,0 +1,78 @@
+"""Integration tests of leave/rejoin dynamics and persistent state.
+
+The system model lets nodes leave and rejoin arbitrarily; rejoining nodes
+keep persistent PS/TS/availability state, announce themselves with a
+downtime-proportional JOIN weight, and resume monitoring.
+"""
+
+import pytest
+
+from repro.experiments.runner import SimulationConfig, run_simulation
+
+
+@pytest.fixture(scope="module")
+def result():
+    # High churn so nodes cycle several times within the run.
+    return run_simulation(
+        SimulationConfig(
+            model="SYNTH",
+            n=50,
+            duration=3600.0,
+            warmup=600.0,
+            seed=31,
+            churn_per_hour=6.0,  # 10-minute mean sessions
+        )
+    )
+
+
+class TestRejoinDynamics:
+    def test_nodes_actually_cycled(self, result):
+        cluster = result.cluster
+        multi_session = [
+            node
+            for node in cluster.nodes
+            if len(cluster._uptime[node]) >= 2
+        ]
+        assert len(multi_session) > 10
+
+    def test_persistent_state_survives_rejoin(self, result):
+        cluster = result.cluster
+        # Nodes with multiple sessions that monitor someone still hold
+        # their records (persistent storage).
+        for node_id, node in cluster.nodes.items():
+            if len(cluster._uptime[node_id]) >= 2 and node.ts:
+                assert len(node.store) >= len(node.ts)
+
+    def test_rejoined_nodes_rediscovered(self, result):
+        # Rejoining nodes are still being monitored: their monitors' records
+        # show answered pings across multiple sessions.
+        cluster = result.cluster
+        answered = 0
+        for node in cluster.nodes.values():
+            for record in node.store.records():
+                answered += record.pings_answered
+        assert answered > 0
+
+    def test_monitoring_estimates_track_churned_availability(self, result):
+        # With 0.5 expected availability, audited estimates should not all
+        # sit at 1.0 (they must reflect downtime).
+        audits = result.availability_audit(control_only=False, alive_only=True)
+        assert audits
+        estimates = [estimate for estimate, _ in audits.values()]
+        assert min(estimates) < 0.9
+
+    def test_coarse_views_stay_bounded_under_cycling(self, result):
+        cvs = result.avmon_config.cvs
+        for node in result.cluster.nodes.values():
+            assert len(node.cv) <= cvs
+
+    def test_uptime_intervals_well_formed(self, result):
+        cluster = result.cluster
+        end = result.config.duration
+        for node, intervals in cluster._uptime.items():
+            previous_end = -1.0
+            for start, stop in intervals:
+                closed = stop if stop is not None else end
+                assert start >= previous_end
+                assert closed >= start
+                previous_end = closed

@@ -1,0 +1,71 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.metrics.ascii_plot import histogram, plot_cdf, plot_series
+
+
+class TestPlotCdf:
+    def test_renders_axes_and_legend(self):
+        series = {"STAT": [(0.0, 0.1), (10.0, 0.5), (30.0, 1.0)]}
+        text = plot_cdf(series, width=30, height=6)
+        assert "1.0 |" in text
+        assert "0.0 |" in text
+        assert "o = STAT" in text
+
+    def test_multiple_series_distinct_markers(self):
+        series = {
+            "a": [(0.0, 0.5), (5.0, 1.0)],
+            "b": [(0.0, 0.3), (5.0, 0.9)],
+        }
+        text = plot_cdf(series, width=20, height=5)
+        assert "o = a" in text
+        assert "x = b" in text
+
+    def test_empty(self):
+        assert plot_cdf({}) == "(no series)"
+        assert plot_cdf({"a": []}) == "(empty series)"
+
+    def test_x_range_printed(self):
+        text = plot_cdf({"a": [(2.5, 0.5), (7.5, 1.0)]}, width=30)
+        assert "2.5" in text
+        assert "7.5" in text
+
+
+class TestPlotSeries:
+    def test_renders_bounds(self):
+        text = plot_series([(0.0, 1.0), (10.0, 5.0)], width=20, height=5)
+        assert "1" in text
+        assert "5" in text
+        assert "o" in text
+
+    def test_empty(self):
+        assert plot_series([]) == "(no points)"
+
+    def test_flat_series(self):
+        text = plot_series([(0.0, 3.0), (5.0, 3.0)], width=10, height=4)
+        assert "o" in text
+
+
+class TestHistogram:
+    def test_bin_counts_sum(self):
+        values = [1.0, 2.0, 2.5, 3.0, 9.0]
+        text = histogram(values, bins=4, width=20)
+        counts = [int(line.rsplit("(", 1)[1].rstrip(")")) for line in text.splitlines()]
+        assert sum(counts) == len(values)
+
+    def test_single_value(self):
+        text = histogram([4.2, 4.2], bins=3)
+        assert "#" in text
+        assert "(2)" in text
+
+    def test_empty(self):
+        assert histogram([]) == "(no values)"
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+    def test_peak_bar_full_width(self):
+        text = histogram([1.0] * 10 + [5.0], bins=2, width=30)
+        assert "#" * 30 in text

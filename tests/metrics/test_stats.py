@@ -1,0 +1,76 @@
+"""Unit tests for the statistics helpers."""
+
+import pytest
+
+from repro.metrics import stats
+
+
+class TestMeanStd:
+    def test_mean(self):
+        assert stats.mean([1.0, 2.0, 3.0]) == 2.0
+        assert stats.mean([]) == 0.0
+
+    def test_std(self):
+        assert stats.std([2.0, 2.0, 2.0]) == 0.0
+        assert stats.std([0.0, 2.0]) == pytest.approx(1.0)
+        assert stats.std([5.0]) == 0.0
+
+
+class TestPercentile:
+    def test_bounds(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert stats.percentile(values, 0) == 1.0
+        assert stats.percentile(values, 100) == 4.0
+
+    def test_median_interpolation(self):
+        assert stats.percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert stats.percentile([7.0], 90) == 7.0
+
+    def test_empty(self):
+        assert stats.percentile([], 50) == 0.0
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            stats.percentile([1.0], 150)
+
+
+class TestCdf:
+    def test_points_monotone_to_one(self):
+        points = stats.cdf_points([3.0, 1.0, 2.0, 2.0])
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_duplicates_collapsed(self):
+        points = stats.cdf_points([1.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(2 / 3)), (2.0, 1.0)]
+
+    def test_empty(self):
+        assert stats.cdf_points([]) == []
+
+    def test_fraction_below(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert stats.fraction_below(values, 2.5) == 0.5
+        assert stats.fraction_below(values, 0.0) == 0.0
+        assert stats.fraction_below(values, 4.0) == 1.0
+        assert stats.fraction_below([], 1.0) == 0.0
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = stats.summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.median == 3.0
+        assert summary.maximum == 5.0
+        assert summary.p90 == pytest.approx(4.6)
+
+    def test_empty(self):
+        summary = stats.summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0

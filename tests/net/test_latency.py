@@ -1,0 +1,56 @@
+"""Unit tests for latency models."""
+
+import pytest
+
+from repro.net.latency import ConstantLatency, LogNormalLatency, UniformLatency
+
+
+class TestConstantLatency:
+    def test_returns_delay(self, rng):
+        model = ConstantLatency(0.2)
+        assert model.sample(rng) == 0.2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.1)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self, rng):
+        model = UniformLatency(0.01, 0.05)
+        for _ in range(200):
+            value = model.sample(rng)
+            assert 0.01 <= value <= 0.05
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.1, 0.05)
+        with pytest.raises(ValueError):
+            UniformLatency(-0.1, 0.05)
+
+    def test_spreads_over_range(self, rng):
+        model = UniformLatency(0.0, 1.0)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert min(samples) < 0.2
+        assert max(samples) > 0.8
+
+
+class TestLogNormalLatency:
+    def test_positive_and_capped(self, rng):
+        model = LogNormalLatency(median=0.05, sigma=1.0, cap=0.5)
+        for _ in range(500):
+            value = model.sample(rng)
+            assert 0.0 < value <= 0.5
+
+    def test_median_roughly_respected(self, rng):
+        model = LogNormalLatency(median=0.06, sigma=0.3, cap=10.0)
+        samples = sorted(model.sample(rng) for _ in range(1001))
+        assert samples[500] == pytest.approx(0.06, rel=0.3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(sigma=0.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(cap=0.0)

@@ -1,0 +1,186 @@
+"""Unit tests for the simulated network and hosts."""
+
+import random
+
+import pytest
+
+from repro.core.messages import CvPing
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network, SimHost
+from repro.sim.engine import Simulator
+
+
+class Recorder:
+    """Minimal protocol node capturing deliveries."""
+
+    def __init__(self):
+        self.received = []
+        self.left_at = None
+
+    def handle_message(self, message):
+        self.received.append(message)
+
+    def on_leave(self, now):
+        self.left_at = now
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    network = Network(sim, latency=ConstantLatency(0.1), rng=random.Random(1))
+    return sim, network
+
+
+def add_host(network, node_id, up=True):
+    host = SimHost(network, node_id, random.Random(node_id))
+    recorder = Recorder()
+    host.attach(recorder)
+    if up:
+        host.bring_up()
+    return host, recorder
+
+
+class TestRegistry:
+    def test_register_and_lookup(self, net):
+        _, network = net
+        host, _ = add_host(network, 1)
+        assert network.host(1) is host
+        assert 1 in network
+
+    def test_duplicate_rejected(self, net):
+        _, network = net
+        add_host(network, 1)
+        with pytest.raises(ValueError):
+            SimHost(network, 1, random.Random(0))
+
+
+class TestAliveness:
+    def test_alive_tracking(self, net):
+        _, network = net
+        host, _ = add_host(network, 1)
+        assert network.is_alive(1)
+        assert network.alive_count() == 1
+        host.take_down()
+        assert not network.is_alive(1)
+        assert network.alive_count() == 0
+
+    def test_random_alive_excludes(self, net):
+        _, network = net
+        add_host(network, 1)
+        add_host(network, 2)
+        for _ in range(20):
+            assert network.random_alive(exclude=1) == 2
+
+    def test_random_alive_empty(self, net):
+        _, network = net
+        assert network.random_alive() is None
+
+    def test_random_alive_single_excluded(self, net):
+        _, network = net
+        add_host(network, 1)
+        assert network.random_alive(exclude=1) is None
+
+    def test_swap_remove_consistency(self, net):
+        _, network = net
+        hosts = [add_host(network, node_id)[0] for node_id in range(10)]
+        hosts[3].take_down()
+        hosts[7].take_down()
+        alive = set(network.alive_ids())
+        assert alive == {0, 1, 2, 4, 5, 6, 8, 9}
+        hosts[3].bring_up()
+        assert set(network.alive_ids()) == alive | {3}
+
+
+class TestDelivery:
+    def test_message_delivered_with_latency(self, net):
+        sim, network = net
+        add_host(network, 1)
+        _, recorder = add_host(network, 2)
+        network.send(1, 2, CvPing(sender=1, seq=7))
+        sim.run_until(0.05)
+        assert recorder.received == []
+        sim.run_until(0.2)
+        assert recorder.received == [CvPing(sender=1, seq=7)]
+
+    def test_down_destination_drops(self, net):
+        sim, network = net
+        add_host(network, 1)
+        host2, recorder = add_host(network, 2)
+        host2.take_down()
+        network.send(1, 2, CvPing(sender=1))
+        sim.run_until(1.0)
+        assert recorder.received == []
+        assert network.dropped_messages == 1
+
+    def test_departure_in_flight_drops(self, net):
+        sim, network = net
+        add_host(network, 1)
+        host2, recorder = add_host(network, 2)
+        network.send(1, 2, CvPing(sender=1))
+        host2.take_down()  # leaves before delivery
+        sim.run_until(1.0)
+        assert recorder.received == []
+
+    def test_bytes_charged_to_sender(self, net):
+        _, network = net
+        add_host(network, 1)
+        add_host(network, 2)
+        message = CvPing(sender=1)
+        network.send(1, 2, message)
+        assert network.accountant.bytes_out(1) == message.size_bytes(8)
+        assert network.accountant.bytes_out(2) == 0
+
+    def test_down_sender_sends_nothing(self, net):
+        sim, network = net
+        host1, _ = add_host(network, 1)
+        _, recorder = add_host(network, 2)
+        host1.take_down()
+        host1.send(2, CvPing(sender=1))
+        sim.run_until(1.0)
+        assert recorder.received == []
+
+
+class TestHostLifecycle:
+    def test_take_down_notifies_node(self, net):
+        sim, network = net
+        host, recorder = add_host(network, 1)
+        sim.run_until(42.0)
+        host.take_down()
+        assert recorder.left_at == 42.0
+
+    def test_death_is_final(self, net):
+        _, network = net
+        host, _ = add_host(network, 1)
+        host.take_down(death=True)
+        assert host.dead
+        with pytest.raises(RuntimeError):
+            host.bring_up()
+
+    def test_take_down_idempotent(self, net):
+        _, network = net
+        host, _ = add_host(network, 1)
+        host.take_down()
+        host.take_down(death=True)
+        assert host.dead
+
+    def test_scheduled_timer_guarded_by_aliveness(self, net):
+        sim, network = net
+        host, _ = add_host(network, 1)
+        fired = []
+        host.schedule(1.0, lambda: fired.append(sim.now))
+        host.take_down()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_periodic_process_stops_with_host(self, net):
+        sim, network = net
+        host, _ = add_host(network, 1, up=False)
+        ticks = []
+        host.add_periodic(10.0, lambda: ticks.append(sim.now))
+        host.bring_up()
+        sim.run_until(25.0)
+        assert len(ticks) >= 2
+        count = len(ticks)
+        host.take_down()
+        sim.run_until(100.0)
+        assert len(ticks) == count

@@ -1,0 +1,70 @@
+"""Property-based tests: coarse-view invariants under random op sequences."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.core.coarse_view import CoarseView
+
+OWNER = 0
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=30)),
+        st.tuples(
+            st.just("reshuffle"),
+            st.lists(st.integers(min_value=0, max_value=30), max_size=15),
+        ),
+    ),
+    max_size=60,
+)
+
+
+@given(operations, st.integers(min_value=1, max_value=8), st.integers())
+def test_invariants_hold_under_any_sequence(ops, capacity, seed):
+    rng = random.Random(seed)
+    view = CoarseView(owner=OWNER, capacity=capacity)
+    for op in ops:
+        if op[0] == "add":
+            view.add(op[1], rng)
+        elif op[0] == "remove":
+            view.remove(op[1])
+        else:
+            view.reshuffle(op[1], rng)
+        entries = view.entries()
+        assert len(entries) <= capacity
+        assert OWNER not in entries
+        assert len(entries) == len(set(entries))
+        assert len(view) == len(entries)
+
+
+@given(
+    st.sets(st.integers(min_value=1, max_value=100), max_size=30),
+    st.integers(min_value=1, max_value=10),
+    st.integers(),
+)
+def test_reshuffle_draws_only_from_pool(candidates, capacity, seed):
+    rng = random.Random(seed)
+    view = CoarseView(owner=OWNER, capacity=capacity)
+    view.add(999)
+    view.reshuffle(candidates, rng)
+    assert view.as_set() <= (candidates | {999}) - {OWNER}
+    expected_size = min(capacity, len((candidates | {999}) - {OWNER}))
+    assert len(view) == expected_size
+
+
+@given(st.integers(min_value=1, max_value=20), st.integers())
+def test_membership_index_consistent_after_removals(capacity, seed):
+    rng = random.Random(seed)
+    view = CoarseView(owner=OWNER, capacity=capacity)
+    for node in range(1, capacity + 1):
+        view.add(node)
+    survivors = set(view.entries())
+    for node in list(survivors):
+        if rng.random() < 0.5:
+            view.remove(node)
+            survivors.discard(node)
+        assert view.as_set() == survivors
+        for member in survivors:
+            assert member in view

@@ -1,0 +1,47 @@
+"""Property-based tests: event-engine ordering and cancellation."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), min_size=1, max_size=50
+)
+
+
+@given(delays)
+def test_events_execute_in_nondecreasing_time_order(delay_list):
+    sim = Simulator()
+    executed = []
+    for delay in delay_list:
+        sim.schedule(delay, lambda: executed.append(sim.now))
+    sim.run_until(2000.0)
+    assert executed == sorted(executed)
+    assert len(executed) == len(delay_list)
+
+
+@given(delays, st.sets(st.integers(min_value=0, max_value=49)))
+def test_cancelled_events_never_execute(delay_list, to_cancel):
+    sim = Simulator()
+    executed = []
+    handles = []
+    for index, delay in enumerate(delay_list):
+        handles.append(sim.schedule(delay, lambda i=index: executed.append(i)))
+    for index in to_cancel:
+        if index < len(handles):
+            handles[index].cancel()
+    sim.run_until(2000.0)
+    expected = [i for i in range(len(delay_list)) if i not in to_cancel]
+    assert sorted(executed) == expected
+
+
+@given(delays, st.floats(min_value=0.0, max_value=1000.0, allow_nan=False))
+def test_run_until_horizon_respected(delay_list, horizon):
+    sim = Simulator()
+    executed = []
+    for delay in delay_list:
+        sim.schedule(delay, lambda: executed.append(sim.now))
+    sim.run_until(horizon)
+    assert all(t <= horizon for t in executed)
+    assert sim.now == horizon
+    assert len(executed) == sum(1 for d in delay_list if d <= horizon)

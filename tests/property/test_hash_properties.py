@@ -1,0 +1,55 @@
+"""Property-based tests for hashing and the consistency condition."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.condition import ConsistencyCondition
+from repro.core.hashing import (
+    available_algorithms,
+    hash_pair,
+    pack_endpoint,
+    unpack_endpoint,
+)
+
+node_ids = st.integers(min_value=0, max_value=(1 << 48) - 1)
+algorithms = st.sampled_from(available_algorithms())
+
+
+@given(node_ids)
+def test_pack_roundtrip(node):
+    assert unpack_endpoint(pack_endpoint(node)) == node
+
+
+@given(node_ids, node_ids, algorithms)
+def test_hash_in_unit_interval(a, b, algorithm):
+    value = hash_pair(a, b, algorithm)
+    assert 0.0 <= value < 1.0
+
+
+@given(node_ids, node_ids, algorithms)
+def test_hash_deterministic(a, b, algorithm):
+    assert hash_pair(a, b, algorithm) == hash_pair(a, b, algorithm)
+
+
+@given(node_ids, node_ids)
+def test_condition_matches_raw_hash(a, b):
+    condition = ConsistencyCondition(k=10, n=100)
+    if a == b:
+        assert not condition.holds(a, b)
+    else:
+        assert condition.holds(a, b) == (hash_pair(a, b) <= 0.1)
+
+
+@given(node_ids, node_ids)
+def test_condition_memo_stable(a, b):
+    condition = ConsistencyCondition(k=10, n=100)
+    first = condition.holds(a, b)
+    for _ in range(3):
+        assert condition.holds(a, b) == first
+
+
+@given(st.lists(node_ids, min_size=2, max_size=30, unique=True))
+def test_verify_report_consistent_with_holds(ids):
+    condition = ConsistencyCondition(k=30, n=100)
+    target, monitors = ids[0], ids[1:]
+    expected = all(condition.holds(m, target) for m in monitors)
+    assert condition.verify_report(target, monitors) == expected

@@ -1,0 +1,79 @@
+"""Property-based tests for protocol-level invariants."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.core.condition import ConsistencyCondition
+from repro.core.monitoring import TargetRecord
+from repro.core import optimal
+
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.lists(st.booleans(), min_size=1, max_size=100),
+)
+def test_estimated_availability_bounded(target, outcomes):
+    record = TargetRecord(target)
+    clock = 0.0
+    for up in outcomes:
+        record.record_sent()
+        if up:
+            record.record_reply(clock)
+        else:
+            record.record_timeout(clock)
+        clock += 60.0
+        estimate = record.estimated_availability()
+        assert 0.0 <= estimate <= 1.0
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+)
+def test_ping_probability_in_unit_interval(downtime, tau, c):
+    record = TargetRecord(1)
+    record.record_reply(0.0)
+    record.record_reply(500.0)
+    record.record_timeout(600.0)
+    probability = record.ping_probability(600.0 + downtime, tau, c)
+    assert 0.0 <= probability <= 1.0
+
+
+@given(st.floats(min_value=100.0, max_value=1e7, allow_nan=False))
+def test_optimal_md_is_stationary_point(n):
+    cvs = optimal.cvs_optimal_md(n, rounded=False)
+    here = optimal.cost_md(cvs, n)
+    assert here <= optimal.cost_md(cvs * 1.05, n) + 1e-9
+    assert here <= optimal.cost_md(cvs * 0.95, n) + 1e-9
+
+
+@given(st.integers(min_value=2, max_value=10**7))
+def test_variant_cvs_positive_and_sublinear(n):
+    for variant in ("md", "mdc", "dc", "log", "paper"):
+        cvs = optimal.cvs_for_variant(n, variant)
+        assert 1 <= cvs
+        assert cvs <= max(8, n)
+
+
+@given(
+    st.integers(min_value=2, max_value=10**6),
+    st.integers(min_value=1, max_value=100),
+)
+def test_collusion_probability_monotone_in_colluders(n, k):
+    if k > n:
+        return
+    previous = 1.0
+    for colluders in (0, 1, 5, 20):
+        probability = optimal.prob_ps_unpolluted(n, k, colluders)
+        assert 0.0 <= probability <= previous + 1e-12
+        previous = probability
+
+
+@given(st.integers(min_value=0, max_value=64))
+def test_join_weight_split_conserves_weight(weight):
+    # The Figure-1 split: weight w forwards floor(w/2) + ceil(w/2) = w.
+    low, high = weight // 2, weight - weight // 2
+    assert low + high == weight
+    assert abs(high - low) <= 1

@@ -1,0 +1,53 @@
+"""Property-based tests for the statistics helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.metrics import stats
+
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=80,
+)
+
+
+@given(values)
+def test_cdf_monotone_and_complete(data):
+    points = stats.cdf_points(data)
+    fractions = [f for _, f in points]
+    xs = [x for x, _ in points]
+    assert xs == sorted(xs)
+    assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+    assert fractions[-1] == 1.0
+    assert len(xs) == len(set(xs))
+
+
+@given(values, st.floats(min_value=0.0, max_value=100.0))
+def test_percentile_within_range(data, q):
+    value = stats.percentile(data, q)
+    assert min(data) <= value <= max(data)
+
+
+@given(values)
+def test_mean_within_range(data):
+    assert min(data) <= stats.mean(data) <= max(data)
+
+
+@given(values)
+def test_std_nonnegative(data):
+    assert stats.std(data) >= 0.0
+
+
+@given(values, st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+def test_fraction_below_matches_cdf(data, threshold):
+    fraction = stats.fraction_below(data, threshold)
+    expected = sum(1 for v in data if v <= threshold) / len(data)
+    assert fraction == expected
+
+
+@given(values)
+def test_summary_ordering(data):
+    summary = stats.summarize(data)
+    assert summary.minimum <= summary.median <= summary.maximum
+    assert summary.median <= summary.p90 <= summary.maximum
+    assert summary.count == len(data)

@@ -1,0 +1,51 @@
+"""Property-based tests for trace synthesis invariants."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.traces.synthesis import alternating_renewal_sessions, snap_sessions
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+means = st.floats(min_value=1.0, max_value=500.0, allow_nan=False)
+
+
+@given(seeds, means, means, st.floats(min_value=10.0, max_value=5000.0))
+def test_sessions_sorted_disjoint_in_bounds(seed, mean_up, mean_down, horizon):
+    rng = random.Random(seed)
+    sessions = alternating_renewal_sessions(rng, 0.0, horizon, mean_up, mean_down)
+    previous_end = 0.0
+    for session in sessions:
+        assert session.start >= previous_end
+        assert session.end <= horizon
+        assert session.end > session.start
+        previous_end = session.end
+
+
+@given(seeds, st.floats(min_value=1.0, max_value=60.0))
+def test_snapped_sessions_grid_aligned_and_disjoint(seed, grid):
+    rng = random.Random(seed)
+    sessions = alternating_renewal_sessions(rng, 0.0, 5000.0, 80.0, 40.0)
+    snapped = snap_sessions(sessions, grid, end=5000.0)
+    previous_end = None
+    for session in snapped:
+        # Grid alignment up to float rounding; the final session may be
+        # clamped at the trace end, which need not be grid-aligned.
+        assert abs(session.start / grid - round(session.start / grid)) < 1e-6
+        end_aligned = abs(session.end / grid - round(session.end / grid)) < 1e-6
+        assert end_aligned or session.end == 5000.0
+        if previous_end is not None:
+            assert session.start > previous_end
+        previous_end = session.end
+
+
+@given(seeds)
+def test_snap_preserves_total_uptime_roughly(seed):
+    rng = random.Random(seed)
+    sessions = alternating_renewal_sessions(rng, 0.0, 20_000.0, 300.0, 300.0)
+    snapped = snap_sessions(sessions, 60.0, end=20_000.0)
+    raw_up = sum(s.length for s in sessions)
+    snapped_up = sum(s.length for s in snapped)
+    # Rounding moves each boundary by < grid/2; merging can only add time
+    # where sessions nearly touched.
+    assert abs(snapped_up - raw_up) <= 60.0 * (len(sessions) + 1)

@@ -1,0 +1,138 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_executes_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_on_ties(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, lambda l=label: order.append(l))
+        sim.run_until(2.0)
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run_until(10.0)
+        assert seen == [5.0]
+        assert sim.now == 10.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(ValueError):
+            sim.run_until(4.0)
+
+    def test_events_during_execution(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.run_until(5.0)
+        assert order == ["first", "nested"]
+
+    def test_event_beyond_horizon_not_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10.0, lambda: seen.append(1))
+        sim.run_until(5.0)
+        assert seen == []
+        sim.run_until(15.0)
+        assert seen == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append(1))
+        handle.cancel()
+        sim.run_until(5.0)
+        assert seen == []
+
+    def test_cancel_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run_until(5.0)
+
+    def test_cancel_after_execution_harmless(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append(1))
+        sim.run_until(5.0)
+        handle.cancel()
+        assert seen == [1]
+
+
+class TestRunHelpers:
+    def test_run_duration(self):
+        sim = Simulator()
+        sim.run(7.5)
+        assert sim.now == 7.5
+
+    def test_run_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().run(-1.0)
+
+    def test_run_all_drains(self):
+        sim = Simulator()
+        count = []
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: count.append(1))
+        assert sim.run_all() == 3
+        assert sim.pending_events() == 0
+
+    def test_run_all_guards_runaway(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(RuntimeError):
+            sim.run_all(max_events=100)
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for delay in (1.0, 2.0):
+            sim.schedule(delay, lambda: None)
+        sim.run_until(5.0)
+        assert sim.processed_events == 2
+
+    def test_start_time(self):
+        sim = Simulator(start_time=100.0)
+        assert sim.now == 100.0
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.run_until(102.0)
+        assert seen == [101.0]

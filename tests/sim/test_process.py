@@ -1,0 +1,95 @@
+"""Unit tests for periodic processes."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestPeriodicProcess:
+    def test_fires_every_period(self, sim, rng):
+        ticks = []
+        process = PeriodicProcess(sim, 10.0, lambda: ticks.append(sim.now))
+        process.start(rng, phase=0.0)
+        sim.run_until(35.0)
+        assert ticks == [0.0, 10.0, 20.0, 30.0]
+
+    def test_phase_offsets_first_tick(self, sim, rng):
+        ticks = []
+        process = PeriodicProcess(sim, 10.0, lambda: ticks.append(sim.now))
+        process.start(rng, phase=4.0)
+        sim.run_until(25.0)
+        assert ticks == [4.0, 14.0, 24.0]
+
+    def test_random_phase_within_period(self, sim):
+        ticks = []
+        process = PeriodicProcess(sim, 10.0, lambda: ticks.append(sim.now))
+        process.start(random.Random(3))
+        sim.run_until(10.0)
+        assert len(ticks) == 1
+        assert 0.0 <= ticks[0] < 10.0
+
+    def test_stop_halts(self, sim, rng):
+        ticks = []
+        process = PeriodicProcess(sim, 10.0, lambda: ticks.append(sim.now))
+        process.start(rng, phase=0.0)
+        sim.run_until(15.0)
+        process.stop()
+        sim.run_until(100.0)
+        assert ticks == [0.0, 10.0]
+
+    def test_restart_after_stop(self, sim, rng):
+        ticks = []
+        process = PeriodicProcess(sim, 10.0, lambda: ticks.append(sim.now))
+        process.start(rng, phase=0.0)
+        sim.run_until(5.0)
+        process.stop()
+        process.start(rng, phase=2.0)
+        sim.run_until(18.0)
+        assert ticks == [0.0, 7.0, 17.0]
+
+    def test_guard_suppresses_callback(self, sim, rng):
+        ticks = []
+        active = {"on": True}
+        process = PeriodicProcess(
+            sim, 10.0, lambda: ticks.append(sim.now), guard=lambda: active["on"]
+        )
+        process.start(rng, phase=0.0)
+        sim.run_until(15.0)
+        active["on"] = False
+        sim.run_until(45.0)
+        active["on"] = True
+        sim.run_until(55.0)
+        assert ticks == [0.0, 10.0, 50.0]
+
+    def test_double_start_is_noop(self, sim, rng):
+        ticks = []
+        process = PeriodicProcess(sim, 10.0, lambda: ticks.append(sim.now))
+        process.start(rng, phase=0.0)
+        process.start(rng, phase=5.0)
+        sim.run_until(10.0)
+        assert ticks == [0.0, 10.0]
+
+    def test_invalid_period(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, 0.0, lambda: None)
+
+    def test_invalid_phase(self, sim, rng):
+        process = PeriodicProcess(sim, 10.0, lambda: None)
+        with pytest.raises(ValueError):
+            process.start(rng, phase=-1.0)
+
+    def test_running_flag(self, sim, rng):
+        process = PeriodicProcess(sim, 10.0, lambda: None)
+        assert not process.running
+        process.start(rng)
+        assert process.running
+        process.stop()
+        assert not process.running

@@ -1,0 +1,68 @@
+"""Unit tests for trace statistics."""
+
+import pytest
+
+from repro.traces.analysis import (
+    churn_events_per_hour,
+    stable_system_size,
+    summarize_trace,
+)
+from repro.traces.format import AvailabilityTrace, NodeTrace, Session
+
+
+@pytest.fixture
+def trace():
+    return AvailabilityTrace(
+        duration=7200.0,
+        nodes=[
+            NodeTrace(0, [Session(0.0, 7200.0)]),  # always up
+            NodeTrace(1, [Session(0.0, 3600.0)]),  # first half only
+            NodeTrace(2, [Session(3600.0, 7200.0)]),  # second half only
+        ],
+    )
+
+
+class TestStableSize:
+    def test_average_alive(self, trace):
+        assert stable_system_size(trace, samples=8) == pytest.approx(2.0)
+
+    def test_invalid_samples(self, trace):
+        with pytest.raises(ValueError):
+            stable_system_size(trace, samples=0)
+
+
+class TestChurnRate:
+    def test_leaves_per_hour(self, trace):
+        # Three sessions over two hours -> 1.5 leaves/hour.
+        assert churn_events_per_hour(trace) == pytest.approx(1.5)
+
+
+class TestSummarize:
+    def test_fields(self, trace):
+        stats = summarize_trace(trace, samples=8)
+        assert stats.node_count == 3
+        assert stats.duration == 7200.0
+        assert stats.stable_size == pytest.approx(2.0)
+        assert stats.n_longterm == 3
+
+    def test_mean_availability(self, trace):
+        stats = summarize_trace(trace)
+        # Node 0: 1.0 over its lifetime window [0, 7200).
+        # Node 1: 0.5; node 2: availability over [3600, 7200) = 1.0.
+        assert stats.mean_availability == pytest.approx((1.0 + 0.5 + 1.0) / 3)
+
+    def test_session_lengths(self, trace):
+        stats = summarize_trace(trace)
+        assert stats.median_session_length == 3600.0
+        assert stats.mean_session_length == pytest.approx(4800.0)
+
+    def test_churn_fraction(self, trace):
+        stats = summarize_trace(trace, samples=8)
+        assert stats.churn_fraction_per_hour() == pytest.approx(0.75)
+
+    def test_empty_trace(self):
+        trace = AvailabilityTrace(100.0, [])
+        stats = summarize_trace(trace)
+        assert stats.node_count == 0
+        assert stats.mean_availability == 0.0
+        assert stats.median_session_length == 0.0

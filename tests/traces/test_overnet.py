@@ -1,0 +1,70 @@
+"""Calibration tests for the synthetic Overnet-like traces."""
+
+import pytest
+
+from repro.traces.analysis import summarize_trace
+from repro.traces.overnet import OVERNET_GRID, OVERNET_N, generate_overnet_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # Scaled-down: stable ~100 alive, proportional birth rate.
+    return generate_overnet_trace(
+        n_stable=100, duration=24 * 3600.0, seed=4, births_per_hour=2.9
+    )
+
+
+class TestOvernetTrace:
+    def test_constants(self):
+        assert OVERNET_N == 550
+        assert OVERNET_GRID == 1200.0
+
+    def test_stable_alive_near_target(self, trace):
+        stats = summarize_trace(trace)
+        assert stats.stable_size == pytest.approx(100, rel=0.3)
+
+    def test_mean_availability_moderate(self, trace):
+        stats = summarize_trace(trace)
+        assert 0.3 < stats.mean_availability < 0.7
+
+    def test_births_grow_longterm_population(self, trace):
+        stats = summarize_trace(trace)
+        # 200 incumbents + ~2.9/h * 24h ~ 70 births.
+        assert stats.n_longterm == pytest.approx(270, rel=0.2)
+
+    def test_twenty_minute_grid(self, trace):
+        for node in list(trace.nodes.values())[:30]:
+            for session in node.sessions:
+                assert session.start % OVERNET_GRID == 0.0
+                assert session.end % OVERNET_GRID == 0.0 or session.end == trace.duration
+
+    def test_some_nodes_die(self, trace):
+        deaths = sum(1 for node in trace.nodes.values() if node.death is not None)
+        assert deaths > 0
+
+    def test_paper_calibration_targets(self):
+        # The full-size generator should land near the published numbers:
+        # stable ~550 alive, ~1319 distinct nodes after 48 h.
+        full = generate_overnet_trace(seed=2)
+        stats = summarize_trace(full)
+        assert stats.stable_size == pytest.approx(OVERNET_N, rel=0.25)
+        assert 1000 < stats.n_longterm < 1700
+
+    def test_deterministic_for_seed(self):
+        a = generate_overnet_trace(n_stable=20, duration=7200.0, seed=5, births_per_hour=2.0)
+        b = generate_overnet_trace(n_stable=20, duration=7200.0, seed=5, births_per_hour=2.0)
+        assert a.to_json() == b.to_json()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            generate_overnet_trace(n_stable=0)
+        with pytest.raises(ValueError):
+            generate_overnet_trace(duration=-1.0)
+        with pytest.raises(ValueError):
+            generate_overnet_trace(births_per_hour=-1.0)
+
+    def test_zero_birth_rate_supported(self):
+        trace = generate_overnet_trace(
+            n_stable=20, duration=7200.0, seed=5, births_per_hour=0.0
+        )
+        assert len(trace) == 40  # 2 * n_stable incumbents only

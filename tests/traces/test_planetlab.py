@@ -1,0 +1,61 @@
+"""Calibration tests for the synthetic PlanetLab-like traces."""
+
+import pytest
+
+from repro.traces.analysis import summarize_trace
+from repro.traces.planetlab import PLANETLAB_N, generate_planetlab_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # Scaled-down but statistically representative.
+    return generate_planetlab_trace(n=120, duration=24 * 3600.0, seed=3)
+
+
+class TestPlanetLabTrace:
+    def test_default_population(self):
+        small = generate_planetlab_trace(n=10, duration=3600.0, seed=1)
+        assert len(small) == 10
+        assert PLANETLAB_N == 239
+
+    def test_no_deaths(self, trace):
+        # Every host exists for the whole trace (some start in a down
+        # period, so their first *session* may begin later), and none dies.
+        for node in trace.nodes.values():
+            assert node.death is None
+
+    def test_high_availability(self, trace):
+        stats = summarize_trace(trace)
+        assert stats.mean_availability > 0.8
+
+    def test_stable_size_near_population(self, trace):
+        stats = summarize_trace(trace)
+        # With ~0.9 availability the alive count hovers near 0.9 * N.
+        assert stats.stable_size > 0.75 * len(trace)
+
+    def test_one_second_grid(self, trace):
+        for node in list(trace.nodes.values())[:20]:
+            for session in node.sessions:
+                assert session.start == round(session.start)
+                assert session.end == round(session.end)
+
+    def test_low_churn(self, trace):
+        stats = summarize_trace(trace)
+        # PlanetLab hosts restart rarely: well under one leave/node/hour.
+        assert stats.churn_fraction_per_hour() < 0.5
+
+    def test_deterministic_for_seed(self):
+        a = generate_planetlab_trace(n=5, duration=3600.0, seed=9)
+        b = generate_planetlab_trace(n=5, duration=3600.0, seed=9)
+        assert a.to_json() == b.to_json()
+
+    def test_seed_changes_trace(self):
+        a = generate_planetlab_trace(n=5, duration=36000.0, seed=9)
+        b = generate_planetlab_trace(n=5, duration=36000.0, seed=10)
+        assert a.to_json() != b.to_json()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            generate_planetlab_trace(n=0)
+        with pytest.raises(ValueError):
+            generate_planetlab_trace(duration=0.0)

@@ -1,0 +1,62 @@
+"""File-level round trips for trace serialisation (tmp_path based)."""
+
+import pytest
+
+from repro.traces import generate_overnet_trace, generate_planetlab_trace
+from repro.traces.format import AvailabilityTrace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_overnet_trace(
+        n_stable=15, duration=6 * 3600.0, seed=8, births_per_hour=0.5
+    )
+
+
+class TestJsonFiles:
+    def test_json_file_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "overnet.json"
+        path.write_text(trace.to_json())
+        restored = AvailabilityTrace.from_json(path.read_text())
+        assert len(restored) == len(trace)
+        assert restored.duration == trace.duration
+        for node_id, node in trace.nodes.items():
+            assert restored.node(node_id).sessions == node.sessions
+            assert restored.node(node_id).death == node.death
+
+    def test_json_preserves_statistics(self, trace):
+        from repro.traces.analysis import summarize_trace
+
+        original = summarize_trace(trace)
+        restored = summarize_trace(AvailabilityTrace.from_json(trace.to_json()))
+        assert restored.mean_availability == pytest.approx(original.mean_availability)
+        assert restored.churn_per_hour == original.churn_per_hour
+        assert restored.n_longterm == original.n_longterm
+
+
+class TestCsvFiles:
+    def test_csv_file_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "overnet.csv"
+        path.write_text("\n".join(trace.to_csv_lines()))
+        with open(path) as handle:
+            restored = AvailabilityTrace.from_csv_lines(handle, trace.duration)
+        # CSV drops death annotations but preserves all sessions of nodes
+        # that ever appeared.
+        originals_with_sessions = {
+            node_id for node_id, node in trace.nodes.items() if node.sessions
+        }
+        assert set(restored.nodes) == originals_with_sessions
+        for node_id in originals_with_sessions:
+            assert restored.node(node_id).sessions == trace.node(node_id).sessions
+
+    def test_planetlab_roundtrip_keeps_availability(self, tmp_path):
+        trace = generate_planetlab_trace(n=10, duration=6 * 3600.0, seed=2)
+        restored = AvailabilityTrace.from_csv_lines(
+            trace.to_csv_lines(), trace.duration
+        )
+        for node_id in restored.nodes:
+            assert restored.node(node_id).availability(
+                0, trace.duration
+            ) == pytest.approx(
+                trace.node(node_id).availability(0, trace.duration)
+            )

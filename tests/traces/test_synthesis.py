@@ -1,0 +1,131 @@
+"""Unit tests for alternating-renewal session synthesis."""
+
+import random
+
+import pytest
+
+from repro.traces.format import Session
+from repro.traces.synthesis import (
+    alternating_renewal_sessions,
+    renewal_node_trace,
+    snap_sessions,
+)
+
+
+class TestAlternatingRenewal:
+    def test_sessions_within_bounds(self, rng):
+        sessions = alternating_renewal_sessions(rng, 10.0, 500.0, 30.0, 30.0)
+        for session in sessions:
+            assert 10.0 <= session.start < session.end <= 500.0
+
+    def test_sessions_disjoint_and_ordered(self, rng):
+        sessions = alternating_renewal_sessions(rng, 0.0, 2000.0, 20.0, 10.0)
+        for earlier, later in zip(sessions, sessions[1:]):
+            assert later.start > earlier.end or later.start >= earlier.end
+
+    def test_availability_near_target(self):
+        rng = random.Random(9)
+        total_up = 0.0
+        horizon = 200_000.0
+        for _ in range(5):
+            sessions = alternating_renewal_sessions(rng, 0.0, horizon, 60.0, 40.0)
+            total_up += sum(s.length for s in sessions)
+        availability = total_up / (5 * horizon)
+        assert availability == pytest.approx(0.6, abs=0.05)
+
+    def test_starts_up_forced(self, rng):
+        sessions = alternating_renewal_sessions(
+            rng, 100.0, 1000.0, 50.0, 50.0, starts_up=True
+        )
+        assert sessions[0].start == 100.0
+
+    def test_invalid_window(self, rng):
+        with pytest.raises(ValueError):
+            alternating_renewal_sessions(rng, 10.0, 10.0, 1.0, 1.0)
+
+    def test_invalid_means(self, rng):
+        with pytest.raises(ValueError):
+            alternating_renewal_sessions(rng, 0.0, 10.0, 0.0, 1.0)
+
+
+class TestSnapSessions:
+    def test_boundaries_on_grid(self):
+        sessions = [Session(1.2, 7.9), Session(12.4, 18.1)]
+        snapped = snap_sessions(sessions, grid=5.0, end=100.0)
+        for session in snapped:
+            assert session.start % 5.0 == 0.0
+            assert session.end % 5.0 == 0.0
+
+    def test_zero_length_dropped(self):
+        snapped = snap_sessions([Session(1.0, 1.4)], grid=5.0, end=100.0)
+        assert snapped == []
+
+    def test_colliding_sessions_merged(self):
+        sessions = [Session(0.0, 9.0), Session(11.0, 20.0)]
+        snapped = snap_sessions(sessions, grid=10.0, end=100.0)
+        assert snapped == [Session(0.0, 20.0)]
+
+    def test_clamped_to_end(self):
+        snapped = snap_sessions([Session(0.0, 98.0)], grid=10.0, end=95.0)
+        assert snapped[-1].end <= 95.0
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            snap_sessions([], grid=0.0, end=10.0)
+
+    def test_result_non_overlapping(self, rng):
+        sessions = alternating_renewal_sessions(rng, 0.0, 5000.0, 40.0, 20.0)
+        snapped = snap_sessions(sessions, grid=30.0, end=5000.0)
+        for earlier, later in zip(snapped, snapped[1:]):
+            assert later.start > earlier.end
+
+
+class TestRenewalNodeTrace:
+    def test_lifetime_respected(self, rng):
+        node = renewal_node_trace(
+            1,
+            rng,
+            birth=100.0,
+            trace_end=1000.0,
+            availability=0.5,
+            cycle=50.0,
+            death=400.0,
+        )
+        for session in node.sessions:
+            assert 100.0 <= session.start
+            assert session.end <= 400.0
+        assert node.death == 400.0
+
+    def test_born_node_starts_up(self, rng):
+        node = renewal_node_trace(
+            1, rng, birth=100.0, trace_end=1000.0, availability=0.5, cycle=50.0
+        )
+        assert node.sessions[0].start == 100.0
+
+    def test_invalid_availability(self, rng):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                renewal_node_trace(
+                    1, rng, birth=0.0, trace_end=10.0, availability=bad, cycle=5.0
+                )
+
+    def test_grid_applied(self, rng):
+        node = renewal_node_trace(
+            1,
+            rng,
+            birth=0.0,
+            trace_end=10_000.0,
+            availability=0.5,
+            cycle=500.0,
+            grid=100.0,
+        )
+        for session in node.sessions:
+            assert session.start % 100.0 == 0.0
+            assert session.end % 100.0 == 0.0
+
+    def test_dead_before_birth_yields_empty(self, rng):
+        node = renewal_node_trace(
+            1, rng, birth=500.0, trace_end=1000.0, availability=0.5, cycle=50.0,
+            death=500.0,
+        )
+        assert node.sessions == ()
