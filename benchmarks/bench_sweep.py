@@ -1,0 +1,33 @@
+"""Benchmark: parallel sweep orchestrator vs serial execution.
+
+Times the same N-sweep (SYNTH at the scale's system sizes, two seeds)
+executed serially and through the multiprocessing pool, so the recorded
+results show the fan-out's wall-clock payoff on this machine.
+"""
+
+from conftest import bench_scale
+
+from repro.api import Scenario, sweep
+from repro.experiments.orchestrator import default_jobs
+from repro.experiments.scenarios import n_values
+
+
+def _run_sweep(jobs: int):
+    scale = bench_scale()
+    return sweep(
+        Scenario(model="SYNTH", scale=scale),
+        grid={"n": n_values(scale)},
+        seeds=2,
+        jobs=jobs,
+    )
+
+
+def test_sweep_serial(benchmark, record_report):
+    results = benchmark.pedantic(lambda: _run_sweep(1), rounds=1, iterations=1)
+    record_report("sweep_serial", f"serial sweep: {len(results)} cells")
+
+
+def test_sweep_parallel(benchmark, record_report):
+    jobs = default_jobs()
+    results = benchmark.pedantic(lambda: _run_sweep(jobs), rounds=1, iterations=1)
+    record_report("sweep_parallel", f"parallel sweep ({jobs} jobs): {len(results)} cells")

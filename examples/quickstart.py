@@ -1,61 +1,85 @@
 #!/usr/bin/env python3
-"""Quickstart: run a small AVMON deployment and inspect the overlay.
+"""Quickstart: declare AVMON scenarios, run them, sweep them in parallel.
 
-Builds a 100-node system with Poisson join/leave churn (the paper's SYNTH
-model), lets it warm up, injects ten fresh nodes, and shows:
+Three stops:
 
-* how fast the new nodes' monitors (pinging sets) are discovered,
-* that every discovered relationship passes the consistency condition
-  (verifiability), and
-* the per-node memory/computation/bandwidth footprint.
+1. declare a :class:`repro.Scenario` naming every component by registry
+   key, run it, and read discovery/memory series off the flat summary;
+2. show the spec is fully serialisable (JSON round trip) — the property
+   that lets sweeps fan cells out over worker processes;
+3. sweep system sizes x seeds through the parallel orchestrator and
+   aggregate with the ResultSet helpers.
+
+A final stop shows the legacy imperative API (SimulationConfig +
+run_simulation), which remains supported unchanged.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import SimulationConfig, run_simulation
+from repro import Scenario, SimulationConfig, run, run_simulation, sweep
 from repro.metrics import stats
 
 
-def main() -> None:
-    config = SimulationConfig(
-        model="SYNTH",  # Poisson join/leave at 20 %/hour
+def declarative_run() -> None:
+    scenario = Scenario(
+        model="SYNTH",  # churn component key: Poisson join/leave at 20 %/hour
         n=100,  # stable system size
-        duration=3600.0,  # one simulated hour
-        warmup=900.0,  # control group joins after 15 minutes
+        scale="test",  # named warmup/measurement window (paper/bench/test)
         seed=42,
     )
-    print(f"running AVMON: N={config.n}, model={config.model}, "
-          f"K={config.resolved_avmon().k}, cvs={config.resolved_avmon().cvs}")
-    result = run_simulation(config)
-
-    delays = result.first_monitor_delays()
-    print(f"\ncontrol group: {result.metrics.discovery.tracked_count()} nodes "
-          f"joined at t={config.warmup:.0f}s")
+    summary = run(scenario)
+    delays = summary.first_monitor_delays()
+    print(f"running AVMON: N={summary.n}, model={summary.model}, "
+          f"K={summary.avmon['k']:.0f}, cvs={summary.avmon['cvs']:.0f}")
+    print(f"control group: {summary.tracked_count()} nodes joined after warm-up")
     print(f"first monitor discovered after: mean {stats.mean(delays):.1f}s, "
-          f"median {stats.percentile(delays, 50):.1f}s, "
-          f"max {max(delays):.1f}s")
-    print(f"(protocol period is {result.avmon_config.protocol_period:.0f}s - "
+          f"median {stats.percentile(delays, 50):.1f}s, max {max(delays):.1f}s")
+    print(f"(protocol period is {summary.avmon['protocol_period']:.0f}s - "
           f"discovery happens within roughly one period)")
 
-    # Verifiability: audit a node's reported monitors like a third party.
+    # The spec is data: it survives a JSON round trip untouched, which is
+    # what lets sweep cells travel to worker processes deterministically.
+    assert Scenario.from_json(scenario.to_json()) == scenario
+    print(f"\nscenario serialises to: {scenario.to_json()[:68]}...")
+
+
+def parallel_sweep() -> None:
+    results = sweep(
+        Scenario(model="SYNTH", scale="test", seed=1),
+        grid={"n": [30, 60]},
+        seeds=2,  # two replications per cell: seeds 1 and 2
+        jobs=2,  # fan out over two worker processes
+    )
+    print(f"\nsweep: {len(results)} cells (2 sizes x 2 seeds) on 2 workers")
+    for (n,), group in results.group_by("n").items():
+        mean_discovery = group.mean(lambda s: s.average_discovery_time(drop_top=1))
+        mean_memory = group.mean(
+            lambda s: stats.mean(s.memory_values(control_only=True))
+        )
+        print(f"  N={n}: discovery {mean_discovery:.1f}s, "
+              f"memory {mean_memory:.1f} entries "
+              f"(expected {group.summaries[0].avmon['expected_memory_entries']:.1f})")
+
+
+def legacy_shim() -> None:
+    # The original imperative API is unchanged: build a SimulationConfig by
+    # hand and inspect the full result object (live cluster included).
+    config = SimulationConfig(model="STAT", n=60, duration=1500.0, warmup=600.0)
+    result = run_simulation(config)
     condition = result.cluster.relation.condition
     reporter = next(
         node for node in result.cluster.nodes.values() if len(node.ps) >= 2
     )
     reported = reporter.report_monitors(min_monitors=2)
     verified = condition.verify_report(reporter.id, reported)
-    print(f"\nnode {reporter.id} reports monitors {reported}; "
+    print(f"\nlegacy API: node {reporter.id} reports monitors {reported}; "
           f"third-party verification: {'PASS' if verified else 'FAIL'}")
 
-    memory = result.memory_values(control_only=False)
-    comps = result.computation_rates(control_only=False)
-    bandwidth = result.bandwidth_rates()
-    print(f"\nfootprint per node over the measurement window:")
-    print(f"  memory entries  mean {stats.mean(memory):.1f} "
-          f"(expected cvs+2K = {result.avmon_config.expected_memory_entries:.0f})")
-    print(f"  computations/s  mean {stats.mean(comps):.2f}")
-    print(f"  outgoing Bps    mean {stats.mean(bandwidth):.1f}, "
-          f"p99 {stats.percentile(bandwidth, 99):.1f}")
+
+def main() -> None:
+    declarative_run()
+    parallel_sweep()
+    legacy_shim()
 
 
 if __name__ == "__main__":

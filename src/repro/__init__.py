@@ -4,12 +4,37 @@ AVMON selects and discovers *consistent availability-monitoring overlays*:
 for every node ``x`` a pinging set ``PS(x)`` that is consistent, verifiable
 and random, discovered scalably through gossiped coarse views.
 
-Quick start::
+Quick start — declare a scenario, run it, read the summary::
 
-    from repro import AvmonConfig, SimulationConfig, run_simulation
+    from repro import Scenario, run
 
-    config = SimulationConfig(model="SYNTH", n=100, duration=3600, warmup=600)
-    result = run_simulation(config)
+    summary = run(Scenario(model="SYNTH", n=100, scale="test"))
+    print(summary.average_discovery_time())
+
+Sweep a parameter grid across seed replications on every core::
+
+    from repro import Scenario, sweep
+
+    results = sweep(
+        Scenario(model="SYNTH", scale="test"),
+        grid={"n": [60, 120, 240]},
+        seeds=3,
+        jobs=4,
+    )
+    for (n,), group in results.group_by("n").items():
+        print(n, group.mean("average_discovery_time"))
+
+Scenarios are fully serialisable (``Scenario.from_json(s.to_json())``),
+name every component — churn model, latency model, trace generator — by
+its :mod:`repro.registry` key, and accept third-party components
+registered with ``@register("churn", "MY-MODEL")``.
+
+The original imperative API still works unchanged (legacy shim)::
+
+    from repro import SimulationConfig, run_simulation
+
+    result = run_simulation(SimulationConfig(model="SYNTH", n=100,
+                                             duration=3600, warmup=600))
     print(result.average_discovery_time())
 
 Packages:
@@ -17,8 +42,11 @@ Packages:
 * :mod:`repro.core` — the protocol (hashing, condition, node, analysis);
 * :mod:`repro.sim` / :mod:`repro.net` — event engine and network substrate;
 * :mod:`repro.churn` / :mod:`repro.traces` — churn models and traces;
-* :mod:`repro.baselines` — Broadcast, Central, Self-report, DHT;
-* :mod:`repro.experiments` — every figure/table of the paper's evaluation;
+* :mod:`repro.baselines` — Broadcast, Central, Self-report, DHT, Cyclon;
+* :mod:`repro.registry` — the pluggable component registry;
+* :mod:`repro.api` — declarative scenarios, sweeps and result sets;
+* :mod:`repro.experiments` — every figure/table of the paper's evaluation,
+  plus the parallel sweep orchestrator;
 * :mod:`repro.metrics` — collectors and statistics.
 """
 
@@ -35,9 +63,18 @@ from .core import (
 from .experiments import (
     SimulationConfig,
     SimulationResult,
+    SimulationSummary,
     run_experiment,
     run_simulation,
     scenario,
+)
+from .api import ResultSet, Scenario, run, sweep
+from .registry import (
+    UnknownComponentError,
+    component_kinds,
+    component_names,
+    register,
+    resolve,
 )
 from .traces import (
     AvailabilityTrace,
@@ -45,7 +82,7 @@ from .traces import (
     generate_planetlab_trace,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "AvailabilityTrace",
@@ -54,15 +91,25 @@ __all__ = [
     "ConsistencyCondition",
     "MonitorRelation",
     "NodeId",
+    "ResultSet",
+    "Scenario",
     "SimulationConfig",
     "SimulationResult",
+    "SimulationSummary",
+    "UnknownComponentError",
     "__version__",
+    "component_kinds",
+    "component_names",
     "generate_overnet_trace",
     "generate_planetlab_trace",
     "hash_pair",
     "optimal",
+    "register",
+    "resolve",
+    "run",
     "run_experiment",
     "run_simulation",
     "scenario",
+    "sweep",
     "verify_monitor_report",
 ]

@@ -1,16 +1,30 @@
-"""Baseline availability-monitoring schemes AVMON is compared against."""
+"""Baseline availability-monitoring schemes AVMON is compared against.
 
+Every scheme is registered under the ``"baseline"`` kind of the component
+registry so experiments (and third parties) can look them up by name.
+"""
+
+from ..registry import register
 from .broadcast import BroadcastNode
 from .central import CentralMonitorScheme, LoadReport
+from .cyclon import CyclonNode, CyclonOverlay
 from .dht import DhtMonitorScheme, HashRing
 from .self_report import SelfReportOutcome, SelfReportScheme
 
 __all__ = [
     "BroadcastNode",
     "CentralMonitorScheme",
+    "CyclonNode",
+    "CyclonOverlay",
     "DhtMonitorScheme",
     "HashRing",
     "LoadReport",
     "SelfReportOutcome",
     "SelfReportScheme",
 ]
+
+register("baseline", "BROADCAST", BroadcastNode)
+register("baseline", "CENTRAL", CentralMonitorScheme)
+register("baseline", "CYCLON", CyclonOverlay)
+register("baseline", "DHT", DhtMonitorScheme)
+register("baseline", "SELF-REPORT", SelfReportScheme)

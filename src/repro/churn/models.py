@@ -26,6 +26,7 @@ import random
 from typing import Dict, Optional
 
 from ..core.hashing import NodeId
+from ..registry import register, resolve
 from ..sim.engine import EventHandle
 from .base import ChurnModel
 
@@ -151,6 +152,55 @@ class SynthBdModel(SynthModel):
         self._schedule_death()
 
 
+# -- registry factories ----------------------------------------------------
+#
+# Every churn model registers under the "churn" kind with the uniform
+# signature ``factory(n_stable, rng=None, **params)``; unknown params are
+# ignored so one call site (the runner) can pass the full parameter set and
+# let each model pick what it needs.  Third-party models plug in the same
+# way — see :mod:`repro.registry`.
+
+
+@register("churn", "STAT")
+def _make_stat(n_stable: int, rng: Optional[random.Random] = None, **_params) -> ChurnModel:
+    return StatModel(rng)
+
+
+@register("churn", "SYNTH")
+def _make_synth(
+    n_stable: int,
+    rng: Optional[random.Random] = None,
+    *,
+    churn_per_hour: float = 0.2,
+    **_params,
+) -> ChurnModel:
+    return SynthModel(n_stable, churn_per_hour, rng)
+
+
+@register("churn", "SYNTH-BD")
+def _make_synth_bd(
+    n_stable: int,
+    rng: Optional[random.Random] = None,
+    *,
+    churn_per_hour: float = 0.2,
+    birth_death_per_day: float = 0.2,
+    **_params,
+) -> ChurnModel:
+    return SynthBdModel(n_stable, churn_per_hour, birth_death_per_day, rng)
+
+
+@register("churn", "SYNTH-BD2")
+def _make_synth_bd2(
+    n_stable: int,
+    rng: Optional[random.Random] = None,
+    *,
+    churn_per_hour: float = 0.2,
+    birth_death_per_day: float = 0.2,
+    **_params,
+) -> ChurnModel:
+    return SynthBdModel(n_stable, churn_per_hour, 2.0 * birth_death_per_day, rng)
+
+
 def make_model(
     name: str,
     n_stable: int,
@@ -159,16 +209,10 @@ def make_model(
     churn_per_hour: float = 0.2,
     birth_death_per_day: float = 0.2,
 ) -> ChurnModel:
-    """Factory over the paper's synthetic model names."""
-    key = name.upper().replace("_", "-")
-    if key == "STAT":
-        return StatModel(rng)
-    if key == "SYNTH":
-        return SynthModel(n_stable, churn_per_hour, rng)
-    if key == "SYNTH-BD":
-        return SynthBdModel(n_stable, churn_per_hour, birth_death_per_day, rng)
-    if key == "SYNTH-BD2":
-        return SynthBdModel(n_stable, churn_per_hour, 2.0 * birth_death_per_day, rng)
-    raise ValueError(
-        f"unknown churn model {name!r}; expected STAT, SYNTH, SYNTH-BD or SYNTH-BD2"
+    """Factory over churn model names, dispatched through the registry."""
+    return resolve("churn", name)(
+        n_stable,
+        rng,
+        churn_per_hour=churn_per_hour,
+        birth_death_per_day=birth_death_per_day,
     )

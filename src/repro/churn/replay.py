@@ -13,6 +13,7 @@ import random
 from typing import Dict, Optional
 
 from ..core.hashing import NodeId
+from ..registry import register
 from ..traces.format import AvailabilityTrace
 from .base import ChurnModel
 
@@ -87,3 +88,28 @@ class TraceReplayModel(ChurnModel):
     def cluster_id_of(self, trace_node: int) -> Optional[NodeId]:
         """The cluster id assigned to a trace node (None before first join)."""
         return self._cluster_ids.get(trace_node)
+
+
+def _make_replay(model_key: str):
+    def factory(
+        n_stable: int,
+        rng: Optional[random.Random] = None,
+        *,
+        trace: Optional[AvailabilityTrace] = None,
+        bootstrap_window: float = 300.0,
+        **_params,
+    ) -> TraceReplayModel:
+        if trace is None:
+            raise ValueError(f"churn model {model_key!r} requires a trace")
+        return TraceReplayModel(
+            trace, rng, name=model_key, bootstrap_window=bootstrap_window
+        )
+
+    return factory
+
+
+# The three trace-replay spellings the paper's experiments use: generic
+# TRACE plus the PL / OV labels (which also select the trace generator).
+for _key in ("TRACE", "PL", "OV"):
+    register("churn", _key, _make_replay(_key))
+del _key

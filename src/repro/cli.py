@@ -1,25 +1,49 @@
-"""Command-line interface: list and run the paper's experiments.
+"""Command-line interface: list, run and sweep the paper's experiments.
 
 Examples::
 
-    avmon list
-    avmon run fig3                 # bench scale (default)
-    avmon run fig19 --scale paper  # full paper-scale replication
-    avmon run all --scale test     # quick smoke of every artifact
+    avmon list                        # experiments
+    avmon list --json                 # experiments + registered components
+    avmon run fig3                    # bench scale (default)
+    avmon run fig19 --scale paper     # full paper-scale replication
+    avmon run all --scale test --jobs 4   # every artifact, N-sweeps in parallel
+    avmon sweep --model SYNTH --n 100,200,400 --seeds 3 --jobs 4 --json
+
+(`avmon` is `python -m repro.cli`.)  ``sweep`` output is deterministic:
+the aggregated JSON of a ``--jobs 4`` run is byte-identical to the same
+sweep at ``--jobs 1``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
+from .api import Scenario, sweep
 from .experiments.cache import SimulationCache
+from .experiments.orchestrator import SweepError
 from .experiments.registry import EXPERIMENTS, run_experiment
-from .experiments.scenarios import SCALES
+from .experiments.scenarios import SCALES, n_values
+from .metrics import stats
+from .registry import REGISTRY, UnknownComponentError
 
 __all__ = ["main", "build_parser"]
+
+
+def _int_list(text: str) -> List[int]:
+    """Parse ``"100,200,400"`` into ``[100, 200, 400]``."""
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,7 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list available experiments")
+    list_parser = commands.add_parser(
+        "list", help="list experiments (and, with --json, registered components)"
+    )
+    list_parser.add_argument(
+        "--json", action="store_true", help="machine-readable listing"
+    )
 
     run_parser = commands.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument(
@@ -42,40 +71,176 @@ def build_parser() -> argparse.ArgumentParser:
         default="bench",
         help="parameter scale (default: bench)",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for N-sweep experiments (default: 1)",
+    )
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="sweep a churn model over system sizes x seeds"
+    )
+    sweep_parser.add_argument(
+        "--model",
+        default="SYNTH",
+        help="churn component key (default: SYNTH); see 'avmon list --json'",
+    )
+    sweep_parser.add_argument(
+        "--n",
+        type=_int_list,
+        default=None,
+        metavar="N1,N2,...",
+        help="system sizes (default: the scale's N sweep)",
+    )
+    sweep_parser.add_argument(
+        "--seeds", type=int, default=1, help="seed replications per cell (default: 1)"
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=1, help="base seed (default: 1)"
+    )
+    sweep_parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="bench",
+        help="parameter scale supplying warmup/duration (default: bench)",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default: 1)"
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true", help="emit the full result set as JSON"
+    )
     return parser
 
 
-def _run_one(experiment_id: str, scale: str, cache: SimulationCache, out) -> None:
+def _run_one(experiment_id: str, scale: str, cache: SimulationCache, jobs: int, out) -> None:
     started = time.perf_counter()
-    report = run_experiment(experiment_id, scale, cache)
+    report = run_experiment(experiment_id, scale, cache, jobs=jobs)
     elapsed = time.perf_counter() - started
     print(f"== {experiment_id} ({scale} scale, {elapsed:.1f}s wall) ==", file=out)
     print(report, file=out)
     print(file=out)
 
 
-def main(argv: Optional[List[str]] = None, out=None) -> int:
-    out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
-    if args.command == "list":
-        width = max(len(eid) for eid in EXPERIMENTS)
-        for eid, experiment in EXPERIMENTS.items():
-            print(f"{eid.ljust(width)}  {experiment.title}", file=out)
+def _cmd_list(args, out) -> int:
+    if args.json:
+        payload = {
+            "experiments": [
+                {"id": eid, "title": experiment.title}
+                for eid, experiment in EXPERIMENTS.items()
+            ],
+            "components": {
+                kind: list(names) for kind, names in REGISTRY.catalog().items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
         return 0
+    width = max(len(eid) for eid in EXPERIMENTS)
+    for eid, experiment in EXPERIMENTS.items():
+        print(f"{eid.ljust(width)}  {experiment.title}", file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
     cache = SimulationCache()
     if args.experiment == "all":
         for experiment_id in EXPERIMENTS:
-            _run_one(experiment_id, args.scale, cache, out)
+            _run_one(experiment_id, args.scale, cache, args.jobs, out)
         return 0
-    if args.experiment not in EXPERIMENTS:
-        print(
-            f"error: unknown experiment {args.experiment!r}; "
-            f"try: {', '.join(EXPERIMENTS)}",
-            file=sys.stderr,
-        )
+    try:
+        _run_one(args.experiment, args.scale, cache, args.jobs, out)
+    except UnknownComponentError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
-    _run_one(args.experiment, args.scale, cache, out)
     return 0
+
+
+def _progress_printer(stream):
+    def progress(done: int, total: int, label: str, elapsed: float) -> None:
+        print(f"[{done}/{total}] {label} ({elapsed:.1f}s elapsed)", file=stream)
+
+    return progress
+
+
+def _sweep_payload(results) -> dict:
+    """Deterministic JSON payload: per-cell results plus per-(model, n)
+    aggregates over seed replications.  Wall-clock timing is excluded so
+    the output is identical whatever the job count."""
+    aggregates = []
+    for (model, n), group in results.group_by("model", "n").items():
+        aggregates.append(
+            {
+                "model": model,
+                "n": n,
+                "replications": len(group),
+                "mean_discovery_s": group.mean(
+                    lambda s: s.average_discovery_time(drop_top=1)
+                ),
+                "mean_memory_entries": group.mean(
+                    lambda s: stats.mean(s.memory_values(control_only=True))
+                ),
+                "mean_computations_per_s": group.mean(
+                    lambda s: stats.mean(s.computation_rates(control_only=True))
+                ),
+            }
+        )
+    payload = results.to_dict()
+    payload["aggregates"] = aggregates
+    return payload
+
+
+def _cmd_sweep(args, out) -> int:
+    ns = args.n if args.n is not None else n_values(args.scale)
+    try:
+        base = Scenario(model=args.model, scale=args.scale, seed=args.seed)
+        results = sweep(
+            base,
+            {"n": ns},
+            seeds=args.seeds,
+            jobs=args.jobs,
+            progress=_progress_printer(sys.stderr),
+        )
+    except ValueError as error:  # includes UnknownComponentError
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except SweepError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(_sweep_payload(results), indent=2, sort_keys=True), file=out)
+        return 0
+    print(
+        f"sweep: model={args.model} scale={args.scale} "
+        f"n={','.join(str(n) for n in ns)} seeds={args.seeds} jobs={args.jobs}",
+        file=out,
+    )
+    header = f"{'model':<10} {'N':>6} {'seed':>5} {'discovery(s)':>13} {'memory':>8} {'comps/s':>9}"
+    print(header, file=out)
+    for entry in results:
+        summary = entry.summary
+        print(
+            f"{summary.model:<10} {summary.n:>6} {summary.seed:>5} "
+            f"{summary.average_discovery_time(drop_top=1):>13.2f} "
+            f"{stats.mean(summary.memory_values(control_only=True)):>8.1f} "
+            f"{stats.mean(summary.computation_rates(control_only=True)):>9.2f}",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, out)
+        return _cmd_run(args, out)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

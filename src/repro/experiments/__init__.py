@@ -1,6 +1,8 @@
-"""Evaluation harness: runner, scenarios and one module per paper artifact."""
+"""Evaluation harness: runner, scenarios, orchestrator and one module per
+paper artifact."""
 
 from .cache import SimulationCache, default_cache
+from .orchestrator import CellFailure, SweepError, default_jobs, run_configs
 from .registry import EXPERIMENTS, Experiment, experiment_ids, run_experiment
 from .runner import Cluster, SimulationConfig, SimulationResult, run_simulation
 from .scenarios import (
@@ -8,11 +10,14 @@ from .scenarios import (
     n_values,
     overnet_scenario,
     planetlab_scenario,
+    scale_window,
     scenario,
     trace_for,
 )
+from .summary import SimulationSummary, summarize
 
 __all__ = [
+    "CellFailure",
     "Cluster",
     "EXPERIMENTS",
     "Experiment",
@@ -20,13 +25,19 @@ __all__ = [
     "SimulationCache",
     "SimulationConfig",
     "SimulationResult",
+    "SimulationSummary",
+    "SweepError",
     "default_cache",
+    "default_jobs",
     "experiment_ids",
     "n_values",
     "overnet_scenario",
     "planetlab_scenario",
+    "run_configs",
     "run_experiment",
     "run_simulation",
+    "scale_window",
     "scenario",
+    "summarize",
     "trace_for",
 ]

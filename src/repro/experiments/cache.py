@@ -4,13 +4,24 @@ Figures 3–10 all consume the same base runs (three churn models × the N
 sweep); the cache keys runs by their full configuration so each distinct
 simulation executes once per process, whether it is requested by the fig-3
 module, the fig-9 module or a benchmark.
+
+Two layers are cached:
+
+* full :class:`SimulationResult` objects (:meth:`SimulationCache.get`) for
+  figure code that inspects the live cluster, and
+* flat :class:`~repro.experiments.summary.SimulationSummary` objects
+  (:meth:`SimulationCache.get_summary`), which are what parallel sweeps
+  produce — :meth:`SimulationCache.prime` fans missing runs out over a
+  process pool through the orchestrator.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from .orchestrator import ProgressFn, run_configs
 from .runner import SimulationConfig, SimulationResult, run_simulation
+from .summary import SimulationSummary, summarize
 
 __all__ = ["SimulationCache", "default_cache"]
 
@@ -20,17 +31,32 @@ class SimulationCache:
 
     def __init__(self) -> None:
         self._runs: Dict[Tuple, SimulationResult] = {}
+        self._summaries: Dict[Tuple, SimulationSummary] = {}
+
+    @staticmethod
+    def _latency_key(latency) -> Optional[Tuple]:
+        """Structural key for a pluggable latency model.
+
+        Keyed on type plus full-precision attributes — reprs are for humans
+        (LogNormalLatency rounds, arbitrary objects embed addresses) and
+        would collide or never match.
+        """
+        if latency is None:
+            return None
+        try:
+            attributes = tuple(sorted(vars(latency).items()))
+        except TypeError:  # __slots__ or C types: fall back to repr
+            attributes = (repr(latency),)
+        return (type(latency).__name__, attributes)
 
     @staticmethod
     def key_of(config: SimulationConfig) -> Tuple:
         avmon = config.resolved_avmon()
+        # The full content hash: shallow shapes like (len, duration) collide
+        # for traces generated from different seeds or generators.
         trace_fingerprint = None
         if config.trace is not None:
-            trace_fingerprint = (
-                len(config.trace),
-                config.trace.duration,
-                config.trace.born_before(config.trace.duration),
-            )
+            trace_fingerprint = config.trace.content_hash()
         return (
             config.model_key,
             config.n,
@@ -43,6 +69,7 @@ class SimulationCache:
             config.overreport_fraction,
             config.latency_low,
             config.latency_high,
+            SimulationCache._latency_key(config.latency),
             config.sample_interval,
             trace_fingerprint,
             (
@@ -69,11 +96,62 @@ class SimulationCache:
             self._runs[key] = result
         return result
 
+    def get_summary(self, config: SimulationConfig) -> SimulationSummary:
+        """The flat summary for *config*, running the simulation if needed.
+
+        Reuses a cached full result when one exists; a run executed here
+        (serially) is kept as a full result too, so figure modules mixing
+        summary and full-result access never simulate twice.
+        """
+        key = self.key_of(config)
+        summary = self._summaries.get(key)
+        if summary is None:
+            summary = summarize(self.get(config))
+            self._summaries[key] = summary
+        return summary
+
+    def prime(
+        self,
+        configs: Iterable[SimulationConfig],
+        *,
+        jobs: int = 1,
+        progress: Optional[ProgressFn] = None,
+    ) -> int:
+        """Ensure summaries exist for every config; returns the number run.
+
+        With ``jobs > 1`` the missing cells execute in a multiprocessing
+        pool via the orchestrator (only summaries come back — worker-side
+        full results cannot cross the process boundary).  ``jobs <= 1``
+        runs serially in-process, which also retains the full results.
+        """
+        missing: List[SimulationConfig] = []
+        seen = set()
+        for config in configs:
+            key = self.key_of(config)
+            if key in self._summaries or key in seen:
+                continue
+            seen.add(key)
+            missing.append(config)
+        if not missing:
+            return 0
+        if jobs <= 1:
+            for config in missing:
+                self.get_summary(config)
+        else:
+            summaries = run_configs(missing, jobs=jobs, progress=progress)
+            for config, summary in zip(missing, summaries):
+                self._summaries[self.key_of(config)] = summary
+        return len(missing)
+
     def __len__(self) -> int:
         return len(self._runs)
 
+    def summary_count(self) -> int:
+        return len(self._summaries)
+
     def clear(self) -> None:
         self._runs.clear()
+        self._summaries.clear()
 
 
 _DEFAULT: Optional[SimulationCache] = None

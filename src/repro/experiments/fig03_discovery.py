@@ -13,7 +13,7 @@ setting is dropped as an outlier.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..metrics import stats
 from .cache import SimulationCache, default_cache
@@ -26,24 +26,33 @@ MODELS = ("STAT", "SYNTH", "SYNTH-BD")
 
 
 def compute(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> List[Tuple[str, int, float, float, int]]:
-    """Rows of (model, N, avg discovery s, std s, control-group size)."""
+    """Rows of (model, N, avg discovery s, std s, control-group size).
+
+    With ``jobs > 1`` the base runs fan out over a process pool through the
+    orchestrator before the rows are assembled from their summaries.
+    """
     cache = cache if cache is not None else default_cache()
+    configs = [
+        scenario(model, n, scale) for model in MODELS for n in n_values(scale)
+    ]
+    cache.prime(configs, jobs=jobs)
     rows = []
-    for model in MODELS:
-        for n in n_values(scale):
-            result = cache.get(scenario(model, n, scale))
-            delays = result.first_monitor_delays()
-            rows.append(
-                (
-                    model,
-                    n,
-                    result.average_discovery_time(drop_top=1),
-                    stats.std(delays),
-                    result.metrics.discovery.tracked_count(),
-                )
+    for config in configs:
+        summary = cache.get_summary(config)
+        delays = summary.first_monitor_delays()
+        rows.append(
+            (
+                summary.model,
+                summary.n,
+                summary.average_discovery_time(drop_top=1),
+                stats.std(delays),
+                summary.tracked_count(),
             )
+        )
     return rows
 
 
@@ -59,5 +68,9 @@ def render(rows) -> str:
     return header + table
 
 
-def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    return render(compute(scale, cache))
+def run(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    return render(compute(scale, cache, jobs))

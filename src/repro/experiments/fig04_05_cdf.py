@@ -7,7 +7,7 @@ does the same for SYNTH-BD (paper: ≥ 93.3 % within 60 seconds).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from ..metrics import stats
 from .cache import SimulationCache, default_cache
@@ -18,16 +18,20 @@ __all__ = ["compute", "render", "run", "run_fig4", "run_fig5"]
 
 
 def compute(
-    model: str, scale: str = "bench", cache: Optional[SimulationCache] = None
+    model: str,
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> Dict[int, dict]:
     """Per N: CDF points plus the paper's checkpoint fractions."""
     cache = cache if cache is not None else default_cache()
     sweep = n_values(scale)
     selected = [sweep[0], sweep[-1]]
+    configs = {n: scenario(model, n, scale) for n in selected}
+    cache.prime(configs.values(), jobs=jobs)
     out: Dict[int, dict] = {}
     for n in selected:
-        result = cache.get(scenario(model, n, scale))
-        delays = result.first_monitor_delays()
+        delays = cache.get_summary(configs[n]).first_monitor_delays()
         out[n] = {
             "cdf": stats.cdf_points(delays),
             "within_30s": stats.fraction_below(delays, 30.0),
@@ -57,19 +61,25 @@ def render(model: str, data: Dict[int, dict], checkpoint: str) -> str:
     return "\n".join(lines)
 
 
-def run_fig4(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    data = compute("STAT", scale, cache)
+def run_fig4(
+    scale: str = "bench", cache: Optional[SimulationCache] = None, jobs: int = 1
+) -> str:
+    data = compute("STAT", scale, cache, jobs)
     return "Figure 4 - " + render(
         "STAT", data, "at least 96% of nodes discovered in under 30 seconds"
     )
 
 
-def run_fig5(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    data = compute("SYNTH-BD", scale, cache)
+def run_fig5(
+    scale: str = "bench", cache: Optional[SimulationCache] = None, jobs: int = 1
+) -> str:
+    data = compute("SYNTH-BD", scale, cache, jobs)
     return "Figure 5 - " + render(
         "SYNTH-BD", data, "at least 93.3% of nodes discovered within 60 seconds"
     )
 
 
-def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    return run_fig4(scale, cache) + "\n\n" + run_fig5(scale, cache)
+def run(
+    scale: str = "bench", cache: Optional[SimulationCache] = None, jobs: int = 1
+) -> str:
+    return run_fig4(scale, cache, jobs) + "\n\n" + run_fig5(scale, cache, jobs)

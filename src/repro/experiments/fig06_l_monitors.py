@@ -21,16 +21,20 @@ MAX_L = 3
 
 
 def compute(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> List[Tuple[str, int, int, float, int]]:
     """Rows of (model, N, L, avg time to Lth monitor in s, nodes reaching L)."""
     cache = cache if cache is not None else default_cache()
     n = n_values(scale)[-1]
+    configs = {model: scenario(model, n, scale) for model in MODELS}
+    cache.prime(configs.values(), jobs=jobs)
     rows = []
     for model in MODELS:
-        result = cache.get(scenario(model, n, scale))
+        summary = cache.get_summary(configs[model])
         for level in range(1, MAX_L + 1):
-            delays = result.nth_monitor_delays(level)
+            delays = summary.nth_monitor_delays(level)
             rows.append((model, n, level, stats.mean(delays), len(delays)))
     return rows
 
@@ -46,5 +50,7 @@ def render(rows) -> str:
     )
 
 
-def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    return render(compute(scale, cache))
+def run(
+    scale: str = "bench", cache: Optional[SimulationCache] = None, jobs: int = 1
+) -> str:
+    return render(compute(scale, cache, jobs))

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..core import optimal
 from ..metrics import stats
 from .cache import SimulationCache, default_cache
 from .fig03_discovery import MODELS
@@ -22,42 +21,55 @@ __all__ = ["compute_fig7", "compute_fig8", "run_fig7", "run_fig8", "run"]
 
 
 def compute_fig7(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> List[Tuple[str, int, float, float, float]]:
     """Rows of (model, N, avg comps/s, std, expected 2·cvs²/period)."""
     cache = cache if cache is not None else default_cache()
+    configs = [
+        scenario(model, n, scale) for model in MODELS for n in n_values(scale)
+    ]
+    cache.prime(configs, jobs=jobs)
     rows = []
-    for model in MODELS:
-        for n in n_values(scale):
-            result = cache.get(scenario(model, n, scale))
-            rates = result.computation_rates(control_only=True)
-            expected = (
-                2.0
-                * result.avmon_config.cvs ** 2
-                / result.avmon_config.protocol_period
-            )
-            rows.append((model, n, stats.mean(rates), stats.std(rates), expected))
+    for config in configs:
+        summary = cache.get_summary(config)
+        rates = summary.computation_rates(control_only=True)
+        expected = (
+            2.0 * summary.avmon["cvs"] ** 2 / summary.avmon["protocol_period"]
+        )
+        rows.append(
+            (summary.model, summary.n, stats.mean(rates), stats.std(rates), expected)
+        )
     return rows
 
 
 def compute_fig8(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> Dict[Tuple[str, int], List[Tuple[float, float]]]:
     """CDF points of per-node comps/s at the sweep's extreme Ns."""
     cache = cache if cache is not None else default_cache()
     sweep = n_values(scale)
-    out = {}
-    for model in MODELS:
-        for n in (sweep[0], sweep[-1]):
-            result = cache.get(scenario(model, n, scale))
-            out[(model, n)] = stats.cdf_points(
-                result.computation_rates(control_only=True)
-            )
-    return out
+    configs = {
+        (model, n): scenario(model, n, scale)
+        for model in MODELS
+        for n in (sweep[0], sweep[-1])
+    }
+    cache.prime(configs.values(), jobs=jobs)
+    return {
+        key: stats.cdf_points(
+            cache.get_summary(config).computation_rates(control_only=True)
+        )
+        for key, config in configs.items()
+    }
 
 
-def run_fig7(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    rows = compute_fig7(scale, cache)
+def run_fig7(
+    scale: str = "bench", cache: Optional[SimulationCache] = None, jobs: int = 1
+) -> str:
+    rows = compute_fig7(scale, cache, jobs)
     header = (
         "Figure 7 - average computations per second per node\n"
         "paper: sublinear in N, close to 2*cvs^2 per minute, barely\n"
@@ -68,8 +80,10 @@ def run_fig7(scale: str = "bench", cache: Optional[SimulationCache] = None) -> s
     )
 
 
-def run_fig8(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    data = compute_fig8(scale, cache)
+def run_fig8(
+    scale: str = "bench", cache: Optional[SimulationCache] = None, jobs: int = 1
+) -> str:
+    data = compute_fig8(scale, cache, jobs)
     lines = ["Figure 8 - CDF of per-node computations per second"]
     for (model, n), points in sorted(data.items()):
         lines.append("")
@@ -78,5 +92,7 @@ def run_fig8(scale: str = "bench", cache: Optional[SimulationCache] = None) -> s
     return "\n".join(lines)
 
 
-def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    return run_fig7(scale, cache) + "\n\n" + run_fig8(scale, cache)
+def run(
+    scale: str = "bench", cache: Optional[SimulationCache] = None, jobs: int = 1
+) -> str:
+    return run_fig7(scale, cache, jobs) + "\n\n" + run_fig8(scale, cache, jobs)

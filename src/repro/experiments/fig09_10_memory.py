@@ -21,44 +21,57 @@ __all__ = ["compute_fig9", "compute_fig10", "run_fig9", "run_fig10", "run"]
 
 
 def compute_fig9(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> List[Tuple[str, int, float, float, float]]:
     """Rows of (model, N, avg entries, std, expected cvs + 2K)."""
     cache = cache if cache is not None else default_cache()
+    configs = [
+        scenario(model, n, scale) for model in MODELS for n in n_values(scale)
+    ]
+    cache.prime(configs, jobs=jobs)
     rows = []
-    for model in MODELS:
-        for n in n_values(scale):
-            result = cache.get(scenario(model, n, scale))
-            values = result.memory_values(control_only=True)
-            rows.append(
-                (
-                    model,
-                    n,
-                    stats.mean(values),
-                    stats.std(values),
-                    result.avmon_config.expected_memory_entries,
-                )
+    for config in configs:
+        summary = cache.get_summary(config)
+        values = summary.memory_values(control_only=True)
+        rows.append(
+            (
+                summary.model,
+                summary.n,
+                stats.mean(values),
+                stats.std(values),
+                summary.avmon["expected_memory_entries"],
             )
+        )
     return rows
 
 
 def compute_fig10(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> Dict[Tuple[str, int], List[Tuple[float, float]]]:
     cache = cache if cache is not None else default_cache()
     sweep = n_values(scale)
-    out = {}
-    for model in MODELS:
-        for n in (sweep[0], sweep[-1]):
-            result = cache.get(scenario(model, n, scale))
-            out[(model, n)] = stats.cdf_points(
-                result.memory_values(control_only=True)
-            )
-    return out
+    configs = {
+        (model, n): scenario(model, n, scale)
+        for model in MODELS
+        for n in (sweep[0], sweep[-1])
+    }
+    cache.prime(configs.values(), jobs=jobs)
+    return {
+        key: stats.cdf_points(
+            cache.get_summary(config).memory_values(control_only=True)
+        )
+        for key, config in configs.items()
+    }
 
 
-def run_fig9(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    rows = compute_fig9(scale, cache)
+def run_fig9(
+    scale: str = "bench", cache: Optional[SimulationCache] = None, jobs: int = 1
+) -> str:
+    rows = compute_fig9(scale, cache, jobs)
     header = (
         "Figure 9 - average memory entries per node (|PS| + |TS| + |CV|)\n"
         "paper: close to the expected cvs + 2K; churned models slightly\n"
@@ -69,8 +82,10 @@ def run_fig9(scale: str = "bench", cache: Optional[SimulationCache] = None) -> s
     )
 
 
-def run_fig10(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    data = compute_fig10(scale, cache)
+def run_fig10(
+    scale: str = "bench", cache: Optional[SimulationCache] = None, jobs: int = 1
+) -> str:
+    data = compute_fig10(scale, cache, jobs)
     lines = ["Figure 10 - CDF of per-node memory entries"]
     for (model, n), points in sorted(data.items()):
         lines.append("")
@@ -79,5 +94,7 @@ def run_fig10(scale: str = "bench", cache: Optional[SimulationCache] = None) -> 
     return "\n".join(lines)
 
 
-def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    return run_fig9(scale, cache) + "\n\n" + run_fig10(scale, cache)
+def run(
+    scale: str = "bench", cache: Optional[SimulationCache] = None, jobs: int = 1
+) -> str:
+    return run_fig9(scale, cache, jobs) + "\n\n" + run_fig10(scale, cache, jobs)

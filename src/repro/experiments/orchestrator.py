@@ -1,0 +1,156 @@
+"""Parallel sweep orchestrator: fan simulation cells out over processes.
+
+One *cell* is a fully-resolved :class:`~repro.experiments.runner.
+SimulationConfig` (picklable: plain dataclasses, traces and latency models
+are inert data).  Each worker runs the simulation and returns only the
+flat :class:`~repro.experiments.summary.SimulationSummary` — the full
+result object, which owns the live cluster/network graph, never crosses
+the process boundary.
+
+Guarantees:
+
+* **Determinism** — every cell carries its own seed and the simulator's
+  randomness derives exclusively from it (BLAKE2b substreams, no global
+  state), so results are identical whatever the process count or
+  completion order; outputs are re-ordered to match the input sequence.
+* **Graceful interruption** — workers ignore SIGINT; a Ctrl-C in the
+  parent terminates the pool and re-raises ``KeyboardInterrupt``.
+* **Failure isolation** — a crashing cell does not take the sweep down;
+  failures are collected and reported together in a :class:`SweepError`
+  after the surviving cells finish.
+
+The fan-out pattern follows Icarus' experiment orchestration (Saino et
+al.): a settings-driven queue of experiments dispatched to a
+``multiprocessing.Pool`` with periodic progress summaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .runner import SimulationConfig, run_simulation
+from .summary import SimulationSummary, summarize
+
+__all__ = [
+    "CellFailure",
+    "SweepError",
+    "cell_label",
+    "default_jobs",
+    "run_configs",
+]
+
+#: Progress callback signature: (done, total, label, wall_seconds).
+ProgressFn = Callable[[int, int, str, float], None]
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell that raised instead of producing a summary."""
+
+    index: int
+    label: str
+    error: str
+
+
+class SweepError(RuntimeError):
+    """Raised after a sweep completes with one or more failed cells."""
+
+    def __init__(self, failures: Sequence[CellFailure], total: int) -> None:
+        self.failures = tuple(failures)
+        self.total = total
+        first = self.failures[0]
+        super().__init__(
+            f"{len(self.failures)}/{total} sweep cells failed; "
+            f"first failure ({first.label}):\n{first.error}"
+        )
+
+
+def cell_label(config: SimulationConfig) -> str:
+    """Human-readable cell identity for progress lines and errors."""
+    return f"{config.label} n={config.n} seed={config.seed}"
+
+
+def default_jobs() -> int:
+    """Conservative default worker count: all cores, capped at 8."""
+    return max(1, min(8, multiprocessing.cpu_count()))
+
+
+def _init_worker() -> None:
+    """Leave interrupt handling to the parent so Ctrl-C terminates cleanly."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _execute_cell(
+    payload: Tuple[int, SimulationConfig]
+) -> Tuple[int, Optional[SimulationSummary], Optional[str]]:
+    """Run one cell; never raises (errors travel back as text)."""
+    index, config = payload
+    try:
+        return index, summarize(run_simulation(config)), None
+    except Exception:
+        return index, None, traceback.format_exc()
+
+
+def run_configs(
+    configs: Sequence[SimulationConfig],
+    *,
+    jobs: int = 1,
+    progress: Optional[ProgressFn] = None,
+) -> List[SimulationSummary]:
+    """Run every config and return summaries in input order.
+
+    ``jobs <= 1`` executes serially in-process through the *same* cell
+    function the pool uses, so serial and parallel runs produce identical
+    summaries (the parallel/serial equivalence the test suite asserts).
+    """
+    payloads = list(enumerate(configs))
+    total = len(payloads)
+    summaries: List[Optional[SimulationSummary]] = [None] * total
+    failures: List[CellFailure] = []
+    started = time.perf_counter()
+
+    def record(index: int, summary: Optional[SimulationSummary], error: Optional[str]) -> int:
+        if summary is not None:
+            summaries[index] = summary
+        else:
+            failures.append(
+                CellFailure(index, cell_label(configs[index]), error or "unknown error")
+            )
+        done = sum(1 for s in summaries if s is not None) + len(failures)
+        if progress is not None:
+            progress(
+                done,
+                total,
+                cell_label(configs[index]),
+                time.perf_counter() - started,
+            )
+        return done
+
+    if jobs <= 1 or total <= 1:
+        for payload in payloads:
+            record(*_execute_cell(payload))
+    else:
+        workers = min(jobs, total)
+        pool = multiprocessing.Pool(workers, initializer=_init_worker)
+        try:
+            for outcome in pool.imap_unordered(_execute_cell, payloads):
+                record(*outcome)
+            pool.close()
+        except BaseException:
+            # Any escape (Ctrl-C, a raising progress callback, unpicklable
+            # result) must terminate the workers before join(), or join()
+            # itself raises and masks the original error.
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+
+    if failures:
+        failures.sort(key=lambda f: f.index)
+        raise SweepError(failures, total)
+    return [s for s in summaries if s is not None]

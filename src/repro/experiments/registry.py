@@ -2,14 +2,24 @@
 
 Maps experiment ids (``fig3`` … ``fig20``, ``table1``, ``ext_baselines``)
 to the callable that regenerates the corresponding table or figure series.
-Used by the CLI and by the per-artifact benchmarks.
+Each experiment is also registered under the ``"experiment"`` kind of the
+component registry, so unknown ids raise the same
+:class:`~repro.registry.UnknownComponentError` (listing the alternatives)
+as any other component lookup, and third parties can plug in artifacts of
+their own.
+
+Used by the CLI and by the per-artifact benchmarks.  Experiments whose
+runner accepts a ``jobs`` parameter (the N-sweep figures) fan their base
+simulations out over a process pool via the orchestrator.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from ..registry import REGISTRY, resolve
 from . import (
     ext_baselines,
     fig03_discovery,
@@ -38,7 +48,19 @@ class Experiment:
     title: str
     runner: Callable[..., str]
 
-    def run(self, scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
+    @property
+    def supports_jobs(self) -> bool:
+        """Whether the runner can fan out over a multiprocessing pool."""
+        return "jobs" in inspect.signature(self.runner).parameters
+
+    def run(
+        self,
+        scale: str = "bench",
+        cache: Optional[SimulationCache] = None,
+        jobs: int = 1,
+    ) -> str:
+        if self.supports_jobs:
+            return self.runner(scale, cache, jobs=jobs)
         return self.runner(scale, cache)
 
 
@@ -68,6 +90,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
     )
 }
 
+for _experiment in EXPERIMENTS.values():
+    if not REGISTRY.is_registered("experiment", _experiment.id):
+        REGISTRY.register("experiment", _experiment.id, _experiment)
+del _experiment
+
 
 def experiment_ids() -> tuple:
     return tuple(EXPERIMENTS)
@@ -77,12 +104,8 @@ def run_experiment(
     experiment_id: str,
     scale: str = "bench",
     cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> str:
-    try:
-        experiment = EXPERIMENTS[experiment_id]
-    except KeyError:
-        raise ValueError(
-            f"unknown experiment {experiment_id!r}; "
-            f"available: {', '.join(EXPERIMENTS)}"
-        ) from None
-    return experiment.run(scale, cache)
+    """Run one artifact by id (raises UnknownComponentError when unknown)."""
+    experiment = resolve("experiment", experiment_id)
+    return experiment.run(scale, cache, jobs=jobs)

@@ -18,13 +18,14 @@ lifecycles and true-uptime bookkeeping.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..churn import models as _churn_models  # noqa: F401 — registers STAT/SYNTH*
+from ..churn import replay as _churn_replay  # noqa: F401 — registers TRACE/PL/OV
 from ..churn.base import ChurnModel
-from ..churn.models import make_model
-from ..churn.replay import TraceReplayModel
 from ..core.condition import ConsistencyCondition
 from ..core.config import AvmonConfig
 from ..core.hashing import NodeId
@@ -32,8 +33,9 @@ from ..core.node import AvmonNode
 from ..core.relation import MonitorRelation
 from ..metrics import stats
 from ..metrics.collectors import MetricsHub
-from ..net.latency import UniformLatency
+from ..net.latency import LatencyModel, UniformLatency
 from ..net.network import Network, SimHost
+from ..registry import resolve
 from ..sim.engine import Simulator
 from ..sim.randomness import RandomSource
 from ..traces.format import AvailabilityTrace
@@ -71,6 +73,8 @@ class SimulationConfig:
     #: Memory-sampling cadence during the measurement window.
     sample_interval: float = 120.0
     label: str = ""
+    #: Pluggable latency model; None -> UniformLatency(latency_low, latency_high).
+    latency: Optional[LatencyModel] = None
 
     def __post_init__(self) -> None:
         if self.n <= 1:
@@ -263,7 +267,7 @@ class Cluster:
         intervals = self._uptime.get(node)
         if not intervals:
             return default
-        last_start, last_end = intervals[-1]
+        last_end = intervals[-1][1]
         return default if last_end is None else last_end
 
     def alive_ids(self) -> Tuple[NodeId, ...]:
@@ -428,18 +432,28 @@ class SimulationResult:
         )
         return affected / len(audits)
 
+    # -- summary extraction ----------------------------------------------------
+
+    def summary(self):
+        """Flat, picklable :class:`~repro.experiments.summary.SimulationSummary`
+        carrying every series the figures consume (see that module)."""
+        from .summary import summarize
+
+        return summarize(self)
+
 
 def run_simulation(config: SimulationConfig) -> SimulationResult:
     """Build and execute one experiment; see the module docstring."""
-    import time as _time
-
-    wall_start = _time.perf_counter()
+    wall_start = time.perf_counter()
     avmon_config = config.resolved_avmon()
     source = RandomSource(config.seed)
     sim = Simulator()
+    latency = config.latency
+    if latency is None:
+        latency = UniformLatency(config.latency_low, config.latency_high)
     network = Network(
         sim,
-        latency=UniformLatency(config.latency_low, config.latency_high),
+        latency=latency,
         rng=source.stream("network"),
         entry_bytes=avmon_config.entry_bytes,
     )
@@ -518,23 +532,26 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         n_longterm=cluster.births_total,
         final_alive=network.alive_count(),
         events_processed=sim.processed_events,
-        wall_seconds=_time.perf_counter() - wall_start,
+        wall_seconds=time.perf_counter() - wall_start,
     )
 
 
 def _build_model(
     config: SimulationConfig, cluster: Cluster, source: RandomSource
 ) -> ChurnModel:
-    if config.is_trace_model:
-        return TraceReplayModel(
-            config.trace, source.stream("churn"), name=config.model_key
-        )
-    return make_model(
-        config.model_key,
+    """Build the churn model named by the config via the component registry.
+
+    Every registered ``"churn"`` factory shares the signature
+    ``factory(n_stable, rng, **params)`` and picks the parameters it needs,
+    so third-party models plug in without touching this module.
+    """
+    factory = resolve("churn", config.model_key)
+    return factory(
         config.n,
         source.stream("churn"),
         churn_per_hour=config.churn_per_hour,
         birth_death_per_day=config.birth_death_per_day,
+        trace=config.trace,
     )
 
 

@@ -25,6 +25,7 @@ from .runner import SimulationConfig
 __all__ = [
     "SCALES",
     "n_values",
+    "scale_window",
     "scenario",
     "trace_for",
     "planetlab_scenario",
@@ -59,6 +60,11 @@ def _check_scale(scale: str) -> str:
 def n_values(scale: str = "bench") -> List[int]:
     """The system sizes standing in for the paper's {100..2000} sweep."""
     return list(_N_SWEEP[_check_scale(scale)])
+
+
+def scale_window(scale: str = "bench") -> Tuple[float, float]:
+    """``(warmup seconds, measurement seconds)`` for a named scale."""
+    return _WINDOWS[_check_scale(scale)]
 
 
 def scenario(
@@ -131,10 +137,12 @@ def trace_for(system: str, scale: str = "bench", *, seed: int = 7) -> Availabili
     return trace
 
 
-def planetlab_scenario(scale: str = "bench", *, seed: int = 1, **overrides) -> SimulationConfig:
+def planetlab_scenario(
+    scale: str = "bench", *, seed: int = 1, trace_seed: int = 7, **overrides
+) -> SimulationConfig:
     """The paper's PL experiment: N = 239, K = 8, cvs = 16 (scaled)."""
     warmup, window = _WINDOWS[_check_scale(scale)]
-    trace = trace_for("PL", scale)
+    trace = trace_for("PL", scale, seed=trace_seed)
     stable = 239 if scale == "paper" else len(trace)
     avmon = overrides.pop("avmon", None)
     if avmon is None:
@@ -152,10 +160,12 @@ def planetlab_scenario(scale: str = "bench", *, seed: int = 1, **overrides) -> S
     )
 
 
-def overnet_scenario(scale: str = "bench", *, seed: int = 1, **overrides) -> SimulationConfig:
+def overnet_scenario(
+    scale: str = "bench", *, seed: int = 1, trace_seed: int = 7, **overrides
+) -> SimulationConfig:
     """The paper's OV experiment: stable N = 550, K = 9, cvs = 19 (scaled)."""
     warmup, window = _WINDOWS[_check_scale(scale)]
-    trace = trace_for("OV", scale)
+    trace = trace_for("OV", scale, seed=trace_seed)
     stable = 550 if scale == "paper" else max(2, round(len(trace) / 2))
     avmon = overrides.pop("avmon", None)
     if avmon is None:

@@ -66,6 +66,18 @@ class DiscoveryTimeCollector:
                 out.append(value)
         return out
 
+    def delays_by_rank(self) -> Dict[int, List[float]]:
+        """All delays grouped by monitor rank: ``{nth: [delay, ...]}``.
+
+        Per-rank list order matches :meth:`nth_monitor_delays` (tracked-node
+        insertion order), so summaries built from this are reproducible.
+        """
+        out: Dict[int, List[float]] = {}
+        for delays in self._nth_delay.values():
+            for rank, value in delays.items():
+                out.setdefault(rank, []).append(value)
+        return {rank: out[rank] for rank in sorted(out)}
+
     def undiscovered_count(self) -> int:
         """Tracked nodes that never discovered any monitor."""
         return sum(1 for delays in self._nth_delay.values() if 1 not in delays)

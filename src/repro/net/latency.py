@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import random
 
+from ..registry import register
+
 __all__ = ["LatencyModel", "ConstantLatency", "UniformLatency", "LogNormalLatency"]
 
 
@@ -75,3 +77,8 @@ class LogNormalLatency(LatencyModel):
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"LogNormalLatency(mu={self.mu:.3f}, sigma={self.sigma}, cap={self.cap})"
+
+
+register("latency", "CONSTANT", ConstantLatency)
+register("latency", "UNIFORM", UniformLatency)
+register("latency", "LOGNORMAL", LogNormalLatency)

@@ -1,0 +1,152 @@
+"""Pluggable component registry: named factories for every swappable part.
+
+The simulator is assembled from interchangeable components — churn models,
+latency models, trace generators, baseline overlays, experiments.  Each kind
+is a namespace of named factories; registration happens at import time via
+the :func:`register` decorator::
+
+    from repro.registry import register
+
+    @register("churn", "MY-MODEL")
+    def _make(n_stable, rng=None, **params):
+        return MyModel(n_stable, rng)
+
+Downstream users can plug in their own components without touching the
+runner: anything registered under ``"churn"`` is immediately usable as a
+``Scenario.model`` / ``SimulationConfig.model`` value, and the CLI lists it.
+
+Lookup is case-insensitive and treats ``_`` and ``-`` as equivalent
+(``"synth_bd"`` resolves the component registered as ``"SYNTH-BD"``).
+Unknown names raise :class:`UnknownComponentError` — a single error type,
+also a :class:`ValueError`, whose message lists the registered alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "ComponentRegistry",
+    "UnknownComponentError",
+    "REGISTRY",
+    "register",
+    "resolve",
+    "create",
+    "component_names",
+    "component_kinds",
+    "is_registered",
+]
+
+
+def canonical_name(name: str) -> str:
+    """Canonical lookup key: trimmed, upper-cased, ``_`` folded to ``-``."""
+    return name.strip().upper().replace("_", "-")
+
+
+class UnknownComponentError(LookupError, ValueError):
+    """A component name that is not registered for its kind.
+
+    Subclasses :class:`ValueError` too, so legacy call sites catching
+    ``ValueError`` around factory lookups keep working.
+    """
+
+    def __init__(self, kind: str, name: str, available: Tuple[str, ...]) -> None:
+        self.kind = kind
+        self.name = name
+        self.available = tuple(available)
+        listing = ", ".join(self.available) if self.available else "(none)"
+        super().__init__(
+            f"unknown {kind} component {name!r}; registered: {listing}"
+        )
+
+    def __str__(self) -> str:  # LookupError would repr() the args tuple
+        return self.args[0]
+
+
+class ComponentRegistry:
+    """Named factories grouped by *kind* (``churn``, ``latency``, ...)."""
+
+    def __init__(self) -> None:
+        #: kind -> canonical name -> (display name, factory)
+        self._components: Dict[str, Dict[str, Tuple[str, Callable]]] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        kind: str,
+        name: str,
+        factory: Optional[Callable] = None,
+        *,
+        replace: bool = False,
+    ):
+        """Register *factory* under ``(kind, name)``.
+
+        Usable directly (``registry.register("churn", "X", make_x)``) or as
+        a decorator (``@registry.register("churn", "X")``).  Re-registering
+        an existing name raises unless ``replace=True``.
+        """
+
+        def _add(fn: Callable) -> Callable:
+            entries = self._components.setdefault(kind, {})
+            key = canonical_name(name)
+            if key in entries and not replace:
+                raise ValueError(
+                    f"{kind} component {entries[key][0]!r} already registered; "
+                    f"pass replace=True to override"
+                )
+            entries[key] = (name, fn)
+            return fn
+
+        if factory is not None:
+            return _add(factory)
+        return _add
+
+    def unregister(self, kind: str, name: str) -> None:
+        """Remove a component (primarily for tests plugging temporaries)."""
+        entries = self._components.get(kind, {})
+        entries.pop(canonical_name(name), None)
+
+    # -- lookup ------------------------------------------------------------
+
+    def resolve(self, kind: str, name: str) -> Callable:
+        """The factory registered under ``(kind, name)``.
+
+        Raises :class:`UnknownComponentError` listing the alternatives when
+        the name (or the whole kind) is unknown.
+        """
+        entries = self._components.get(kind, {})
+        entry = entries.get(canonical_name(name))
+        if entry is None:
+            raise UnknownComponentError(kind, name, self.names(kind))
+        return entry[1]
+
+    def create(self, kind: str, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Resolve and call the factory in one step."""
+        return self.resolve(kind, name)(*args, **kwargs)
+
+    def is_registered(self, kind: str, name: str) -> bool:
+        return canonical_name(name) in self._components.get(kind, {})
+
+    def names(self, kind: str) -> Tuple[str, ...]:
+        """Display names registered under *kind*, sorted."""
+        entries = self._components.get(kind, {})
+        return tuple(sorted(display for display, _ in entries.values()))
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._components))
+
+    def catalog(self) -> Dict[str, Tuple[str, ...]]:
+        """Every kind with its registered names (for ``avmon list --json``)."""
+        return {kind: self.names(kind) for kind in self.kinds()}
+
+
+#: Process-wide registry that built-in components register into on import.
+REGISTRY = ComponentRegistry()
+
+register = REGISTRY.register
+resolve = REGISTRY.resolve
+create = REGISTRY.create
+component_names = REGISTRY.names
+component_kinds = REGISTRY.kinds
+is_registered = REGISTRY.is_registered

@@ -14,6 +14,7 @@ Invariants (validated on construction, property-tested in the suite):
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -165,6 +166,26 @@ class AvailabilityTrace:
             for node in self.nodes.values()
             if node.birth is not None and node.birth <= time
         )
+
+    def content_hash(self) -> str:
+        """Stable digest of the full trace content (cached after first call).
+
+        Two traces share a hash iff every node's sessions and death agree —
+        the property simulation caches key on, where shallow fingerprints
+        like ``(len, duration)`` collide across seeds and generators.
+        """
+        cached = getattr(self, "_content_hash", None)
+        if cached is not None:
+            return cached
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(repr(self.duration).encode())
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            digest.update(f"|{node_id};{node.death!r}".encode())
+            for session in node.sessions:
+                digest.update(f";{session.start!r},{session.end!r}".encode())
+        self._content_hash = digest.hexdigest()
+        return self._content_hash
 
     # -- serialisation ---------------------------------------------------------
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..registry import register
 from ..sim.randomness import RandomSource
 from .format import AvailabilityTrace, NodeTrace
 from .synthesis import renewal_node_trace
@@ -133,3 +134,6 @@ def generate_overnet_trace(
             cursor += population_rng.expovariate(birth_rate_per_second)
 
     return AvailabilityTrace(duration, nodes)
+
+
+register("trace", "OV", generate_overnet_trace)

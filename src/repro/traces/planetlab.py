@@ -17,6 +17,7 @@ and the low churn rate, both of which are preserved.
 
 from __future__ import annotations
 
+from ..registry import register
 from ..sim.randomness import RandomSource
 from .format import AvailabilityTrace
 from .synthesis import renewal_node_trace
@@ -72,3 +73,6 @@ def generate_planetlab_trace(
             )
         )
     return AvailabilityTrace(duration, nodes)
+
+
+register("trace", "PL", generate_planetlab_trace)

@@ -1,0 +1,136 @@
+"""Unit tests for the pluggable component registry."""
+
+import pytest
+
+from repro.churn.base import ChurnModel
+from repro.churn.models import StatModel, make_model
+from repro.registry import (
+    REGISTRY,
+    ComponentRegistry,
+    UnknownComponentError,
+    component_kinds,
+    component_names,
+    resolve,
+)
+
+
+class TestComponentRegistry:
+    def test_register_and_resolve(self):
+        registry = ComponentRegistry()
+        registry.register("widget", "BASIC", lambda: "made")
+        assert registry.resolve("widget", "BASIC")() == "made"
+
+    def test_decorator_form(self):
+        registry = ComponentRegistry()
+
+        @registry.register("widget", "DECORATED")
+        def factory():
+            return 42
+
+        assert factory() == 42  # decorator returns the function unchanged
+        assert registry.create("widget", "DECORATED") == 42
+
+    def test_lookup_is_case_and_separator_insensitive(self):
+        registry = ComponentRegistry()
+        registry.register("widget", "SYNTH-BD", lambda: "bd")
+        assert registry.resolve("widget", "synth_bd")() == "bd"
+        assert registry.resolve("widget", "Synth-Bd")() == "bd"
+
+    def test_duplicate_registration_rejected(self):
+        registry = ComponentRegistry()
+        registry.register("widget", "X", lambda: 1)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("widget", "X", lambda: 2)
+        registry.register("widget", "X", lambda: 2, replace=True)
+        assert registry.create("widget", "X") == 2
+
+    def test_names_sorted_display_form(self):
+        registry = ComponentRegistry()
+        registry.register("widget", "zeta", lambda: 1)
+        registry.register("widget", "Alpha", lambda: 2)
+        assert registry.names("widget") == ("Alpha", "zeta")
+
+    def test_unregister(self):
+        registry = ComponentRegistry()
+        registry.register("widget", "X", lambda: 1)
+        registry.unregister("widget", "x")
+        assert not registry.is_registered("widget", "X")
+
+
+class TestUnknownComponentError:
+    """Satellite: one error type, listing the registered alternatives."""
+
+    def test_single_error_type_lists_alternatives(self):
+        registry = ComponentRegistry()
+        registry.register("widget", "ALPHA", lambda: 1)
+        registry.register("widget", "BETA", lambda: 2)
+        with pytest.raises(UnknownComponentError) as excinfo:
+            registry.resolve("widget", "GAMMA")
+        message = str(excinfo.value)
+        assert "GAMMA" in message
+        assert "ALPHA" in message and "BETA" in message
+
+    def test_is_both_lookup_and_value_error(self):
+        # Legacy call sites catch ValueError around factory lookups.
+        error = UnknownComponentError("widget", "X", ("A",))
+        assert isinstance(error, LookupError)
+        assert isinstance(error, ValueError)
+
+    def test_unknown_kind_reports_empty_listing(self):
+        registry = ComponentRegistry()
+        with pytest.raises(UnknownComponentError, match=r"\(none\)"):
+            registry.resolve("no-such-kind", "X")
+
+
+class TestBuiltinComponents:
+    """Importing repro populates the global registry with every built-in."""
+
+    def test_churn_models_registered(self):
+        for name in ("STAT", "SYNTH", "SYNTH-BD", "SYNTH-BD2", "TRACE", "PL", "OV"):
+            assert name in component_names("churn")
+
+    def test_latency_models_registered(self):
+        assert set(component_names("latency")) >= {"CONSTANT", "UNIFORM", "LOGNORMAL"}
+
+    def test_trace_generators_registered(self):
+        assert set(component_names("trace")) == {"PL", "OV"}
+
+    def test_baselines_registered(self):
+        assert set(component_names("baseline")) >= {
+            "BROADCAST",
+            "CENTRAL",
+            "CYCLON",
+            "DHT",
+            "SELF-REPORT",
+        }
+
+    def test_experiments_registered(self):
+        names = component_names("experiment")
+        assert "fig3" in names and "table1" in names
+
+    def test_all_kinds_present(self):
+        assert set(component_kinds()) >= {
+            "baseline",
+            "churn",
+            "experiment",
+            "latency",
+            "trace",
+        }
+
+    def test_make_model_dispatches_through_registry(self):
+        assert isinstance(make_model("STAT", 50), StatModel)
+        with pytest.raises(UnknownComponentError):
+            make_model("NO-SUCH-MODEL", 50)
+
+    def test_third_party_churn_model_plugs_in(self):
+        class FrozenModel(ChurnModel):
+            name = "FROZEN"
+
+        REGISTRY.register(
+            "churn", "TEST-FROZEN", lambda n, rng=None, **_: FrozenModel(rng)
+        )
+        try:
+            model = resolve("churn", "test_frozen")(10)
+            assert isinstance(model, FrozenModel)
+        finally:
+            REGISTRY.unregister("churn", "TEST-FROZEN")

@@ -1,6 +1,7 @@
 """Unit tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -36,3 +37,53 @@ class TestCli:
         out = io.StringIO()
         assert main(["run", "ext_baselines", "--scale", "test"], out=out) == 0
         assert "DHT" in out.getvalue()
+
+    def test_run_with_jobs(self):
+        out = io.StringIO()
+        assert main(["run", "fig3", "--scale", "test", "--jobs", "2"], out=out) == 0
+        assert "Figure 3" in out.getvalue()
+
+    def test_list_json_includes_components(self):
+        out = io.StringIO()
+        assert main(["list", "--json"], out=out) == 0
+        payload = json.loads(out.getvalue())
+        ids = {entry["id"] for entry in payload["experiments"]}
+        assert "fig3" in ids and "table1" in ids
+        assert "SYNTH" in payload["components"]["churn"]
+        assert "UNIFORM" in payload["components"]["latency"]
+
+
+class TestCliSweep:
+    def test_sweep_json_deterministic_across_jobs(self, capsys):
+        argv = ["sweep", "--model", "STAT", "--n", "16,24", "--seeds", "2",
+                "--scale", "test", "--json"]
+        serial, parallel = io.StringIO(), io.StringIO()
+        assert main(argv + ["--jobs", "1"], out=serial) == 0
+        assert main(argv + ["--jobs", "2"], out=parallel) == 0
+        capsys.readouterr()  # drop stderr progress lines
+        assert serial.getvalue() == parallel.getvalue()
+        payload = json.loads(serial.getvalue())
+        assert len(payload["results"]) == 4
+        aggregates = {(a["model"], a["n"]): a for a in payload["aggregates"]}
+        assert set(aggregates) == {("STAT", 16), ("STAT", 24)}
+        assert all(a["replications"] == 2 for a in aggregates.values())
+
+    def test_sweep_text_output(self, capsys):
+        out = io.StringIO()
+        argv = ["sweep", "--model", "STAT", "--n", "16", "--scale", "test"]
+        assert main(argv, out=out) == 0
+        capsys.readouterr()
+        assert "discovery(s)" in out.getvalue()
+        assert "STAT" in out.getvalue()
+
+    def test_sweep_unknown_model_errors(self, capsys):
+        out = io.StringIO()
+        argv = ["sweep", "--model", "WARP", "--n", "16", "--scale", "test"]
+        assert main(argv, out=out) == 2
+        captured = capsys.readouterr()
+        assert "unknown churn component" in captured.err
+        assert "SYNTH" in captured.err  # alternatives listed
+
+    def test_sweep_rejects_bad_n_list(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--n", "ten,twenty"])

@@ -1,0 +1,67 @@
+"""Property tests: Scenario -> dict -> JSON -> Scenario is the identity."""
+
+import json
+
+from hypothesis import given, strategies as st
+
+from repro.api import Scenario
+
+#: Strategies per field, spanning the values a sweep would ever generate.
+scenarios = st.builds(
+    Scenario,
+    model=st.sampled_from(["STAT", "SYNTH", "SYNTH-BD", "SYNTH-BD2", "PL", "OV"]),
+    n=st.one_of(st.none(), st.integers(min_value=2, max_value=5000)),
+    scale=st.sampled_from(["paper", "bench", "test"]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    duration=st.one_of(
+        st.none(), st.floats(min_value=100.0, max_value=1e6, allow_nan=False)
+    ),
+    warmup=st.one_of(
+        st.none(), st.floats(min_value=1.0, max_value=1e4, allow_nan=False)
+    ),
+    control_fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    churn_per_hour=st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+    birth_death_per_day=st.one_of(
+        st.none(), st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+    ),
+    overreport_fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    latency=st.sampled_from(["UNIFORM", "CONSTANT", "LOGNORMAL"]),
+    latency_params=st.dictionaries(
+        st.sampled_from(["low", "high", "delay"]),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        max_size=2,
+    ),
+    trace_generator=st.one_of(st.none(), st.sampled_from(["PL", "OV"])),
+    trace_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    trace_params=st.dictionaries(
+        st.sampled_from(["n", "n_stable"]),
+        st.integers(min_value=2, max_value=500),
+        max_size=1,
+    ),
+    avmon=st.dictionaries(
+        st.sampled_from(["k", "cvs", "enable_pr2"]),
+        st.one_of(st.integers(min_value=1, max_value=32), st.booleans()),
+        max_size=2,
+    ),
+    sample_interval=st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+    label=st.text(max_size=12),
+)
+
+
+@given(scenarios)
+def test_dict_round_trip_is_identity(scenario):
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+
+@given(scenarios)
+def test_json_round_trip_is_identity(scenario):
+    restored = Scenario.from_json(scenario.to_json())
+    assert restored == scenario
+    # and the serialised form itself is stable (no drift on re-encoding)
+    assert restored.to_json() == scenario.to_json()
+
+
+@given(scenarios)
+def test_json_payload_is_sorted_plain_data(scenario):
+    payload = json.loads(scenario.to_json())
+    assert list(payload) == sorted(payload)
