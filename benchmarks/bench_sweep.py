@@ -1,8 +1,12 @@
-"""Benchmark: parallel sweep orchestrator vs serial execution.
+"""Benchmark: parallel sweep orchestrator vs serial execution, and the
+disk-backed summary store cold vs warm.
 
 Times the same N-sweep (SYNTH at the scale's system sizes, two seeds)
-executed serially and through the multiprocessing pool, so the recorded
-results show the fan-out's wall-clock payoff on this machine.
+executed serially, through the multiprocessing pool, and against a
+:class:`~repro.experiments.store.SummaryStore` — first cold (every cell
+simulated and persisted) then warm (every cell loaded from disk, zero
+simulations), so the recorded results show both the fan-out's wall-clock
+payoff and the resume path's speedup on this machine.
 """
 
 from conftest import bench_scale
@@ -10,15 +14,17 @@ from conftest import bench_scale
 from repro.api import Scenario, sweep
 from repro.experiments.orchestrator import default_jobs
 from repro.experiments.scenarios import n_values
+from repro.experiments.store import SummaryStore
 
 
-def _run_sweep(jobs: int):
+def _run_sweep(jobs: int, store=None):
     scale = bench_scale()
     return sweep(
         Scenario(model="SYNTH", scale=scale),
         grid={"n": n_values(scale)},
         seeds=2,
         jobs=jobs,
+        store=store,
     )
 
 
@@ -31,3 +37,29 @@ def test_sweep_parallel(benchmark, record_report):
     jobs = default_jobs()
     results = benchmark.pedantic(lambda: _run_sweep(jobs), rounds=1, iterations=1)
     record_report("sweep_parallel", f"parallel sweep ({jobs} jobs): {len(results)} cells")
+
+
+def test_sweep_cold_store(benchmark, record_report, tmp_path):
+    store = SummaryStore(tmp_path / "store")
+    results = benchmark.pedantic(
+        lambda: _run_sweep(1, store=store), rounds=1, iterations=1
+    )
+    record_report(
+        "sweep_cold_store",
+        f"cold store sweep: {len(results)} cells, {store.writes} summaries "
+        f"persisted, {store.hits} resumed",
+    )
+
+
+def test_sweep_warm_store(benchmark, record_report, tmp_path):
+    store = SummaryStore(tmp_path / "store")
+    _run_sweep(1, store=store)  # populate: the 'interrupted' first run
+    store.hits = store.misses = store.writes = 0
+    results = benchmark.pedantic(
+        lambda: _run_sweep(1, store=store), rounds=1, iterations=1
+    )
+    record_report(
+        "sweep_warm_store",
+        f"warm store sweep: {len(results)} cells, {store.hits} resumed from "
+        f"disk, {store.writes} recomputed",
+    )

@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
 """Quickstart: declare AVMON scenarios, run them, sweep them in parallel.
 
-Three stops:
+Four stops:
 
 1. declare a :class:`repro.Scenario` naming every component by registry
    key, run it, and read discovery/memory series off the flat summary;
 2. show the spec is fully serialisable (JSON round trip) — the property
    that lets sweeps fan cells out over worker processes;
 3. sweep system sizes x seeds through the parallel orchestrator and
-   aggregate with the ResultSet helpers.
+   aggregate with the ResultSet helpers;
+4. make the sweep resumable: point it at a
+   :class:`~repro.experiments.store.SummaryStore` directory and a repeat
+   (or killed-and-restarted) invocation loads finished cells from disk
+   instead of simulating — the CLI exposes the same store as
+   ``avmon sweep --cache-dir DIR`` / the ``AVMON_CACHE_DIR`` variable.
 
 A final stop shows the legacy imperative API (SimulationConfig +
 run_simulation), which remains supported unchanged.
@@ -16,7 +21,10 @@ run_simulation), which remains supported unchanged.
 Run:  python examples/quickstart.py
 """
 
+import tempfile
+
 from repro import Scenario, SimulationConfig, run, run_simulation, sweep
+from repro.experiments.store import SummaryStore
 from repro.metrics import stats
 
 
@@ -61,6 +69,23 @@ def parallel_sweep() -> None:
               f"(expected {group.summaries[0].avmon['expected_memory_entries']:.1f})")
 
 
+def resumable_sweep() -> None:
+    # Summaries are content-addressed JSON files: the filename is a stable
+    # hash of the run's structural cache key, identical in every process.
+    base = Scenario(model="SYNTH", scale="test", seed=3)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        store = SummaryStore(cache_dir)
+        cold = sweep(base, grid={"n": [30, 60]}, store=store)
+        print(f"\ncold sweep: {store.writes} cells simulated and persisted "
+              f"to {len(store)} summary files")
+        warm_store = SummaryStore(cache_dir)  # e.g. a new process
+        warm = sweep(base, grid={"n": [30, 60]}, store=warm_store)
+        identical = cold.to_json() == warm.to_json()
+        print(f"warm sweep: {warm_store.hits} cells resumed from disk, "
+              f"{warm_store.writes} recomputed; results byte-identical: "
+              f"{identical}")
+
+
 def legacy_shim() -> None:
     # The original imperative API is unchanged: build a SimulationConfig by
     # hand and inspect the full result object (live cluster included).
@@ -79,6 +104,7 @@ def legacy_shim() -> None:
 def main() -> None:
     declarative_run()
     parallel_sweep()
+    resumable_sweep()
     legacy_shim()
 
 

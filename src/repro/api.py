@@ -53,6 +53,7 @@ from .core.config import AvmonConfig
 from .experiments.orchestrator import ProgressFn, run_configs
 from .experiments.runner import SimulationConfig, run_simulation
 from .experiments.scenarios import SCALES, scale_window, trace_for
+from .experiments.store import SummaryStore
 from .experiments.summary import SimulationSummary
 from .metrics import stats
 from .registry import canonical_name, create, resolve
@@ -343,16 +344,23 @@ def sweep(
     seeds: Union[int, Sequence[int]] = 1,
     jobs: int = 1,
     progress: Optional[ProgressFn] = None,
+    store: Optional[SummaryStore] = None,
 ) -> "ResultSet":
     """Run a parameter grid × seed replications, optionally in parallel.
 
     Cells fan out over ``jobs`` worker processes through the orchestrator;
     results come back in deterministic cell order regardless of completion
     order, so ``jobs=1`` and ``jobs=N`` produce identical result sets.
+
+    With *store* (a :class:`~repro.experiments.store.SummaryStore`), cells
+    already on disk are loaded instead of simulated and fresh results are
+    persisted as they complete, making the sweep resumable across
+    processes — an interrupted run re-invoked with the same arguments
+    recomputes only the missing cells and returns an identical result set.
     """
     cells = expand_grid(base, grid, seeds=seeds)
     configs = [cell.to_config() for cell in cells]
-    summaries = run_configs(configs, jobs=jobs, progress=progress)
+    summaries = run_configs(configs, jobs=jobs, progress=progress, store=store)
     return ResultSet(
         [SweepResult(cell, summary) for cell, summary in zip(cells, summaries)]
     )

@@ -8,16 +8,25 @@ Examples::
     avmon run fig19 --scale paper     # full paper-scale replication
     avmon run all --scale test --jobs 4   # every artifact, N-sweeps in parallel
     avmon sweep --model SYNTH --n 100,200,400 --seeds 3 --jobs 4 --json
+    avmon sweep --n 100,200 --seeds 3 --cache-dir ~/.avmon-cache   # resumable
 
 (`avmon` is `python -m repro.cli`.)  ``sweep`` output is deterministic:
 the aggregated JSON of a ``--jobs 4`` run is byte-identical to the same
 sweep at ``--jobs 1``.
+
+``--cache-dir DIR`` (or the ``AVMON_CACHE_DIR`` environment variable)
+persists every simulation summary as a content-addressed JSON file under
+DIR.  Runs and sweeps consult the directory before simulating, so a killed
+invocation re-run with the same arguments resumes with zero recomputation
+of completed cells, and separate processes share one set of results.  The
+resume tally is printed to stderr as ``cache: hits=H computed=C``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -27,6 +36,7 @@ from .experiments.cache import SimulationCache
 from .experiments.orchestrator import SweepError
 from .experiments.registry import EXPERIMENTS, run_experiment
 from .experiments.scenarios import SCALES, n_values
+from .experiments.store import SummaryStore
 from .metrics import stats
 from .registry import REGISTRY, UnknownComponentError
 
@@ -44,6 +54,16 @@ def _int_list(text: str) -> List[int]:
     if not values:
         raise argparse.ArgumentTypeError("expected at least one integer")
     return values
+
+
+def _add_cache_dir_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("AVMON_CACHE_DIR") or None,
+        metavar="DIR",
+        help="persist summaries as JSON under DIR and resume from them "
+        "(default: the AVMON_CACHE_DIR environment variable, if set)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for N-sweep experiments (default: 1)",
     )
+    _add_cache_dir_argument(run_parser)
 
     sweep_parser = commands.add_parser(
         "sweep", help="sweep a churn model over system sizes x seeds"
@@ -111,7 +132,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--json", action="store_true", help="emit the full result set as JSON"
     )
+    _add_cache_dir_argument(sweep_parser)
     return parser
+
+
+class CacheDirError(RuntimeError):
+    """--cache-dir points somewhere that cannot back a store."""
+
+
+def _store_from(args) -> Optional[SummaryStore]:
+    if not args.cache_dir:
+        return None
+    try:
+        return SummaryStore(args.cache_dir)
+    except OSError as error:
+        raise CacheDirError(
+            f"cannot use cache dir {args.cache_dir!r}: {error}"
+        ) from error
+
+
+def _report_store(store: Optional[SummaryStore]) -> None:
+    """One grep-able stderr line per invocation: how much was resumed."""
+    if store is not None:
+        print(
+            f"cache: dir={store.root} hits={store.hits} computed={store.writes}",
+            file=sys.stderr,
+        )
 
 
 def _run_one(experiment_id: str, scale: str, cache: SimulationCache, jobs: int, out) -> None:
@@ -143,16 +189,23 @@ def _cmd_list(args, out) -> int:
 
 
 def _cmd_run(args, out) -> int:
-    cache = SimulationCache()
+    try:
+        store = _store_from(args)
+    except CacheDirError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    cache = SimulationCache(store=store)
     if args.experiment == "all":
         for experiment_id in EXPERIMENTS:
             _run_one(experiment_id, args.scale, cache, args.jobs, out)
+        _report_store(store)
         return 0
     try:
         _run_one(args.experiment, args.scale, cache, args.jobs, out)
     except UnknownComponentError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    _report_store(store)
     return 0
 
 
@@ -193,6 +246,11 @@ def _sweep_payload(results) -> dict:
 def _cmd_sweep(args, out) -> int:
     ns = args.n if args.n is not None else n_values(args.scale)
     try:
+        store = _store_from(args)
+    except CacheDirError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
         base = Scenario(model=args.model, scale=args.scale, seed=args.seed)
         results = sweep(
             base,
@@ -200,6 +258,7 @@ def _cmd_sweep(args, out) -> int:
             seeds=args.seeds,
             jobs=args.jobs,
             progress=_progress_printer(sys.stderr),
+            store=store,
         )
     except ValueError as error:  # includes UnknownComponentError
         print(f"error: {error}", file=sys.stderr)
@@ -207,6 +266,7 @@ def _cmd_sweep(args, out) -> int:
     except SweepError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    _report_store(store)
     if args.json:
         print(json.dumps(_sweep_payload(results), indent=2, sort_keys=True), file=out)
         return 0

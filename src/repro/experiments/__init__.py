@@ -14,6 +14,7 @@ from .scenarios import (
     scenario,
     trace_for,
 )
+from .store import SummaryStore, config_key, stable_key_hash, store_filename
 from .summary import SimulationSummary, summarize
 
 __all__ = [
@@ -26,7 +27,9 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "SimulationSummary",
+    "SummaryStore",
     "SweepError",
+    "config_key",
     "default_cache",
     "default_jobs",
     "experiment_ids",
@@ -38,6 +41,8 @@ __all__ = [
     "run_simulation",
     "scale_window",
     "scenario",
+    "stable_key_hash",
+    "store_filename",
     "summarize",
     "trace_for",
 ]

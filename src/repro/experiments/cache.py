@@ -5,14 +5,21 @@ sweep); the cache keys runs by their full configuration so each distinct
 simulation executes once per process, whether it is requested by the fig-3
 module, the fig-9 module or a benchmark.
 
-Two layers are cached:
+Two layers are cached in memory:
 
 * full :class:`SimulationResult` objects (:meth:`SimulationCache.get`) for
-  figure code that inspects the live cluster, and
+  callers that inspect the live cluster, and
 * flat :class:`~repro.experiments.summary.SimulationSummary` objects
-  (:meth:`SimulationCache.get_summary`), which are what parallel sweeps
-  produce — :meth:`SimulationCache.prime` fans missing runs out over a
-  process pool through the orchestrator.
+  (:meth:`SimulationCache.get_summary`), which are what the figures and
+  parallel sweeps consume — :meth:`SimulationCache.prime` fans missing
+  runs out over a process pool through the orchestrator.
+
+A third, cross-process layer is optional: construct the cache with a
+:class:`~repro.experiments.store.SummaryStore` and summaries are read from
+and written to a content-addressed directory of JSON files, so a second
+process (or a re-run after a crash) resumes instead of recomputing.  Full
+results never reach the store — they own the live object graph and exist
+only in the process that ran the simulation.
 """
 
 from __future__ import annotations
@@ -21,72 +28,36 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .orchestrator import ProgressFn, run_configs
 from .runner import SimulationConfig, SimulationResult, run_simulation
+from .store import SummaryStore, config_key, latency_key
 from .summary import SimulationSummary, summarize
 
 __all__ = ["SimulationCache", "default_cache"]
 
 
 class SimulationCache:
-    """Memoises :func:`run_simulation` on a structural config key."""
+    """Memoises :func:`run_simulation` on a structural config key.
 
-    def __init__(self) -> None:
+    With *store*, summary lookups fall through to the disk store before
+    simulating, and freshly computed summaries are written back — the
+    cross-process resume layer the CLI exposes as ``--cache-dir``.
+    """
+
+    def __init__(self, store: Optional[SummaryStore] = None) -> None:
         self._runs: Dict[Tuple, SimulationResult] = {}
         self._summaries: Dict[Tuple, SimulationSummary] = {}
+        self._store = store
 
-    @staticmethod
-    def _latency_key(latency) -> Optional[Tuple]:
-        """Structural key for a pluggable latency model.
+    #: Structural key for a pluggable latency model (public attributes
+    #: only — see :func:`repro.experiments.store.latency_key`).
+    _latency_key = staticmethod(latency_key)
 
-        Keyed on type plus full-precision attributes — reprs are for humans
-        (LogNormalLatency rounds, arbitrary objects embed addresses) and
-        would collide or never match.
-        """
-        if latency is None:
-            return None
-        try:
-            attributes = tuple(sorted(vars(latency).items()))
-        except TypeError:  # __slots__ or C types: fall back to repr
-            attributes = (repr(latency),)
-        return (type(latency).__name__, attributes)
+    #: Structural identity of one run; the store's content address derives
+    #: from this key (see :func:`repro.experiments.store.config_key`).
+    key_of = staticmethod(config_key)
 
-    @staticmethod
-    def key_of(config: SimulationConfig) -> Tuple:
-        avmon = config.resolved_avmon()
-        # The full content hash: shallow shapes like (len, duration) collide
-        # for traces generated from different seeds or generators.
-        trace_fingerprint = None
-        if config.trace is not None:
-            trace_fingerprint = config.trace.content_hash()
-        return (
-            config.model_key,
-            config.n,
-            config.duration,
-            config.warmup,
-            config.control_fraction,
-            config.seed,
-            config.churn_per_hour,
-            config.birth_death_per_day,
-            config.overreport_fraction,
-            config.latency_low,
-            config.latency_high,
-            SimulationCache._latency_key(config.latency),
-            config.sample_interval,
-            trace_fingerprint,
-            (
-                avmon.n_expected,
-                avmon.k,
-                avmon.cvs,
-                avmon.protocol_period,
-                avmon.monitoring_period,
-                avmon.forgetful_tau,
-                avmon.forgetful_c,
-                avmon.enable_forgetful,
-                avmon.enable_pr2,
-                avmon.ping_timeout,
-                avmon.entry_bytes,
-                avmon.hash_algorithm,
-            ),
-        )
+    @property
+    def store(self) -> Optional[SummaryStore]:
+        return self._store
 
     def get(self, config: SimulationConfig) -> SimulationResult:
         key = self.key_of(config)
@@ -99,15 +70,25 @@ class SimulationCache:
     def get_summary(self, config: SimulationConfig) -> SimulationSummary:
         """The flat summary for *config*, running the simulation if needed.
 
-        Reuses a cached full result when one exists; a run executed here
-        (serially) is kept as a full result too, so figure modules mixing
-        summary and full-result access never simulate twice.
+        Lookup order: in-memory summaries, the disk store (when
+        configured), then a serial in-process run.  A run executed here is
+        kept as a full result too, so callers mixing summary and
+        full-result access never simulate twice; its summary is written
+        back to the store.
         """
         key = self.key_of(config)
         summary = self._summaries.get(key)
-        if summary is None:
-            summary = summarize(self.get(config))
-            self._summaries[key] = summary
+        if summary is not None:
+            return summary
+        if self._store is not None:
+            summary = self._store.load(key)
+            if summary is not None:
+                self._summaries[key] = summary
+                return summary
+        summary = summarize(self.get(config))
+        self._summaries[key] = summary
+        if self._store is not None:
+            self._store.save(key, summary)
         return summary
 
     def prime(
@@ -117,12 +98,15 @@ class SimulationCache:
         jobs: int = 1,
         progress: Optional[ProgressFn] = None,
     ) -> int:
-        """Ensure summaries exist for every config; returns the number run.
+        """Ensure summaries exist for every config; returns the number
+        actually simulated (store hits and memory hits count as zero).
 
-        With ``jobs > 1`` the missing cells execute in a multiprocessing
-        pool via the orchestrator (only summaries come back — worker-side
-        full results cannot cross the process boundary).  ``jobs <= 1``
-        runs serially in-process, which also retains the full results.
+        All missing cells execute through the orchestrator — serially
+        in-process for ``jobs <= 1``, over a multiprocessing pool
+        otherwise — and only flat summaries are retained either way.
+        Priming never pins full :class:`SimulationResult` objects: they
+        own the live cluster and network graph, and keeping one per cell
+        made ``avmon run all`` grow without bound.
         """
         missing: List[SimulationConfig] = []
         seen = set()
@@ -134,14 +118,14 @@ class SimulationCache:
             missing.append(config)
         if not missing:
             return 0
-        if jobs <= 1:
-            for config in missing:
-                self.get_summary(config)
-        else:
-            summaries = run_configs(missing, jobs=jobs, progress=progress)
-            for config, summary in zip(missing, summaries):
-                self._summaries[self.key_of(config)] = summary
-        return len(missing)
+        hits_before = self._store.hits if self._store is not None else 0
+        summaries = run_configs(
+            missing, jobs=jobs, progress=progress, store=self._store
+        )
+        for config, summary in zip(missing, summaries):
+            self._summaries[self.key_of(config)] = summary
+        resumed = (self._store.hits - hits_before) if self._store is not None else 0
+        return len(missing) - resumed
 
     def __len__(self) -> int:
         return len(self._runs)
@@ -150,6 +134,7 @@ class SimulationCache:
         return len(self._summaries)
 
     def clear(self) -> None:
+        """Drop the in-memory layers (the disk store is left untouched)."""
         self._runs.clear()
         self._summaries.clear()
 

@@ -6,51 +6,86 @@ with cvs and shows a knee around ``8·N^{1/4}``, beyond which extra view
 entries buy little.  Figure 12: memory grows linearly with cvs and
 computations quadratically, independent of N — so cvs should be set at the
 knee of Figure 11's curve.
+
+The sweep is expressed as a declarative scenario grid over ``avmon``
+overrides (one cvs per multiplier) and executed through
+:meth:`SimulationCache.prime`, so it fans out over worker processes with
+``jobs > 1`` and resumes from a disk-backed store exactly like the other
+N-sweep figures — and it consumes flat summaries only, never pinning full
+results (live cluster + network graph) in the shared cache.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..core.config import AvmonConfig
 from ..metrics import stats
 from .cache import SimulationCache, default_cache
 from .report import format_table
-from .scenarios import n_values, scenario
+from .runner import SimulationConfig
+from .scenarios import n_values
 
-__all__ = ["MULTIPLIERS", "compute", "render", "run"]
+__all__ = ["MULTIPLIERS", "compute", "render", "run", "sweep_configs"]
 
 #: The paper's sweep: cvs = multiplier * N^(1/4).
 MULTIPLIERS = (4, 6, 8, 10)
 
 
-def compute(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
-) -> List[Tuple[int, int, int, float, float, float, float]]:
-    """Rows of (N, multiplier, cvs, avg disc s, std disc, avg mem, comps/s)."""
-    cache = cache if cache is not None else default_cache()
+def sweep_configs(scale: str = "bench") -> List[Tuple[int, int, SimulationConfig]]:
+    """The (N, multiplier, config) grid behind Figures 11 and 12.
+
+    Built from :class:`~repro.api.Scenario` cells expanded over an
+    ``avmon`` override grid (cvs per multiplier), keeping every cell fully
+    declarative; the largest two N values stand in for the paper's pair.
+    """
+    from ..api import Scenario, expand_grid  # local: avoid import cycle at load
+
     sweep = n_values(scale)
     selected = sweep[-2:] if len(sweep) >= 2 else sweep
-    rows = []
+    cells: List[Tuple[int, int, SimulationConfig]] = []
     for n in selected:
-        for multiplier in MULTIPLIERS:
-            cvs = max(1, round(multiplier * n ** 0.25))
-            avmon = AvmonConfig.paper_defaults(n, cvs=cvs)
-            result = cache.get(scenario("STAT", n, scale, avmon=avmon))
-            delays = result.first_monitor_delays()
-            memory = result.memory_values(control_only=True)
-            comps = result.computation_rates(control_only=True)
-            rows.append(
-                (
-                    n,
-                    multiplier,
-                    cvs,
-                    stats.mean(delays),
-                    stats.std(delays),
-                    stats.mean(memory),
-                    stats.mean(comps),
-                )
+        base = Scenario(model="STAT", n=n, scale=scale)
+        grid = {
+            "avmon": [
+                {"cvs": max(1, round(multiplier * n ** 0.25))}
+                for multiplier in MULTIPLIERS
+            ]
+        }
+        for multiplier, cell in zip(MULTIPLIERS, expand_grid(base, grid)):
+            cells.append((n, multiplier, cell.to_config()))
+    return cells
+
+
+def compute(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> List[Tuple[int, int, int, float, float, float, float]]:
+    """Rows of (N, multiplier, cvs, avg disc s, std disc, avg mem, comps/s).
+
+    With ``jobs > 1`` the grid's cells fan out over a process pool through
+    the orchestrator before the rows are assembled from their summaries.
+    """
+    cache = cache if cache is not None else default_cache()
+    cells = sweep_configs(scale)
+    cache.prime([config for _, _, config in cells], jobs=jobs)
+    rows = []
+    for n, multiplier, config in cells:
+        summary = cache.get_summary(config)
+        delays = summary.first_monitor_delays()
+        memory = summary.memory_values(control_only=True)
+        comps = summary.computation_rates(control_only=True)
+        rows.append(
+            (
+                n,
+                multiplier,
+                config.resolved_avmon().cvs,
+                stats.mean(delays),
+                stats.std(delays),
+                stats.mean(memory),
+                stats.mean(comps),
             )
+        )
     return rows
 
 
@@ -75,5 +110,9 @@ def render(rows) -> str:
     )
 
 
-def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    return render(compute(scale, cache))
+def run(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    return render(compute(scale, cache, jobs))

@@ -22,17 +22,21 @@ __all__ = ["compute", "run_fig13", "run_fig14", "run"]
 
 
 def compute(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> Dict[str, dict]:
     cache = cache if cache is not None else default_cache()
+    configs = {
+        "PL": planetlab_scenario(scale),
+        "OV": overnet_scenario(scale),
+    }
+    cache.prime(configs.values(), jobs=jobs)
     out: Dict[str, dict] = {}
-    for label, config in (
-        ("PL", planetlab_scenario(scale)),
-        ("OV", overnet_scenario(scale)),
-    ):
-        result = cache.get(config)
-        delays = result.first_monitor_delays()
-        memory = result.memory_values(control_only=False)
+    for label, config in configs.items():
+        summary = cache.get_summary(config)
+        delays = summary.first_monitor_delays()
+        memory = summary.memory_values(control_only=False)
         out[label] = {
             "delays": delays,
             "discovery_cdf": stats.cdf_points(delays),
@@ -40,15 +44,19 @@ def compute(
             "memory": memory,
             "memory_cdf": stats.cdf_points(memory),
             "max_memory": max(memory) if memory else 0.0,
-            "expected_memory": result.avmon_config.expected_memory_entries,
-            "n_longterm": result.n_longterm,
-            "final_alive": result.final_alive,
+            "expected_memory": summary.avmon["expected_memory_entries"],
+            "n_longterm": summary.n_longterm,
+            "final_alive": summary.final_alive,
         }
     return out
 
 
-def run_fig13(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    data = compute(scale, cache)
+def run_fig13(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    data = compute(scale, cache, jobs)
     lines = [
         "Figure 13 - CDF of first-monitor discovery time (PL and OV traces)",
         "paper: 97.27% of OV births and >98% of PL nodes discover their",
@@ -70,8 +78,12 @@ def run_fig13(scale: str = "bench", cache: Optional[SimulationCache] = None) -> 
     return "\n".join(lines).rstrip()
 
 
-def run_fig14(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    data = compute(scale, cache)
+def run_fig14(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    data = compute(scale, cache, jobs)
     lines = [
         "Figure 14 - CDF of per-node memory entries (PL and OV traces)",
         "paper: uniform across nodes; OV above the cvs+2K expectation due",
@@ -94,5 +106,9 @@ def run_fig14(scale: str = "bench", cache: Optional[SimulationCache] = None) -> 
     return "\n".join(lines).rstrip()
 
 
-def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    return run_fig13(scale, cache) + "\n\n" + run_fig14(scale, cache)
+def run(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    return run_fig13(scale, cache, jobs) + "\n\n" + run_fig14(scale, cache, jobs)

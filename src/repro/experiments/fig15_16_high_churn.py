@@ -21,17 +21,21 @@ _MODELS = ("SYNTH-BD", "SYNTH-BD2")
 
 
 def compute_fig15(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> Dict[str, dict]:
     cache = cache if cache is not None else default_cache()
     n = n_values(scale)[-1]
+    configs = {model: scenario(model, n, scale) for model in _MODELS}
+    cache.prime(configs.values(), jobs=jobs)
     out = {}
-    for model in _MODELS:
-        result = cache.get(scenario(model, n, scale))
-        delays = result.first_monitor_delays()
+    for model, config in configs.items():
+        summary = cache.get_summary(config)
+        delays = summary.first_monitor_delays()
         out[model] = {
             "n": n,
-            "n_longterm": result.n_longterm,
+            "n_longterm": summary.n_longterm,
             "cdf": stats.cdf_points(delays),
             "within_60s": stats.fraction_below(delays, 60.0),
             "mean": stats.mean(delays),
@@ -40,21 +44,31 @@ def compute_fig15(
 
 
 def compute_fig16(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> List[Tuple[str, int, float, float]]:
     """Rows of (model, N, avg memory entries, std)."""
     cache = cache if cache is not None else default_cache()
+    configs = [
+        (model, n, scenario(model, n, scale))
+        for model in _MODELS
+        for n in n_values(scale)
+    ]
+    cache.prime([config for _, _, config in configs], jobs=jobs)
     rows = []
-    for model in _MODELS:
-        for n in n_values(scale):
-            result = cache.get(scenario(model, n, scale))
-            values = result.memory_values(control_only=True)
-            rows.append((model, n, stats.mean(values), stats.std(values)))
+    for model, n, config in configs:
+        values = cache.get_summary(config).memory_values(control_only=True)
+        rows.append((model, n, stats.mean(values), stats.std(values)))
     return rows
 
 
-def run_fig15(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    data = compute_fig15(scale, cache)
+def run_fig15(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    data = compute_fig15(scale, cache, jobs)
     lines = [
         "Figure 15 - discovery-time CDFs under doubled birth/death churn",
         "paper: no noticeable difference between SYNTH-BD and SYNTH-BD2",
@@ -74,8 +88,12 @@ def run_fig15(scale: str = "bench", cache: Optional[SimulationCache] = None) -> 
     return "\n".join(lines)
 
 
-def run_fig16(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    rows = compute_fig16(scale, cache)
+def run_fig16(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    rows = compute_fig16(scale, cache, jobs)
     by_key = {(model, n): avg for model, n, avg, _ in rows}
     increases = []
     for model, n, avg, _ in rows:
@@ -92,5 +110,9 @@ def run_fig16(scale: str = "bench", cache: Optional[SimulationCache] = None) -> 
     return header + table + "\n\n" + extra
 
 
-def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    return run_fig15(scale, cache) + "\n\n" + run_fig16(scale, cache)
+def run(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    return run_fig15(scale, cache, jobs) + "\n\n" + run_fig16(scale, cache, jobs)

@@ -39,14 +39,20 @@ def _config(n: int, scale: str, forgetful: bool):
 
 
 def compute_fig17(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> Dict[str, dict]:
     cache = cache if cache is not None else default_cache()
     n = n_values(scale)[-1]
+    configs = {
+        forgetful: _config(n, scale, forgetful) for forgetful in (True, False)
+    }
+    cache.prime(configs.values(), jobs=jobs)
     out = {}
-    for forgetful in (True, False):
-        result = cache.get(_config(n, scale, forgetful))
-        ratios = list(result.availability_ratio_series(control_only=True).values())
+    for forgetful, config in configs.items():
+        summary = cache.get_summary(config)
+        ratios = list(summary.availability_ratio_series().values())
         errors = [abs(r - 1.0) for r in ratios]
         out["forgetful" if forgetful else "non-forgetful"] = {
             "n": n,
@@ -59,22 +65,31 @@ def compute_fig17(
 
 
 def compute_fig18(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> List[Tuple[str, int, float, float]]:
     """Rows of (variant, N, avg useless pings/min, std)."""
     cache = cache if cache is not None else default_cache()
+    cells = [
+        ("forgetful" if forgetful else "non-forgetful", n, _config(n, scale, forgetful))
+        for forgetful in (True, False)
+        for n in n_values(scale)
+    ]
+    cache.prime([config for _, _, config in cells], jobs=jobs)
     rows = []
-    for forgetful in (True, False):
-        label = "forgetful" if forgetful else "non-forgetful"
-        for n in n_values(scale):
-            result = cache.get(_config(n, scale, forgetful))
-            rates = result.useless_ping_rates()
-            rows.append((label, n, stats.mean(rates), stats.std(rates)))
+    for label, n, config in cells:
+        rates = cache.get_summary(config).useless_ping_rates()
+        rows.append((label, n, stats.mean(rates), stats.std(rates)))
     return rows
 
 
-def run_fig17(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    data = compute_fig17(scale, cache)
+def run_fig17(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    data = compute_fig17(scale, cache, jobs)
     lines = [
         "Figure 17 - estimated/real availability ratio per control node",
         "paper: non-forgetful is accurate; forgetful adds < 5% average",
@@ -103,8 +118,12 @@ def run_fig17(scale: str = "bench", cache: Optional[SimulationCache] = None) -> 
     return "\n".join(lines).rstrip()
 
 
-def run_fig18(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    rows = compute_fig18(scale, cache)
+def run_fig18(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    rows = compute_fig18(scale, cache, jobs)
     header = (
         "Figure 18 - useless pings per minute (sent to absent nodes)\n"
         "paper: forgetful pinging reduces useless pings by roughly an\n"
@@ -115,5 +134,9 @@ def run_fig18(scale: str = "bench", cache: Optional[SimulationCache] = None) -> 
     )
 
 
-def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    return run_fig17(scale, cache) + "\n\n" + run_fig18(scale, cache)
+def run(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    return run_fig17(scale, cache, jobs) + "\n\n" + run_fig18(scale, cache, jobs)

@@ -21,7 +21,9 @@ __all__ = ["compute", "render", "run"]
 
 
 def compute(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> Dict[str, dict]:
     cache = cache if cache is not None else default_cache()
     n = n_values(scale)[-1]
@@ -34,10 +36,10 @@ def compute(
         ("STAT-PR2", pr2_config),
         ("OV", overnet_scenario(scale)),
     ]
+    cache.prime([config for _, config in configs], jobs=jobs)
     out = {}
     for label, config in configs:
-        result = cache.get(config)
-        rates = result.bandwidth_rates()
+        rates = cache.get_summary(config).bandwidth_rates()
         out[label] = {
             "rates": rates,
             "cdf": stats.cdf_points(rates),
@@ -77,5 +79,9 @@ def render(data: Dict[str, dict]) -> str:
     return "\n".join(lines)
 
 
-def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    return render(compute(scale, cache))
+def run(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    return render(compute(scale, cache, jobs))

@@ -41,17 +41,23 @@ def _config(system: str, scale: str, fraction: float):
 
 
 def compute(
-    scale: str = "bench", cache: Optional[SimulationCache] = None
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> List[Tuple[str, float, float, int]]:
     """Rows of (system, overreport fraction, fraction affected, audited)."""
     cache = cache if cache is not None else default_cache()
+    cells = [
+        (system, fraction, _config(system, scale, fraction))
+        for system in SYSTEMS
+        for fraction in FRACTIONS
+    ]
+    cache.prime([config for _, _, config in cells], jobs=jobs)
     rows = []
-    for system in SYSTEMS:
-        for fraction in FRACTIONS:
-            result = cache.get(_config(system, scale, fraction))
-            audits = result.availability_audit(control_only=False, alive_only=True)
-            affected = result.fraction_affected(threshold=0.2)
-            rows.append((system, fraction, affected, len(audits)))
+    for system, fraction, config in cells:
+        summary = cache.get_summary(config)
+        affected = summary.fraction_affected(threshold=0.2)
+        rows.append((system, fraction, affected, len(summary.availability_alive)))
     return rows
 
 
@@ -67,5 +73,9 @@ def render(rows) -> str:
     )
 
 
-def run(scale: str = "bench", cache: Optional[SimulationCache] = None) -> str:
-    return render(compute(scale, cache))
+def run(
+    scale: str = "bench",
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
+) -> str:
+    return render(compute(scale, cache, jobs))

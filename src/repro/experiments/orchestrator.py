@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from .runner import SimulationConfig, run_simulation
+from .store import SummaryStore, config_key
 from .summary import SimulationSummary, summarize
 
 __all__ = [
@@ -101,12 +102,19 @@ def run_configs(
     *,
     jobs: int = 1,
     progress: Optional[ProgressFn] = None,
+    store: Optional[SummaryStore] = None,
 ) -> List[SimulationSummary]:
     """Run every config and return summaries in input order.
 
     ``jobs <= 1`` executes serially in-process through the *same* cell
     function the pool uses, so serial and parallel runs produce identical
     summaries (the parallel/serial equivalence the test suite asserts).
+
+    With *store*, cells whose summary is already on disk are loaded instead
+    of simulated (their progress label carries a ``(cached)`` marker), and
+    each freshly computed summary is written back as soon as it arrives —
+    so a sweep killed mid-run resumes from its last completed cell, paying
+    zero recomputation for work already persisted.
     """
     payloads = list(enumerate(configs))
     total = len(payloads)
@@ -114,28 +122,47 @@ def run_configs(
     failures: List[CellFailure] = []
     started = time.perf_counter()
 
-    def record(index: int, summary: Optional[SimulationSummary], error: Optional[str]) -> int:
+    def record(
+        index: int,
+        summary: Optional[SimulationSummary],
+        error: Optional[str],
+        cached: bool = False,
+    ) -> int:
         if summary is not None:
             summaries[index] = summary
+            if store is not None and not cached:
+                store.save(config_key(configs[index]), summary)
         else:
             failures.append(
                 CellFailure(index, cell_label(configs[index]), error or "unknown error")
             )
         done = sum(1 for s in summaries if s is not None) + len(failures)
         if progress is not None:
+            label = cell_label(configs[index])
             progress(
                 done,
                 total,
-                cell_label(configs[index]),
+                f"{label} (cached)" if cached else label,
                 time.perf_counter() - started,
             )
         return done
 
-    if jobs <= 1 or total <= 1:
+    if store is not None:
+        pending = []
+        for payload in payloads:
+            index, config = payload
+            summary = store.load(config_key(config))
+            if summary is not None:
+                record(index, summary, None, cached=True)
+            else:
+                pending.append(payload)
+        payloads = pending
+
+    if jobs <= 1 or len(payloads) <= 1:
         for payload in payloads:
             record(*_execute_cell(payload))
     else:
-        workers = min(jobs, total)
+        workers = min(jobs, len(payloads))
         pool = multiprocessing.Pool(workers, initializer=_init_worker)
         try:
             for outcome in pool.imap_unordered(_execute_cell, payloads):

@@ -16,12 +16,19 @@ timing is deliberately excluded from the serialised form).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 from ..metrics import stats
 
-__all__ = ["SimulationSummary", "summarize"]
+__all__ = ["SCHEMA_VERSION", "SimulationSummary", "summarize"]
+
+#: Serialised-payload schema. Bump when a field is renamed, removed or
+#: reinterpreted: readers reject stamps they don't know (the disk store
+#: treats that as a warned miss and recomputes), instead of silently
+#: loading an old-schema file as a default-valued summary. Purely
+#: additive fields don't need a bump — unknown keys are dropped on read.
+SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -119,6 +126,7 @@ class SimulationSummary:
     def to_dict(self) -> dict:
         """JSON-ready payload (deterministic: no wall-clock timing)."""
         return {
+            "schema": SCHEMA_VERSION,
             "model": self.model,
             "n": self.n,
             "seed": self.seed,
@@ -147,7 +155,16 @@ class SimulationSummary:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SimulationSummary":
-        data = dict(payload)
+        version = payload.get("schema", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported summary schema {version!r} "
+                f"(this version reads schema {SCHEMA_VERSION})"
+            )
+        # Within a schema, unknown keys are dropped rather than rejected: a
+        # store written by a newer version with extra series stays readable.
+        known = {f.name for f in fields(cls)}
+        data = {key: value for key, value in payload.items() if key in known}
         data["monitor_delays"] = {
             int(rank): list(delays)
             for rank, delays in data.get("monitor_delays", {}).items()

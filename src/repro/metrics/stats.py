@@ -18,10 +18,17 @@ __all__ = [
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean; 0.0 for an empty sequence."""
+    """Arithmetic mean; 0.0 for an empty sequence.
+
+    Accurate summation (``math.fsum``) plus a clamp to ``[min, max]``: the
+    true mean always lies within the data range, but naive float division
+    can overshoot it by one ulp (e.g. ``sum([a, a, a]) / 3 < a``), which
+    broke downstream range invariants.
+    """
     if not values:
         return 0.0
-    return sum(values) / len(values)
+    centre = math.fsum(values) / len(values)
+    return min(max(centre, min(values)), max(values))
 
 
 def std(values: Sequence[float]) -> float:

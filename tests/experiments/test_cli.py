@@ -87,3 +87,92 @@ class TestCliSweep:
     def test_sweep_rejects_bad_n_list(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--n", "ten,twenty"])
+
+
+class TestCliCacheDir:
+    ARGS = ["sweep", "--model", "STAT", "--n", "16,24", "--scale", "test", "--json"]
+
+    @staticmethod
+    def _refuse_simulation(monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.orchestrator.run_simulation",
+            lambda config: pytest.fail("cached invocation must not simulate"),
+        )
+
+    def test_second_invocation_runs_zero_simulations(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        argv = self.ARGS + ["--cache-dir", str(tmp_path)]
+        first = io.StringIO()
+        assert main(argv, out=first) == 0
+        assert "computed=2" in capsys.readouterr().err
+
+        self._refuse_simulation(monkeypatch)
+        second = io.StringIO()
+        assert main(argv, out=second) == 0
+        assert "hits=2 computed=0" in capsys.readouterr().err
+        assert second.getvalue() == first.getvalue()
+
+    def test_interrupted_sweep_resumes_byte_identical(self, tmp_path, capsys):
+        """The acceptance scenario: a sweep killed partway (modelled as a
+        first run covering only some cells) re-invoked with the full grid
+        recomputes only the missing cells, and its JSON is byte-identical
+        to an uninterrupted no-cache run."""
+        partial = self.ARGS[:]
+        partial[partial.index("16,24")] = "16"
+        assert main(partial + ["--cache-dir", str(tmp_path)], out=io.StringIO()) == 0
+        capsys.readouterr()
+
+        resumed = io.StringIO()
+        assert main(self.ARGS + ["--cache-dir", str(tmp_path)], out=resumed) == 0
+        err = capsys.readouterr().err
+        assert "hits=1 computed=1" in err
+        assert "(cached)" in err  # progress marks resumed cells
+
+        uninterrupted = io.StringIO()
+        assert main(self.ARGS + ["--jobs", "1"], out=uninterrupted) == 0
+        capsys.readouterr()
+        assert resumed.getvalue() == uninterrupted.getvalue()
+
+    def test_cache_dir_env_fallback(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("AVMON_CACHE_DIR", str(tmp_path))
+        argv = ["sweep", "--model", "STAT", "--n", "16", "--scale", "test"]
+        assert main(argv, out=io.StringIO()) == 0
+        assert "computed=1" in capsys.readouterr().err
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+        self._refuse_simulation(monkeypatch)
+        assert main(argv, out=io.StringIO()) == 0
+        assert "hits=1 computed=0" in capsys.readouterr().err
+
+    def test_unusable_cache_dir_is_a_clean_error(self, tmp_path, capsys):
+        bad = str(tmp_path / "file")
+        (tmp_path / "file").write_text("not a directory")
+        for argv in (
+            ["sweep", "--n", "16", "--scale", "test", "--cache-dir", f"{bad}/x"],
+            ["run", "fig3", "--scale", "test", "--cache-dir", f"{bad}/x"],
+        ):
+            assert main(argv, out=io.StringIO()) == 2
+            assert "cannot use cache dir" in capsys.readouterr().err
+
+    def test_run_experiment_with_cache_dir(self, tmp_path, capsys, monkeypatch):
+        argv = ["run", "fig3", "--scale", "test", "--cache-dir", str(tmp_path)]
+        first = io.StringIO()
+        assert main(argv, out=first) == 0
+        err = capsys.readouterr().err
+        assert "hits=0" in err
+        assert len(list(tmp_path.glob("*.json"))) > 0
+
+        self._refuse_simulation(monkeypatch)
+        monkeypatch.setattr(
+            "repro.experiments.cache.run_simulation",
+            lambda config: pytest.fail("cached run must not simulate"),
+        )
+        second = io.StringIO()
+        assert main(argv, out=second) == 0
+        assert "computed=0" in capsys.readouterr().err
+
+        def body(text):  # drop the wall-clock header line
+            return [l for l in text.splitlines() if not l.startswith("== ")]
+
+        assert body(second.getvalue()) == body(first.getvalue())

@@ -94,6 +94,35 @@ class TestFigureComputations:
             memories = [m for _, m in ordered]
             assert memories == sorted(memories)
 
+    def test_fig11_12_pins_no_full_results(self):
+        """Regression: the bespoke loop kept one live SimulationResult
+        (cluster + network graph) per sweep cell in the shared cache —
+        unbounded memory growth during ``avmon run all``."""
+        fresh = SimulationCache()
+        fig11_12_cvs_sweep.compute("test", fresh)
+        assert fresh.summary_count() > 0
+        assert len(fresh) == 0  # summaries only, no full results
+
+    def test_fig11_12_parallel_matches_serial(self):
+        """Regression: ``run_experiment(..., jobs=N)`` silently ran the
+        cvs sweep serially; after the grid migration jobs=2 must both be
+        honoured and reproduce the serial rows exactly."""
+        serial = fig11_12_cvs_sweep.compute("test", SimulationCache(), jobs=1)
+        parallel = fig11_12_cvs_sweep.compute("test", SimulationCache(), jobs=2)
+        assert serial == parallel
+
+    def test_fig11_12_runner_accepts_jobs(self):
+        assert EXPERIMENTS["fig11"].supports_jobs
+        assert EXPERIMENTS["fig12"].supports_jobs
+
+    def test_all_sweep_figures_support_jobs(self):
+        """Every simulation-backed artifact fans out through the
+        orchestrator now; only the closed-form table is exempt."""
+        for eid, experiment in EXPERIMENTS.items():
+            if eid in ("table1", "ext_baselines"):
+                continue
+            assert experiment.supports_jobs, f"{eid} lost jobs support"
+
     def test_fig13_14_traces(self, cache):
         data = fig13_14_traces.compute("test", cache)
         assert set(data) == {"PL", "OV"}

@@ -1,0 +1,105 @@
+"""Property tests: SimulationSummary JSON round trips byte-identically.
+
+The disk store's resume guarantee ("a resumed sweep's aggregated JSON is
+byte-identical to an uninterrupted run") rests on three invariants tested
+here over generated summaries:
+
+* ``from_json(to_json(s))`` reconstructs an equal summary whose own
+  ``to_json`` output is byte-identical (floats survive via repr's
+  shortest-round-trip guarantee);
+* serialised summaries of finite series contain no NaN/Infinity tokens —
+  those are not valid JSON and would not survive strict parsers;
+* unknown fields in stored payloads are dropped, not fatal, so newer
+  store files stay readable.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.experiments.summary import SCHEMA_VERSION, SimulationSummary
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+float_list = st.lists(finite, max_size=8)
+small_int = st.integers(min_value=0, max_value=10_000)
+
+summaries = st.builds(
+    SimulationSummary,
+    model=st.sampled_from(["STAT", "SYNTH", "SYNTH-BD", "PL", "OV"]),
+    n=small_int,
+    seed=small_int,
+    label=st.text(max_size=12),
+    params=st.dictionaries(st.sampled_from(["duration", "warmup"]), finite, max_size=2),
+    avmon=st.dictionaries(st.sampled_from(["k", "cvs"]), finite, max_size=2),
+    monitor_delays=st.dictionaries(
+        st.integers(min_value=1, max_value=6), float_list, max_size=3
+    ),
+    control_count=small_int,
+    undiscovered_count=small_int,
+    computation_rates_control=float_list,
+    computation_rates_all=float_list,
+    memory_control=float_list,
+    memory_all=float_list,
+    bandwidth=float_list,
+    useless_pings=float_list,
+    availability_control=st.lists(
+        st.tuples(small_int, finite, finite).map(list), max_size=4
+    ),
+    availability_alive=st.lists(
+        st.tuples(small_int, finite, finite).map(list), max_size=4
+    ),
+    n_longterm=small_int,
+    final_alive=small_int,
+    events_processed=small_int,
+    window_seconds=finite,
+)
+
+
+@given(summaries)
+def test_round_trip_preserves_equality(summary):
+    assert SimulationSummary.from_json(summary.to_json()) == summary
+
+
+@given(summaries)
+def test_round_trip_is_byte_identical(summary):
+    text = summary.to_json()
+    assert SimulationSummary.from_json(text).to_json() == text
+
+
+@given(summaries)
+def test_serialised_form_is_nan_and_inf_free(summary):
+    def reject_constant(token):
+        raise AssertionError(f"non-finite JSON token {token!r} in summary")
+
+    # json.loads only invokes parse_constant for NaN/±Infinity tokens, so
+    # a clean parse proves the serialised form is strict-JSON safe.
+    json.loads(summary.to_json(), parse_constant=reject_constant)
+
+
+@given(summaries)
+def test_wall_clock_is_excluded_from_serialisation(summary):
+    summary.wall_seconds = 1234.5
+    loaded = SimulationSummary.from_json(summary.to_json())
+    assert loaded.wall_seconds == 0.0  # deterministic across machines
+
+
+@given(summaries)
+def test_unknown_fields_are_dropped_not_fatal(summary):
+    payload = summary.to_dict()
+    payload["a_future_series"] = [1, 2, 3]
+    assert SimulationSummary.from_dict(payload) == summary
+
+
+@given(summaries)
+def test_payload_is_schema_stamped(summary):
+    assert summary.to_dict()["schema"] == SCHEMA_VERSION
+
+
+def test_foreign_schema_is_rejected():
+    payload = SimulationSummary().to_dict()
+    payload["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="unsupported summary schema"):
+        SimulationSummary.from_dict(payload)
