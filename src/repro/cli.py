@@ -1,4 +1,4 @@
-"""Command-line interface: list, run and sweep the paper's experiments.
+"""Command-line interface: list, run, sweep — and deploy — the experiments.
 
 Examples::
 
@@ -9,6 +9,14 @@ Examples::
     avmon run all --scale test --jobs 4   # every artifact, N-sweeps in parallel
     avmon sweep --model SYNTH --n 100,200,400 --seeds 3 --jobs 4 --json
     avmon sweep --n 100,200 --seeds 3 --cache-dir ~/.avmon-cache   # resumable
+    avmon live up --nodes 20 --duration 30    # a real overlay over UDP
+    avmon live up --nodes 20 --duration 30 --crash-after 12   # + chaos
+    avmon live status                 # probe a running overlay
+    avmon live chaos --kill 2         # crash two random nodes
+    avmon live down                   # tear a running overlay down
+    avmon cache ls                    # inspect the summary store
+    avmon cache stat
+    avmon cache clear
 
 (`avmon` is `python -m repro.cli`.)  ``sweep`` output is deterministic:
 the aggregated JSON of a ``--jobs 4`` run is byte-identical to the same
@@ -25,6 +33,7 @@ resume tally is printed to stderr as ``cache: hits=H computed=C``.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import sys
@@ -133,7 +142,160 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full result set as JSON"
     )
     _add_cache_dir_argument(sweep_parser)
+
+    _build_live_parser(commands)
+    _build_cache_parser(commands)
     return parser
+
+
+#: Default operator control port for ``avmon live`` (UDP, localhost).
+DEFAULT_CONTROL_PORT = 7711
+
+
+def _add_control_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="supervisor host (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--control-port",
+        type=int,
+        default=DEFAULT_CONTROL_PORT,
+        help=f"supervisor control port (default: {DEFAULT_CONTROL_PORT})",
+    )
+
+
+def _build_live_parser(commands) -> None:
+    live_parser = commands.add_parser(
+        "live", help="run and operate a real AVMON overlay over UDP"
+    )
+    live_commands = live_parser.add_subparsers(dest="live_command", required=True)
+
+    up = live_commands.add_parser(
+        "up", help="boot a localhost overlay, run it, report and tear down"
+    )
+    up.add_argument("--nodes", type=int, default=20, help="overlay size (default: 20)")
+    up.add_argument(
+        "--duration", type=float, default=30.0, help="run seconds (default: 30)"
+    )
+    up.add_argument("--seed", type=int, default=1, help="base seed (default: 1)")
+    up.add_argument(
+        "--protocol-period",
+        type=float,
+        default=1.0,
+        help="coarse-membership period T in wall seconds (default: 1.0)",
+    )
+    up.add_argument(
+        "--monitoring-period",
+        type=float,
+        default=1.0,
+        help="monitoring period T_A in wall seconds (default: 1.0)",
+    )
+    up.add_argument(
+        "--ping-timeout",
+        type=float,
+        default=0.25,
+        help="ping/fetch reply timeout in seconds (default: 0.25)",
+    )
+    up.add_argument(
+        "--cvs", type=int, default=None, help="coarse-view size (default: 4*N^1/4)"
+    )
+    up.add_argument(
+        "--k", type=int, default=None, help="target pinging-set size (default: log2 N)"
+    )
+    up.add_argument(
+        "--churn",
+        default="STAT",
+        help="churn component driving process kill/restart (default: STAT)",
+    )
+    up.add_argument(
+        "--churn-per-hour",
+        type=float,
+        default=0.2,
+        help="per-node leave rate for SYNTH-style churn, in WALL-CLOCK "
+        "hours (default: 0.2 = the paper's rate at real 60s periods; "
+        "compressed live periods need proportionally higher rates — at "
+        "the default 1s period use ~12 for the paper's churn-per-period, "
+        "or 600 for 6s mean sessions)",
+    )
+    up.add_argument(
+        "--crash-after",
+        type=float,
+        default=None,
+        metavar="T",
+        help="SIGKILL one random node T seconds in, restart it after "
+        "--crash-downtime",
+    )
+    up.add_argument(
+        "--crash-downtime",
+        type=float,
+        default=3.0,
+        help="seconds a crashed node stays down (default: 3.0)",
+    )
+    up.add_argument(
+        "--control-port",
+        type=int,
+        default=DEFAULT_CONTROL_PORT,
+        help=f"operator control port; -1 disables (default: {DEFAULT_CONTROL_PORT})",
+    )
+    up.add_argument(
+        "--state-dir",
+        default="",
+        metavar="DIR",
+        help="persistent node-state directory (default: run-scoped tempdir)",
+    )
+    up.add_argument(
+        "--expect-discovery",
+        type=float,
+        default=None,
+        metavar="R",
+        help="exit non-zero unless the discovery ratio reaches R (CI gate)",
+    )
+    up.add_argument(
+        "--expect-recovery",
+        type=float,
+        default=None,
+        metavar="R",
+        help="exit non-zero unless crash-victim recovery reaches R (CI gate)",
+    )
+    up.add_argument("--json", action="store_true", help="emit the report as JSON")
+    _add_cache_dir_argument(up)
+
+    status = live_commands.add_parser("status", help="probe a running overlay")
+    _add_control_arguments(status)
+    status.add_argument("--json", action="store_true", help="JSON output")
+
+    chaos = live_commands.add_parser(
+        "chaos", help="crash random nodes of a running overlay"
+    )
+    _add_control_arguments(chaos)
+    chaos.add_argument(
+        "--kill", type=int, default=1, help="how many nodes to crash (default: 1)"
+    )
+    chaos.add_argument(
+        "--downtime",
+        type=float,
+        default=3.0,
+        help="seconds before each victim restarts (default: 3.0)",
+    )
+
+    down = live_commands.add_parser("down", help="tear a running overlay down")
+    _add_control_arguments(down)
+
+
+def _build_cache_parser(commands) -> None:
+    cache_parser = commands.add_parser(
+        "cache", help="inspect or clear the disk-backed summary store"
+    )
+    cache_commands = cache_parser.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("ls", "list stored summaries"),
+        ("stat", "store totals (entries, bytes)"),
+        ("clear", "delete every stored summary"),
+    ):
+        sub = cache_commands.add_parser(name, help=help_text)
+        _add_cache_dir_argument(sub)
+        if name != "clear":
+            sub.add_argument("--json", action="store_true", help="JSON output")
 
 
 class CacheDirError(RuntimeError):
@@ -289,6 +451,224 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
+def _cmd_live(args, out) -> int:
+    from .live.control import ChaosRequest, DownRequest, OverlayStatusRequest
+    from .live.supervisor import LiveConfig, control_call, run_live
+
+    if args.live_command == "up":
+        return _cmd_live_up(args, out, LiveConfig, run_live)
+    address = (args.host, args.control_port)
+    try:
+        if args.live_command == "status":
+            reply = control_call(address, OverlayStatusRequest())
+            payload = {
+                "nodes": reply.nodes,
+                "alive": reply.alive,
+                "elapsed": reply.elapsed,
+                "discovered_pairs": reply.discovered_pairs,
+                "expected_pairs": reply.expected_pairs,
+                "crashes": reply.crashes,
+            }
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+            else:
+                for key, value in payload.items():
+                    print(f"{key}: {value}", file=out)
+            return 0
+        if args.live_command == "chaos":
+            reply = control_call(
+                address, ChaosRequest(kill=args.kill, downtime=args.downtime)
+            )
+            victims = ",".join(str(v) for v in reply.victims) or "(none)"
+            print(f"crashed: {victims}", file=out)
+            return 0
+        reply = control_call(address, DownRequest())
+        print("overlay teardown initiated", file=out)
+        return 0
+    except (TimeoutError, asyncio.TimeoutError, OSError):
+        print(
+            f"error: no overlay answered at {address[0]}:{address[1]} "
+            f"(is `avmon live up` running with this control port?)",
+            file=sys.stderr,
+        )
+        return 1
+
+
+def _cmd_live_up(args, out, LiveConfig, run_live) -> int:
+    try:
+        store = _store_from(args)
+    except CacheDirError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        REGISTRY.resolve("churn", args.churn)  # fail fast, list alternatives
+        config = LiveConfig(
+            nodes=args.nodes,
+            duration=args.duration,
+            seed=args.seed,
+            k=args.k,
+            cvs=args.cvs,
+            protocol_period=args.protocol_period,
+            monitoring_period=args.monitoring_period,
+            ping_timeout=args.ping_timeout,
+            churn=args.churn,
+            churn_per_hour=args.churn_per_hour,
+            crash_after=args.crash_after,
+            crash_downtime=args.crash_downtime,
+            control_port=args.control_port,
+            state_dir=args.state_dir,
+        )
+    except ValueError as error:  # includes UnknownComponentError
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"live: booting {config.nodes} nodes for {config.duration:.0f}s "
+        f"(control port {config.control_port})",
+        file=sys.stderr,
+    )
+    try:
+        report = run_live(config, store=store)
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _report_store(store)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        recovery = (
+            f"{report.victim_recovery:.3f}"
+            if report.victim_recovery is not None
+            else "n/a"
+        )
+        print(
+            f"live: nodes={report.config.nodes} duration={report.config.duration:.0f}s "
+            f"alive={report.final_alive}",
+            file=out,
+        )
+        print(
+            f"discovery: {report.discovered_pairs}/{report.expected_pairs} "
+            f"optimal monitor relationships ({report.discovery_ratio:.1%}), "
+            f"mean first-monitor delay "
+            f"{report.summary.average_discovery_time():.2f}s",
+            file=out,
+        )
+        print(
+            f"chaos: crashes={report.crashes} victim_recovery={recovery}",
+            file=out,
+        )
+        print(f"audit: consistency violations={report.violations}", file=out)
+        if report.store_path:
+            print(f"summary persisted: {report.store_path}", file=out)
+    failures = []
+    if (
+        args.expect_discovery is not None
+        and report.discovery_ratio < args.expect_discovery
+    ):
+        failures.append(
+            f"discovery ratio {report.discovery_ratio:.3f} "
+            f"< expected {args.expect_discovery}"
+        )
+    if args.expect_recovery is not None and (
+        report.victim_recovery is None
+        or report.victim_recovery < args.expect_recovery
+    ):
+        if report.victim_recovery is not None:
+            observed = f"victim recovery {report.victim_recovery:.3f}"
+        elif report.crashes == 0:
+            observed = "no crash was injected"
+        else:
+            observed = (
+                "victim recovery unmeasurable (crash victim absent from the "
+                "final scrape — still down at teardown?)"
+            )
+        failures.append(f"{observed} < expected {args.expect_recovery}")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_cache(args, out) -> int:
+    if not args.cache_dir:
+        print(
+            "error: no cache directory (pass --cache-dir or set AVMON_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    if not os.path.isdir(args.cache_dir):
+        # Inspection must not create directories as a side effect (a typo'd
+        # path would silently become a fresh empty store).
+        print(f"error: no such cache dir: {args.cache_dir}", file=sys.stderr)
+        return 2
+    try:
+        store = SummaryStore(args.cache_dir)
+    except OSError as error:
+        print(f"error: cannot open cache dir {args.cache_dir!r}: {error}", file=sys.stderr)
+        return 2
+    if args.cache_command == "clear":
+        try:
+            removed = store.clear()
+        except OSError as error:
+            print(f"error: cache clear failed: {error}", file=sys.stderr)
+            return 1
+        print(f"removed {removed} entries from {store.root}", file=out)
+        return 0
+    entries = []
+    corrupt = 0
+    for path in store.paths():
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue  # vanished under us (a concurrent `cache clear`)
+        summary = store.read_file(path)
+        if summary is None:
+            if not path.exists():
+                continue  # deleted between stat and read: not corrupt
+            corrupt += 1
+            entries.append({"key": path.stem, "bytes": size, "corrupt": True})
+        else:
+            entries.append(
+                {
+                    "key": path.stem,
+                    "bytes": size,
+                    "model": summary.model,
+                    "n": summary.n,
+                    "seed": summary.seed,
+                    "label": summary.label,
+                }
+            )
+    if args.cache_command == "stat":
+        payload = {
+            "dir": str(store.root),
+            "entries": len(entries),
+            "corrupt": corrupt,
+            "total_bytes": sum(entry["bytes"] for entry in entries),
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        else:
+            for key, value in payload.items():
+                print(f"{key}: {value}", file=out)
+        return 0
+    # ls
+    if args.json:
+        print(json.dumps({"entries": entries}, indent=2, sort_keys=True), file=out)
+        return 0
+    if not entries:
+        print(f"(empty store at {store.root})", file=out)
+        return 0
+    header = f"{'key':<32} {'model':<10} {'n':>6} {'seed':>5} {'bytes':>9}  label"
+    print(header, file=out)
+    for entry in entries:
+        model = entry.get("model", "(corrupt)")
+        print(
+            f"{entry['key']:<32} {model:<10} {entry.get('n', 0):>6} "
+            f"{entry.get('seed', 0):>5} {entry['bytes']:>9}  "
+            f"{entry.get('label', '')}",
+            file=out,
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -297,6 +677,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_list(args, out)
         if args.command == "sweep":
             return _cmd_sweep(args, out)
+        if args.command == "live":
+            return _cmd_live(args, out)
+        if args.command == "cache":
+            return _cmd_cache(args, out)
         return _cmd_run(args, out)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)

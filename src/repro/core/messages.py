@@ -29,6 +29,7 @@ __all__ = [
     "ReportReply",
     "HistoryRequest",
     "HistoryReply",
+    "MESSAGE_TYPES",
 ]
 
 #: Fixed overhead charged per message (type tag + sequence number).
@@ -162,3 +163,24 @@ class HistoryReply(Message):
 
     def size_bytes(self, entry_bytes: int = 8) -> int:
         return _HEADER_BYTES + entry_bytes + 8
+
+
+#: Every concrete protocol message, in wire-registration order.  This is the
+#: codec hook: :mod:`repro.live.codec` registers exactly these types on the
+#: wire, and the property suite round-trips each of them, so adding a message
+#: here is all it takes to make it transportable over UDP.
+MESSAGE_TYPES = (
+    Join,
+    CvPing,
+    CvPong,
+    CvFetchRequest,
+    CvFetchReply,
+    Notify,
+    MonitorPing,
+    MonitorPong,
+    Pr2Refresh,
+    ReportRequest,
+    ReportReply,
+    HistoryRequest,
+    HistoryReply,
+)

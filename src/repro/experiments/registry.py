@@ -21,6 +21,7 @@ from typing import Callable, Dict, Optional
 
 from ..registry import REGISTRY, resolve
 from . import (
+    apps_workloads,
     ext_baselines,
     fig03_discovery,
     fig04_05_cdf,
@@ -87,6 +88,21 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("fig19", "Outgoing-bandwidth CDF (STAT, STAT-PR2, OV)", fig19_bandwidth.run),
         Experiment("fig20", "Overreporting attack resilience", fig20_overreport.run),
         Experiment("ext_baselines", "Baselines vs AVMON (extension)", ext_baselines.run),
+        Experiment(
+            "app_query",
+            "Application: availability queries via verified monitors (§3.3)",
+            apps_workloads.run_query,
+        ),
+        Experiment(
+            "app_replication",
+            "Application: availability-aware replica placement",
+            apps_workloads.run_replication,
+        ),
+        Experiment(
+            "app_prediction",
+            "Application: availability prediction from histories",
+            apps_workloads.run_prediction,
+        ),
     )
 }
 

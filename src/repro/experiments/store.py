@@ -43,6 +43,7 @@ import pathlib
 import warnings
 from typing import Iterator, Optional, Tuple, Union
 
+from ..ioutils import atomic_write_text
 from .runner import SimulationConfig
 from .summary import SimulationSummary
 
@@ -259,10 +260,8 @@ class SummaryStore:
         by-product would discard finished work.
         """
         path = self.path_for(key)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
         try:
-            tmp.write_text(summary.to_json(), encoding="utf-8")
-            os.replace(tmp, path)
+            atomic_write_text(path, summary.to_json())
         except OSError as error:
             warnings.warn(
                 f"failed to persist summary to {path} ({error}); "
@@ -270,10 +269,6 @@ class SummaryStore:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
             return None
         self.writes += 1
         return path
@@ -289,9 +284,42 @@ class SummaryStore:
     def _entries(self) -> Iterator[pathlib.Path]:
         return (p for p in self.root.glob("*.json") if p.is_file())
 
-    def clear(self) -> None:
+    def paths(self) -> Tuple[pathlib.Path, ...]:
+        """Every stored entry file, sorted by name (``avmon cache ls``)."""
+        return tuple(sorted(self._entries()))
+
+    def read_file(self, path: Union[str, os.PathLike]) -> Optional[SimulationSummary]:
+        """Parse one store file; None (no warning, no counter) if unreadable.
+
+        The inspection-side sibling of :meth:`load`: ``avmon cache ls``
+        walks the directory by path, without knowing the structural keys
+        that produced the filenames.
+        """
+        try:
+            return SimulationSummary.from_json(
+                pathlib.Path(path).read_text(encoding="utf-8")
+            )
+        except (
+            OSError,
+            json.JSONDecodeError,
+            AttributeError,
+            TypeError,
+            ValueError,
+            KeyError,
+        ):
+            return None
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed.
+
+        An entry that cannot be deleted (permissions) raises — claiming a
+        clear succeeded while files remain would be worse than failing.
+        """
+        removed = 0
         for path in self._entries():
             path.unlink(missing_ok=True)
+            removed += 1
+        return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

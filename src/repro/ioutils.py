@@ -1,0 +1,31 @@
+"""Small shared I/O helpers."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Union
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: Union[str, os.PathLike], text: str) -> None:
+    """Write *text* to *path* atomically (temp file + ``os.replace``).
+
+    Concurrent readers never observe a partial file; the pid-suffixed temp
+    name keeps concurrent writers from clobbering each other's scratch.
+    Raises ``OSError`` on failure after removing the temp file — callers
+    decide whether a failed write is fatal (a node state snapshot is not;
+    see the summary store for the warn-and-continue variant).
+    """
+    target = pathlib.Path(path)
+    tmp = target.with_name(f"{target.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, target)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise

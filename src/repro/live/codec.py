@@ -1,0 +1,225 @@
+"""Versioned, deterministic wire codec for live AVMON datagrams.
+
+One protocol message (or control message) maps to one UDP datagram whose
+payload is canonical JSON: ``{"t": <type name>, "v": <wire version>,
+<field>: <value>, ...}`` with sorted keys and minimal separators, encoded
+as UTF-8.  The encoding is
+
+* **round-trippable** — ``decode(encode(m)) == m`` for every registered
+  message type (tuples are rendered as JSON arrays and restored as tuples,
+  recursively), which the property suite verifies exhaustively;
+* **deterministic** — the same message always yields the same bytes, in
+  every process (sorted keys, no whitespace, ``repr``-faithful floats);
+* **versioned** — payloads carry :data:`WIRE_VERSION`; a datagram stamped
+  with an unknown version, an unknown type, missing/extra fields or
+  mistyped values raises :class:`CodecError`, which transports treat as a
+  counted drop, never a crash.
+
+All concrete protocol messages (:data:`repro.core.messages.MESSAGE_TYPES`)
+are registered at import time; the control plane registers its own types
+the same way via :func:`register_wire_type`, so third-party extensions can
+put new dataclasses on the wire without touching this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+from typing import Any, Dict, Tuple, Type
+
+from ..core.messages import MESSAGE_TYPES
+
+__all__ = [
+    "CodecError",
+    "WIRE_VERSION",
+    "MAX_DATAGRAM_BYTES",
+    "register_wire_type",
+    "wire_types",
+    "encode",
+    "decode",
+]
+
+#: Wire format version; bump when a registered type's fields change shape.
+WIRE_VERSION = 1
+
+#: Defensive ceiling on accepted datagram payloads (a full coarse view of a
+#: million-node overlay is ~40 entries, far below this).
+MAX_DATAGRAM_BYTES = 64 * 1024
+
+_SCALARS = (str, int, float, bool)
+
+
+class CodecError(ValueError):
+    """A payload that cannot be decoded (or a value that cannot be encoded)."""
+
+
+def _field_checker(annotation: Any):
+    """A loose runtime validator derived from one dataclass field annotation.
+
+    Wire safety needs only coarse shape checks: ints where the protocol
+    expects node ids/sequence numbers, numbers where it expects floats,
+    tuples where it expects sequences.  Anything unresolvable is accepted
+    (the constructor remains the last line of defence).
+    """
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union:
+        checkers = [_field_checker(arg) for arg in typing.get_args(annotation)]
+        return lambda value: any(check(value) for check in checkers)
+    if annotation is type(None):
+        return lambda value: value is None
+    if annotation is bool:
+        return lambda value: isinstance(value, bool)
+    if annotation is int:
+        return lambda value: isinstance(value, int) and not isinstance(value, bool)
+    if annotation is float:
+        return lambda value: (
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+        )
+    if annotation is str:
+        return lambda value: isinstance(value, str)
+    if origin is tuple or annotation is tuple:
+        return lambda value: isinstance(value, tuple)
+    return lambda value: True
+
+
+class _WireSpec:
+    """Field names and validators for one registered dataclass."""
+
+    __slots__ = ("cls", "fields", "checkers")
+
+    def __init__(self, cls: Type) -> None:
+        self.cls = cls
+        try:
+            hints = typing.get_type_hints(cls)
+        except Exception:  # unresolvable forward refs: skip validation
+            hints = {}
+        self.fields = tuple(f.name for f in dataclasses.fields(cls))
+        self.checkers = {
+            name: _field_checker(hints.get(name, Any)) for name in self.fields
+        }
+
+
+_REGISTRY: Dict[str, _WireSpec] = {}
+
+
+def register_wire_type(cls: Type) -> Type:
+    """Register a dataclass for wire transport (usable as a decorator).
+
+    The type name is the wire tag, so names must be unique across every
+    registered namespace (protocol and control planes share one wire).
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"wire types must be dataclasses, got {cls!r}")
+    name = cls.__name__
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing.cls is not cls:
+        raise ValueError(f"wire type name {name!r} already registered")
+    clashes = {f.name for f in dataclasses.fields(cls)} & {"t", "v"}
+    if clashes:
+        # A field named 't' or 'v' would overwrite the envelope's type tag
+        # or version, producing datagrams that can never decode.
+        raise ValueError(
+            f"wire type {name!r} has reserved field name(s): "
+            f"{', '.join(sorted(clashes))}"
+        )
+    _REGISTRY[name] = _WireSpec(cls)
+    return cls
+
+
+def wire_types() -> Tuple[Type, ...]:
+    """Every registered wire type, sorted by tag name."""
+    return tuple(_REGISTRY[name].cls for name in sorted(_REGISTRY))
+
+
+def _to_jsonable(value: Any) -> Any:
+    if isinstance(value, bool) or value is None or isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_to_jsonable(item) for item in value]
+    raise CodecError(
+        f"cannot encode value of type {type(value).__name__} on the wire: "
+        f"{value!r}"
+    )
+
+
+def _to_native(value: Any) -> Any:
+    """JSON arrays come back as tuples so decoded messages compare equal."""
+    if isinstance(value, list):
+        return tuple(_to_native(item) for item in value)
+    return value
+
+
+def encode(message: Any) -> bytes:
+    """One registered message -> one canonical-JSON datagram payload."""
+    spec = _REGISTRY.get(type(message).__name__)
+    if spec is None or spec.cls is not type(message):
+        raise CodecError(
+            f"{type(message).__name__} is not a registered wire type"
+        )
+    payload = {"t": type(message).__name__, "v": WIRE_VERSION}
+    for name in spec.fields:
+        payload[name] = _to_jsonable(getattr(message, name))
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def decode(data: bytes) -> Any:
+    """One datagram payload -> the message it encodes.
+
+    Raises :class:`CodecError` on anything that is not a well-formed,
+    current-version payload of a registered type with exactly the declared
+    fields, each of a plausible shape.  Decoding never raises anything
+    else, so transports can treat ``CodecError`` as the single "drop this
+    datagram" signal.
+    """
+    try:
+        return _decode(data)
+    except RecursionError:
+        # A few KB of b"[[[[..." exhausts the parser's stack; that must be
+        # a counted drop like any other hostile payload, not a loop error.
+        raise CodecError("datagram nesting too deep") from None
+
+
+def _decode(data: bytes) -> Any:
+    if len(data) > MAX_DATAGRAM_BYTES:
+        raise CodecError(f"datagram too large ({len(data)} bytes)")
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CodecError(f"not a JSON datagram: {error}") from None
+    if not isinstance(payload, dict):
+        raise CodecError(f"payload must be an object, got {type(payload).__name__}")
+    version = payload.pop("v", None)
+    if version != WIRE_VERSION:
+        raise CodecError(f"unsupported wire version {version!r}")
+    tag = payload.pop("t", None)
+    spec = _REGISTRY.get(tag) if isinstance(tag, str) else None
+    if spec is None:
+        raise CodecError(f"unknown wire type {tag!r}")
+    expected = set(spec.fields)
+    present = set(payload)
+    if present != expected:
+        missing = ", ".join(sorted(expected - present)) or "-"
+        extra = ", ".join(sorted(present - expected)) or "-"
+        raise CodecError(
+            f"{tag}: field mismatch (missing: {missing}; unexpected: {extra})"
+        )
+    kwargs = {}
+    for name in spec.fields:
+        value = _to_native(payload[name])
+        if not spec.checkers[name](value):
+            raise CodecError(
+                f"{tag}.{name}: implausible value {value!r}"
+            )
+        kwargs[name] = value
+    try:
+        return spec.cls(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise CodecError(f"{tag}: {error}") from None
+
+
+for _message_type in MESSAGE_TYPES:
+    register_wire_type(_message_type)
+del _message_type

@@ -1,0 +1,197 @@
+"""Control-plane messages for the live overlay.
+
+The data plane is the AVMON protocol itself
+(:data:`repro.core.messages.MESSAGE_TYPES`); this module is everything the
+deployment around it needs: introducer registration and directories, the
+supervisor's per-node status scraping, and the operator commands behind
+``avmon live status|chaos|down``.  All types travel through the same
+:mod:`repro.live.codec` as protocol messages — one wire, one property
+suite.
+
+Directory entries are flat ``(node, host, port)`` tuples; node state
+travels as tuples-of-tuples (e.g. ``ps`` as ``(monitor, discovery_time)``
+pairs) so every control message stays codec-round-trippable by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .codec import register_wire_type
+
+__all__ = [
+    "Hello",
+    "HelloAck",
+    "Heartbeat",
+    "Goodbye",
+    "DirectoryRequest",
+    "DirectoryReply",
+    "StatusRequest",
+    "StatusReply",
+    "OverlayStatusRequest",
+    "OverlayStatusReply",
+    "ChaosRequest",
+    "ChaosReply",
+    "DownRequest",
+    "DownAck",
+    "CONTROL_TYPES",
+]
+
+
+@dataclass(frozen=True)
+class Hello:
+    """A node announcing itself (and its UDP port) to the introducer."""
+
+    node: int
+    port: int
+    #: Bind host; empty means "use the datagram's source address".
+    host: str = ""
+
+
+@dataclass(frozen=True)
+class HelloAck:
+    """Introducer's reply: the overlay epoch and current alive count."""
+
+    epoch: float = 0.0
+    alive: int = 0
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness beacon; silence past the TTL means departed."""
+
+    node: int
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """Graceful leave: drop the sender from the alive set immediately."""
+
+    node: int
+
+
+@dataclass(frozen=True)
+class DirectoryRequest:
+    """Ask the introducer for the current peer directory."""
+
+    node: int = -1
+
+
+@dataclass(frozen=True)
+class DirectoryReply:
+    """Alive peers as ``(node, host, port)`` triples."""
+
+    entries: Tuple[Tuple[int, str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class StatusRequest:
+    """Supervisor probe of one node's protocol state."""
+
+    probe: int = 0
+
+
+@dataclass(frozen=True)
+class StatusReply:
+    """One node's scraped protocol state.
+
+    ``ps`` carries ``(monitor, discovery_time)`` pairs straight out of
+    :attr:`repro.core.node.AvmonNode.ps`; times are overlay-epoch-relative
+    seconds, so the supervisor can rank and difference them across nodes.
+    """
+
+    node: int = -1
+    probe: int = 0
+    now: float = 0.0
+    started_at: float = 0.0
+    ps: Tuple[Tuple[int, float], ...] = ()
+    ts: Tuple[int, ...] = ()
+    cv: Tuple[int, ...] = ()
+    computations: int = 0
+    memory_entries: int = 0
+    useless_pings: int = 0
+    bytes_sent: int = 0
+    datagrams_sent: int = 0
+    datagrams_received: int = 0
+    datagrams_malformed: int = 0
+    #: Contained failures, surfaced so a sick node is diagnosable from
+    #: outside its process: ticks that raised, handler exceptions, and
+    #: JOINs dropped by the admission budget.
+    tick_errors: int = 0
+    handler_errors: int = 0
+    joins_throttled: int = 0
+
+
+@dataclass(frozen=True)
+class OverlayStatusRequest:
+    """Operator probe of the whole overlay (``avmon live status``)."""
+
+    probe: int = 0
+
+
+@dataclass(frozen=True)
+class OverlayStatusReply:
+    """Supervisor's overlay-level answer."""
+
+    probe: int = 0
+    nodes: int = 0
+    alive: int = 0
+    elapsed: float = 0.0
+    discovered_pairs: int = 0
+    expected_pairs: int = 0
+    crashes: int = 0
+
+
+@dataclass(frozen=True)
+class ChaosRequest:
+    """Operator chaos injection: crash *kill* random nodes, then restart
+    each after *downtime* seconds (``avmon live chaos``)."""
+
+    kill: int = 1
+    downtime: float = 2.0
+
+
+@dataclass(frozen=True)
+class ChaosReply:
+    """The node ids that were crashed."""
+
+    victims: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class DownRequest:
+    """Operator teardown (``avmon live down``)."""
+
+    probe: int = 0
+
+
+@dataclass(frozen=True)
+class DownAck:
+    """Supervisor acknowledgement that teardown has begun."""
+
+    probe: int = 0
+
+
+#: Every control message, registered on the shared wire at import time.
+CONTROL_TYPES = (
+    Hello,
+    HelloAck,
+    Heartbeat,
+    Goodbye,
+    DirectoryRequest,
+    DirectoryReply,
+    StatusRequest,
+    StatusReply,
+    OverlayStatusRequest,
+    OverlayStatusReply,
+    ChaosRequest,
+    ChaosReply,
+    DownRequest,
+    DownAck,
+)
+
+for _control_type in CONTROL_TYPES:
+    register_wire_type(_control_type)
+del _control_type

@@ -1,0 +1,153 @@
+"""The introducer: bootstrap and aliveness oracle for a live overlay.
+
+AVMON's protocols assume two environment services the simulator provided
+for free: ``choose_bootstrap`` (a uniformly random currently-alive node)
+and the alive-node oracle behind the useless-ping metric.  In a real
+deployment both come from an *introducer* — a tiny, soft-state UDP service
+every node registers with:
+
+* :class:`Hello` announces a node and its UDP port; the introducer records
+  the address and replies with the overlay epoch;
+* :class:`Heartbeat` keeps the registration alive; silence past
+  ``ttl`` seconds (a crashed or partitioned node) expires it;
+* :class:`Goodbye` expires it immediately (graceful leave);
+* :class:`DirectoryRequest` returns the currently-alive peers with their
+  addresses, from which each node serves its own ``choose_bootstrap``
+  locally — the introducer is on no protocol hot path, receives O(N)
+  heartbeats per interval, and stores O(N) soft state, so it scales the
+  way the paper's join protocol assumes a bootstrap service does.
+
+The introducer is deliberately *not* a membership authority: AVMON's
+coarse views gossip membership on their own.  Losing the introducer stops
+new joins and staleness-tolerant metrics, nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from ..core.hashing import NodeId
+from .control import (
+    DirectoryReply,
+    DirectoryRequest,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    HelloAck,
+)
+from .transport import Address, UdpTransport
+
+__all__ = ["Introducer"]
+
+
+class Introducer:
+    """Soft-state registration service over one UDP socket."""
+
+    def __init__(self, *, ttl: float = 5.0, epoch: Optional[float] = None) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.ttl = ttl
+        #: Overlay epoch (UNIX time); node clocks report relative to this.
+        self.epoch = epoch if epoch is not None else time.time()
+        self._transport: Optional[UdpTransport] = None
+        self._addresses: Dict[NodeId, Address] = {}
+        self._last_seen: Dict[NodeId, float] = {}
+        #: node -> monotonic deadline before which heartbeats may not
+        #: re-register it (set by :meth:`drop` for force-removed nodes).
+        self._quarantine: Dict[NodeId, float] = {}
+        self.registrations = 0
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Address:
+        """Bind the service; returns the actual listening address."""
+        self._transport = await UdpTransport.create(
+            self._handle, host=host, port=port
+        )
+        return self._transport.local_address
+
+    @property
+    def address(self) -> Address:
+        if self._transport is None:
+            raise RuntimeError("introducer is not started")
+        return self._transport.local_address
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    # -- registry ----------------------------------------------------------
+
+    def _expire(self, now: float) -> None:
+        deadline = now - self.ttl
+        for node, seen in list(self._last_seen.items()):
+            if seen < deadline:
+                del self._last_seen[node]
+                self._addresses.pop(node, None)
+
+    def alive_entries(self) -> Tuple[Tuple[NodeId, str, int], ...]:
+        """Current alive peers as ``(node, host, port)``, sorted by id."""
+        self._expire(time.monotonic())
+        return tuple(
+            (node, self._addresses[node][0], self._addresses[node][1])
+            for node in sorted(self._last_seen)
+            if node in self._addresses
+        )
+
+    def alive_count(self) -> int:
+        return len(self.alive_entries())
+
+    def is_alive(self, node: NodeId) -> bool:
+        self._expire(time.monotonic())
+        return node in self._last_seen
+
+    def drop(self, node: NodeId) -> None:
+        """Forcibly expire one node (the supervisor just killed it).
+
+        Unlike an organic TTL expiry, a forced drop quarantines the id for
+        one TTL: a heartbeat already in flight from the freshly-killed
+        process must not resurrect the corpse.  A real respawn announces
+        itself with :class:`Hello`, which lifts the quarantine.
+        """
+        self._last_seen.pop(node, None)
+        self._addresses.pop(node, None)
+        self._quarantine[node] = time.monotonic() + self.ttl
+
+    # -- message handling --------------------------------------------------
+
+    def _handle(self, message, addr: Address) -> None:
+        now = time.monotonic()
+        if isinstance(message, Hello):
+            host = message.host or addr[0]
+            self._quarantine.pop(message.node, None)
+            self._addresses[message.node] = (host, message.port)
+            self._last_seen[message.node] = now
+            self.registrations += 1
+            self._transport.send_to(
+                addr, HelloAck(epoch=self.epoch, alive=self.alive_count())
+            )
+        elif isinstance(message, Heartbeat):
+            # A heartbeat re-registers even after a TTL expiry: nodes send
+            # it from the same bound socket they announced in Hello, so the
+            # datagram's source address IS the node's address.  Without
+            # this, one heartbeat gap longer than the TTL (a GC stall, a
+            # dropped burst) would exile a healthy node forever.  A node
+            # under forced-drop quarantine (just SIGKILLed) is the one
+            # exception — its stale in-flight heartbeats must not
+            # resurrect it; its respawn will Hello.
+            if now < self._quarantine.get(message.node, 0.0):
+                return
+            if message.node not in self._addresses:
+                self._addresses[message.node] = addr
+            self._last_seen[message.node] = now
+        elif isinstance(message, Goodbye):
+            self.drop(message.node)
+        elif isinstance(message, DirectoryRequest):
+            self._transport.send_to(
+                addr, DirectoryReply(entries=self.alive_entries())
+            )
+        # Anything else on this socket is ignored; the transport already
+        # counted it.
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Introducer(alive={self.alive_count()}, ttl={self.ttl})"

@@ -1,0 +1,71 @@
+"""Entry point for one live AVMON node process.
+
+The supervisor spawns ``python -m repro.live.node_main --spec '<json>'``
+once per overlay member.  The process boots a :class:`~repro.live.runtime
+.LiveNode`, runs until SIGTERM/SIGINT (graceful: persist state, send
+``Goodbye``) or SIGKILL (a crash: state survives only up to the last
+periodic snapshot — exactly the failure model the paper assumes), and
+exits 0 on a clean shutdown.
+
+It is equally usable by hand for ad-hoc multi-host experiments::
+
+    python -m repro.live.node_main --spec "$(cat node7.json)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import List, Optional
+
+from .runtime import LiveNode, LiveNodeSpec
+
+__all__ = ["main", "run_node"]
+
+
+async def run_node(spec: LiveNodeSpec) -> None:
+    """Boot one node and serve until the process is told to stop."""
+    node = LiveNode(spec)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # non-UNIX loops
+            pass
+    await node.start()
+    try:
+        await stop.wait()
+    finally:
+        await node.stop(graceful=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.live.node_main", description="Run one live AVMON node."
+    )
+    parser.add_argument(
+        "--spec",
+        required=True,
+        help="JSON-encoded LiveNodeSpec (see repro.live.runtime)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        spec = LiveNodeSpec.from_json(args.spec)
+    except (ValueError, TypeError) as error:
+        print(f"error: bad --spec: {error}", file=sys.stderr)
+        return 2
+    try:
+        asyncio.run(run_node(spec))
+    except KeyboardInterrupt:
+        pass
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

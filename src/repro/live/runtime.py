@@ -1,0 +1,525 @@
+"""The live ``NodeRuntime``: AVMON on wall clocks and UDP datagrams.
+
+:class:`LiveRuntime` satisfies :class:`repro.core.node.NodeRuntime` with
+production ingredients — ``now()`` is the wall clock (overlay-epoch
+relative), ``send()`` routes through a :class:`~repro.live.transport
+.UdpTransport` via the peer table, ``schedule()`` is ``loop.call_later``,
+and ``choose_bootstrap``/``target_in_system`` are served from the latest
+introducer directory — so :class:`~repro.core.node.AvmonNode` runs
+**unmodified** over a real network.
+
+:class:`LiveNode` is one complete participant: it owns the transport, the
+runtime, the protocol node and its periodic ticks, keeps the peer table
+fresh (directory refreshes plus passive address learning), persists
+protocol state to disk across restarts (the paper's "persistent storage"
+assumption), heartbeats the introducer, and answers the supervisor's
+status probes.  It can run in-process (the conformance tests boot several
+on one loop) or as a standalone OS process via
+:mod:`repro.live.node_main`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import pathlib
+import random
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..core.condition import ConsistencyCondition
+from ..core.config import AvmonConfig
+from ..core.hashing import NodeId
+from ..core.messages import Join, Message
+from ..core.node import AvmonNode, MetricsSink, TimerHandle
+from ..core.relation import MonitorRelation
+from ..ioutils import atomic_write_text
+from .control import (
+    DirectoryReply,
+    DirectoryRequest,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    HelloAck,
+    StatusReply,
+    StatusRequest,
+)
+from .transport import Address, PeerTable, UdpTransport
+
+__all__ = ["LiveNodeSpec", "LiveRuntime", "LiveNode", "referenced_ids"]
+
+logger = logging.getLogger(__name__)
+
+#: On-disk node-state schema (see :meth:`LiveNode._save_state`).
+STATE_VERSION = 1
+
+
+def referenced_ids(message: Any) -> Tuple[NodeId, ...]:
+    """Every node id a protocol message mentions.
+
+    The live relation index learns the id universe from traffic (the
+    simulator learned it from the cluster); this walks the known id-bearing
+    fields so :class:`~repro.core.relation.MonitorRelation` is never asked
+    about an id it has not seen.
+    """
+    ids: List[NodeId] = []
+    for name in ("sender", "origin", "monitor", "target", "subject"):
+        value = getattr(message, name, None)
+        if isinstance(value, int) and not isinstance(value, bool) and value >= 0:
+            ids.append(value)
+    for name in ("view", "monitors"):
+        value = getattr(message, name, None)
+        if isinstance(value, tuple):
+            ids.extend(
+                v
+                for v in value
+                if isinstance(v, int) and not isinstance(v, bool) and v >= 0
+            )
+    return tuple(ids)
+
+
+@dataclass
+class LiveNodeSpec:
+    """Everything one live node process needs to boot (JSON-portable)."""
+
+    node: NodeId
+    introducer_host: str
+    introducer_port: int
+    #: Consistent parameters; every node in one overlay must agree on them.
+    n_expected: int
+    k: int
+    cvs: int
+    protocol_period: float = 1.0
+    monitoring_period: float = 1.0
+    ping_timeout: float = 0.25
+    forgetful_tau: float = 2.0
+    forgetful_c: float = 1.0
+    enable_forgetful: bool = True
+    enable_pr2: bool = False
+    hash_algorithm: str = "md5"
+    entry_bytes: int = 8
+    seed: int = 1
+    host: str = "127.0.0.1"
+    #: Overlay epoch (UNIX seconds); 0.0 -> adopt the introducer's.
+    epoch: float = 0.0
+    heartbeat_interval: float = 0.5
+    directory_interval: float = 1.0
+    #: Periodic state-snapshot cadence; 0 disables persistence entirely.
+    snapshot_interval: float = 1.0
+    #: Path of this node's persistent store; empty disables persistence.
+    state_file: str = ""
+
+    def avmon_config(self) -> AvmonConfig:
+        return AvmonConfig(
+            n_expected=self.n_expected,
+            k=self.k,
+            cvs=self.cvs,
+            protocol_period=self.protocol_period,
+            monitoring_period=self.monitoring_period,
+            forgetful_tau=self.forgetful_tau,
+            forgetful_c=self.forgetful_c,
+            enable_forgetful=self.enable_forgetful,
+            enable_pr2=self.enable_pr2,
+            ping_timeout=self.ping_timeout,
+            entry_bytes=self.entry_bytes,
+            hash_algorithm=self.hash_algorithm,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LiveNodeSpec":
+        return cls(**json.loads(text))
+
+
+class LiveRuntime:
+    """Wall-clock, UDP-backed implementation of ``NodeRuntime``.
+
+    Satisfies the :class:`~repro.core.node.NodeRuntime` protocol
+    structurally; must be constructed inside a running asyncio loop.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        transport: UdpTransport,
+        peers: PeerTable,
+        rng: random.Random,
+        *,
+        epoch: float,
+    ) -> None:
+        self.id = node_id
+        self.rng = rng
+        self._transport = transport
+        self._peers = peers
+        self._epoch = epoch
+        self._loop = asyncio.get_running_loop()
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def epoch(self) -> float:
+        return self._epoch
+
+    def rebase_epoch(self, epoch: float) -> None:
+        """Adopt the overlay-wide epoch announced by the introducer."""
+        self._epoch = epoch
+
+    def now(self) -> float:
+        return time.time() - self._epoch
+
+    # -- transport ---------------------------------------------------------
+
+    def send(self, dst: NodeId, message: Message) -> None:
+        address = self._peers.address_of(dst)
+        if address is None:
+            self._transport.stats.unroutable += 1
+            return
+        self._transport.send_to(address, message)
+
+    def schedule(self, delay: float, callback) -> TimerHandle:
+        return self._loop.call_later(max(0.0, delay), callback)
+
+    # -- environment oracles -----------------------------------------------
+
+    def choose_bootstrap(self, exclude: NodeId) -> Optional[NodeId]:
+        candidates = [n for n in self._peers.alive_ids() if n != exclude]
+        if not candidates:
+            return None
+        return candidates[self.rng.randrange(len(candidates))]
+
+    def target_in_system(self, node: NodeId) -> bool:
+        return self._peers.is_alive(node)
+
+
+class LiveNode:
+    """One live AVMON participant: transport + runtime + protocol + loops."""
+
+    def __init__(
+        self, spec: LiveNodeSpec, metrics: Optional[MetricsSink] = None
+    ) -> None:
+        self.spec = spec
+        self.id = spec.node
+        self.config = spec.avmon_config()
+        self.condition = ConsistencyCondition(
+            spec.k, spec.n_expected, spec.hash_algorithm
+        )
+        self.relation = MonitorRelation(self.condition)
+        self.relation.add_node(self.id)
+        self.peers = PeerTable()
+        self.rng = random.Random(spec.seed * 1_000_003 + spec.node)
+        self._metrics = metrics
+        self.transport: Optional[UdpTransport] = None
+        self.runtime: Optional[LiveRuntime] = None
+        self.node: Optional[AvmonNode] = None
+        self.started_at: float = 0.0
+        self._introducer: Address = (spec.introducer_host, spec.introducer_port)
+        self._tasks: List[asyncio.Task] = []
+        self._joined = False
+        self._hello_acked = asyncio.Event()
+        self._directory_seen = asyncio.Event()
+        self._stopped = False
+        #: Periodic ticks that raised (contained, logged, counted).
+        self.tick_errors = 0
+        #: JOIN datagrams dropped by the per-origin admission budget.
+        self.joins_throttled = 0
+        self._join_window_start = 0.0
+        self._join_counts: dict = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, register with the introducer, restore state, join, tick."""
+        self.transport = await UdpTransport.create(
+            self._handle, host=self.spec.host, port=0
+        )
+        self.runtime = LiveRuntime(
+            self.id,
+            self.transport,
+            self.peers,
+            self.rng,
+            epoch=self.spec.epoch or time.time(),
+        )
+        self.node = AvmonNode(
+            self.id, self.config, self.relation, self.runtime, self._metrics
+        )
+        self._restore_state()
+        await self._register()
+        self.started_at = self.runtime.now()
+        self._tasks = [
+            asyncio.create_task(self._membership_loop()),
+            asyncio.create_task(self._periodic_loop(
+                self.config.protocol_period, self._protocol_tick
+            )),
+            asyncio.create_task(self._periodic_loop(
+                self.config.monitoring_period, self._monitoring_tick
+            )),
+        ]
+        if self.spec.state_file and self.spec.snapshot_interval > 0:
+            self._tasks.append(asyncio.create_task(self._snapshot_loop()))
+
+    async def _register(self) -> None:
+        """Hello the introducer until acknowledged, then fetch a directory."""
+        hello = Hello(
+            node=self.id, port=self.transport.local_address[1], host=self.spec.host
+        )
+        for attempt in range(50):
+            self.transport.send_to(self._introducer, hello)
+            try:
+                await asyncio.wait_for(
+                    self._hello_acked.wait(), timeout=0.2 * (attempt + 1)
+                )
+                break
+            except asyncio.TimeoutError:
+                continue
+        else:
+            raise RuntimeError(
+                f"node {self.id}: introducer at {self._introducer} unreachable"
+            )
+        self.transport.send_to(self._introducer, DirectoryRequest(node=self.id))
+        try:
+            await asyncio.wait_for(self._directory_seen.wait(), timeout=1.0)
+        except asyncio.TimeoutError:
+            pass  # first node in an empty overlay: join with no bootstrap
+
+    async def stop(self, *, graceful: bool = True) -> None:
+        """Leave the overlay; with *graceful*, persist state and say goodbye."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._tasks = []
+        if graceful and self.transport is not None:
+            if self.node is not None:
+                self.node.on_leave(self.runtime.now())
+            self._save_state()
+            self.transport.send_to(self._introducer, Goodbye(node=self.id))
+            # Give the goodbye datagram one loop turn to hit the socket.
+            await asyncio.sleep(0)
+        if self.transport is not None:
+            self.transport.close()
+
+    # -- periodic work -----------------------------------------------------
+
+    async def _periodic_loop(self, period: float, tick) -> None:
+        # Random initial phase, as the simulator's PeriodicProcess does.
+        await asyncio.sleep(self.rng.uniform(0.0, period))
+        while True:
+            try:
+                tick()
+            except Exception:  # noqa: BLE001 — same stance as the transport:
+                # one bad tick must not leave a zombie that heartbeats (so
+                # the directory advertises it) but never pings or discovers.
+                self.tick_errors += 1
+                logger.exception("node %s: periodic tick failed", self.id)
+            await asyncio.sleep(period)
+
+    def _protocol_tick(self) -> None:
+        if self._joined:
+            self.node.protocol_tick()
+
+    def _monitoring_tick(self) -> None:
+        if self._joined:
+            self.node.monitoring_tick()
+
+    async def _membership_loop(self) -> None:
+        """Heartbeat the introducer and refresh the peer directory."""
+        next_directory = 0.0
+        while True:
+            self.transport.send_to(self._introducer, Heartbeat(node=self.id))
+            now = time.monotonic()
+            if now >= next_directory:
+                self.transport.send_to(
+                    self._introducer, DirectoryRequest(node=self.id)
+                )
+                next_directory = now + self.spec.directory_interval
+            await asyncio.sleep(self.spec.heartbeat_interval)
+
+    async def _snapshot_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.spec.snapshot_interval)
+            self._save_state()
+
+    # -- message handling --------------------------------------------------
+
+    def _join_budget(self) -> int:
+        """JOIN datagrams admitted per origin per protocol period.
+
+        Figure 1's weight rule only decrements when the recipient *adds*
+        the origin, so once an origin sits in every coarse view a residual
+        JOIN forwards hop-to-hop forever.  The simulator bounds that loop
+        with modelled per-hop latency; localhost UDP is effectively
+        zero-latency, so an un-throttled rejoin into a converged overlay
+        live-locks every process (measured: >100k JOIN datagrams in 3 s on
+        6 nodes).  An honest join tree bounces around small early views,
+        so the budget scales with cvs — generous for legitimate spreading,
+        still three orders of magnitude below the storm.
+        """
+        return max(8, 3 * self.config.cvs)
+
+    def _admit_join(self, origin: NodeId) -> bool:
+        now = self.runtime.now()
+        if now - self._join_window_start >= self.config.protocol_period:
+            self._join_window_start = now
+            self._join_counts.clear()
+        seen = self._join_counts.get(origin, 0)
+        if seen >= self._join_budget():
+            self.joins_throttled += 1
+            return False
+        self._join_counts[origin] = seen + 1
+        return True
+
+    def _handle(self, message: Any, addr: Address) -> None:
+        if isinstance(message, Message):
+            if isinstance(message, Join) and not self._admit_join(message.origin):
+                return
+            for node_id in referenced_ids(message):
+                self.relation.add_node(node_id)
+            # Passive address learning: the peer is reachable where the
+            # datagram came from, whatever the directory currently says.
+            sender = getattr(message, "sender", None)
+            if isinstance(sender, int) and sender != self.id:
+                self.peers.learn(sender, addr)
+            self.node.handle_message(message)
+        elif isinstance(message, DirectoryReply):
+            self._on_directory(message)
+        elif isinstance(message, HelloAck):
+            if message.epoch > 0.0:
+                self.runtime.rebase_epoch(message.epoch)
+            self._hello_acked.set()
+        elif isinstance(message, StatusRequest):
+            self.transport.send_to(addr, self.status_reply(message.probe))
+        # Unknown control traffic is ignored.
+
+    def _on_directory(self, reply: DirectoryReply) -> None:
+        alive = []
+        for entry in reply.entries:
+            if len(entry) != 3:
+                continue
+            node_id, host, port = entry
+            if node_id == self.id:
+                alive.append(node_id)
+                continue
+            self.relation.add_node(node_id)
+            self.peers.learn(node_id, (host, port))
+            alive.append(node_id)
+        self.peers.set_alive(alive)
+        self._directory_seen.set()
+        if not self._joined:
+            self._joined = True
+            self.node.begin_join()
+
+    # -- persistent storage (system model, Section 3) ----------------------
+
+    def _restore_state(self) -> None:
+        """Reload CV/PS/TS and ping counters saved by a previous life."""
+        if not self.spec.state_file:
+            return
+        path = pathlib.Path(self.spec.state_file)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(payload, dict) or payload.get("version") != STATE_VERSION:
+            return
+        if self.spec.epoch and payload.get("epoch") != self.spec.epoch:
+            # A state file from a *different* overlay run (the supervisor
+            # stamps every run's specs with its introducer epoch): restoring
+            # it would preload PS/TS from the old run and fake discovery.
+            # Within one run, crash-respawned specs share the epoch, so
+            # genuine rejoins still restore.  Hand-run nodes (epoch 0.0)
+            # manage their own state directories and skip the check.
+            return
+        node = self.node
+        node._joined_before = bool(payload.get("joined_before", True))
+        saved_at = payload.get("saved_at")
+        if isinstance(saved_at, (int, float)):
+            node.last_leave_time = float(saved_at)
+        for entry in payload.get("cv", ()):
+            if isinstance(entry, int):
+                self.relation.add_node(entry)
+                node.cv.add(entry, self.rng)
+        for pair in payload.get("ps", ()):
+            if isinstance(pair, list) and len(pair) == 2:
+                monitor, discovered = pair
+                if isinstance(monitor, int):
+                    self.relation.add_node(monitor)
+                    node.ps[monitor] = float(discovered)
+        for target in payload.get("ts", ()):
+            if isinstance(target, int):
+                self.relation.add_node(target)
+                node.ts.add(target)
+                node.store.record_for(target)
+        for key, counts in payload.get("records", {}).items():
+            try:
+                target = int(key)
+            except ValueError:
+                continue
+            if isinstance(counts, list) and len(counts) == 2:
+                record = node.store.record_for(target)
+                record.pings_sent = int(counts[0])
+                record.pings_answered = int(counts[1])
+
+    def _save_state(self) -> None:
+        if not self.spec.state_file or self.node is None:
+            return
+        node = self.node
+        payload = {
+            "version": STATE_VERSION,
+            "node": self.id,
+            "epoch": self.spec.epoch,
+            "saved_at": self.runtime.now(),
+            "joined_before": node._joined_before,
+            "cv": sorted(node.cv.entries()),
+            "ps": sorted([m, t] for m, t in node.ps.items()),
+            "ts": sorted(node.ts),
+            "records": {
+                str(record.target): [record.pings_sent, record.pings_answered]
+                for record in node.store.records()
+            },
+        }
+        try:
+            atomic_write_text(
+                self.spec.state_file, json.dumps(payload, sort_keys=True)
+            )
+        except OSError:
+            # A failed snapshot costs at most one period of state; the
+            # node keeps running and the next snapshot retries.
+            pass
+
+    # -- introspection -----------------------------------------------------
+
+    def status_reply(self, probe: int = 0) -> StatusReply:
+        stats = self.transport.stats
+        return StatusReply(
+            node=self.id,
+            probe=probe,
+            now=self.runtime.now(),
+            started_at=self.started_at,
+            ps=tuple(sorted((m, t) for m, t in self.node.ps.items())),
+            ts=tuple(sorted(self.node.ts)),
+            cv=tuple(sorted(self.node.cv.entries())),
+            computations=self.node.computations,
+            memory_entries=self.node.memory_entries(),
+            useless_pings=self.node.store.useless_pings,
+            bytes_sent=stats.bytes_sent,
+            datagrams_sent=stats.datagrams_sent,
+            datagrams_received=stats.datagrams_received,
+            datagrams_malformed=stats.malformed,
+            tick_errors=self.tick_errors,
+            handler_errors=stats.handler_errors,
+            joins_throttled=self.joins_throttled,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        joined = "joined" if self._joined else "booting"
+        return f"LiveNode(id={self.id}, {joined}, peers={len(self.peers)})"

@@ -1,0 +1,942 @@
+"""Boot, churn, scrape and summarise a live AVMON overlay.
+
+:class:`LiveSupervisor` is the deployment harness: it starts the
+introducer, spawns one OS process per node (:mod:`repro.live.node_main`),
+waits for the overlay to assemble, and then
+
+* **injects churn** through any component registered under the ``churn``
+  kind — the supervisor implements the same
+  :class:`~repro.churn.base.ChurnDriver` interface the simulator's cluster
+  does, except ``request_leave`` sends SIGTERM (graceful leave: the node
+  persists state and says goodbye), ``request_death`` sends SIGKILL, and
+  ``request_rejoin`` respawns the process against its persistent state
+  file, so SYNTH and friends drive real process churn unmodified;
+* **injects one-shot crashes** (``crash_after``/``chaos``): SIGKILL now,
+  respawn after a configurable downtime — the failure the consistency
+  condition exists to survive;
+* **scrapes per-node metrics** over UDP status probes on a sampling
+  cadence, and at teardown folds them into the standard
+  :class:`~repro.experiments.summary.SimulationSummary`, optionally
+  persisting it to a :class:`~repro.experiments.store.SummaryStore` under
+  :func:`live_config_key` — so live runs flow through exactly the same
+  report/figure machinery as simulated ones.
+
+The quality bar is the paper's consistency condition: the report carries
+``discovery_ratio`` — discovered ÷ expected monitor relationships over the
+final alive population — and a violation count (reported PS/TS entries
+that fail the condition; always 0 unless a node misbehaves).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import os
+import pathlib
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..churn import models as _churn_models  # noqa: F401 — registers STAT/SYNTH*
+from ..core import optimal
+from ..core.condition import ConsistencyCondition
+from ..core.hashing import NodeId
+from ..experiments.store import SummaryStore, stable_key_hash
+from ..experiments.summary import SimulationSummary
+from ..metrics import stats
+from ..registry import canonical_name, resolve
+from .control import (
+    ChaosReply,
+    ChaosRequest,
+    DownAck,
+    DownRequest,
+    OverlayStatusReply,
+    OverlayStatusRequest,
+    StatusReply,
+    StatusRequest,
+)
+from .introducer import Introducer
+from .runtime import LiveNodeSpec
+from .transport import Address, UdpTransport
+
+__all__ = [
+    "LiveConfig",
+    "LiveReport",
+    "LiveSupervisor",
+    "control_call",
+    "live_config_key",
+    "live_store_filename",
+    "run_live",
+]
+
+
+@dataclass
+class LiveConfig:
+    """One live deployment, declaratively (JSON-portable)."""
+
+    nodes: int = 8
+    duration: float = 20.0
+    seed: int = 1
+    #: Consistent parameters; None -> the paper's defaults for ``nodes``.
+    k: Optional[int] = None
+    cvs: Optional[int] = None
+    #: Live runs compress the paper's 60 s periods to wall-clock seconds.
+    protocol_period: float = 1.0
+    monitoring_period: float = 1.0
+    ping_timeout: float = 0.25
+    forgetful_tau: float = 2.0
+    forgetful_c: float = 1.0
+    enable_forgetful: bool = True
+    #: PR2 (Section 5.4) defaults ON for live deployments: a node whose
+    #: boot-time join tree under-seeded its in-degree (or whose CV entries
+    #: all churned away) refreshes itself back into its neighbours' views —
+    #: the paper's own remedy for exactly the decay real clocks and real
+    #: packet loss produce.
+    enable_pr2: bool = True
+    hash_algorithm: str = "md5"
+    #: Churn component key (the PR-1 registry) driving process churn.
+    churn: str = "STAT"
+    churn_per_hour: float = 0.2
+    birth_death_per_day: float = 0.2
+    #: One-shot chaos: SIGKILL a random node this many seconds in.
+    crash_after: Optional[float] = None
+    crash_downtime: float = 3.0
+    host: str = "127.0.0.1"
+    #: Operator control endpoint; 0 binds an ephemeral port, -1 disables.
+    control_port: int = 0
+    sample_interval: float = 2.0
+    heartbeat_interval: float = 0.5
+    introducer_ttl: float = 2.5
+    #: Node state files live here; empty -> a run-scoped temp directory.
+    state_dir: str = ""
+    label: str = "LIVE"
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ValueError(f"nodes must be >= 2, got {self.nodes}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.crash_after is not None and not (
+            0.0 < self.crash_after < self.duration
+        ):
+            raise ValueError(
+                f"crash_after must fall inside the run "
+                f"(0, {self.duration}), got {self.crash_after}"
+            )
+
+    def resolved_k(self) -> int:
+        return self.k if self.k is not None else max(
+            1, round(math.log2(self.nodes))
+        )
+
+    def resolved_cvs(self) -> int:
+        return (
+            self.cvs
+            if self.cvs is not None
+            else optimal.cvs_paper_default(self.nodes)
+        )
+
+    def node_spec(
+        self,
+        node: NodeId,
+        introducer: Address,
+        *,
+        epoch: float,
+        state_file: str,
+    ) -> LiveNodeSpec:
+        return LiveNodeSpec(
+            node=node,
+            introducer_host=introducer[0],
+            introducer_port=introducer[1],
+            n_expected=self.nodes,
+            k=self.resolved_k(),
+            cvs=self.resolved_cvs(),
+            protocol_period=self.protocol_period,
+            monitoring_period=self.monitoring_period,
+            ping_timeout=self.ping_timeout,
+            forgetful_tau=self.forgetful_tau,
+            forgetful_c=self.forgetful_c,
+            enable_forgetful=self.enable_forgetful,
+            enable_pr2=self.enable_pr2,
+            hash_algorithm=self.hash_algorithm,
+            seed=self.seed,
+            host=self.host,
+            epoch=epoch,
+            heartbeat_interval=self.heartbeat_interval,
+            directory_interval=max(
+                self.heartbeat_interval, self.protocol_period / 2.0
+            ),
+            snapshot_interval=self.protocol_period,
+            state_file=state_file,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def live_config_key(config: LiveConfig) -> Tuple:
+    """The structural identity of a live deployment, store-addressable.
+
+    Unlike simulation keys this does not promise byte-identical summaries
+    — wall clocks and real packet loss are not replayable — so the store
+    holds the *latest* run of each distinct deployment (re-running a
+    deployment overwrites its cell, exactly what a monitoring dashboard
+    wants).
+    """
+    return (
+        "LIVE-RUN",
+        config.nodes,
+        config.duration,
+        config.seed,
+        config.resolved_k(),
+        config.resolved_cvs(),
+        config.protocol_period,
+        config.monitoring_period,
+        config.ping_timeout,
+        config.forgetful_tau,
+        config.forgetful_c,
+        config.enable_forgetful,
+        config.enable_pr2,
+        config.hash_algorithm,
+        canonical_name(config.churn),
+        config.churn_per_hour,
+        config.birth_death_per_day,
+        config.crash_after,
+        config.crash_downtime,
+    )
+
+
+@dataclass
+class _NodeHandle:
+    """Supervisor-side bookkeeping for one overlay member."""
+
+    node: NodeId
+    spec: LiveNodeSpec
+    process: Optional[subprocess.Popen] = None
+    first_spawn: float = 0.0
+    alive: bool = False
+    dead: bool = False
+    crashes: int = 0
+    up_since: Optional[float] = None
+    #: Length of the most recently *closed* process life, in seconds.
+    last_life_seconds: float = 0.0
+
+
+class _WallSim:
+    """The ``sim`` facade churn models schedule against, on the wall clock."""
+
+    def __init__(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._t0 = time.monotonic()
+        self._handles: List[asyncio.TimerHandle] = []
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def schedule(self, delay: float, callback) -> asyncio.TimerHandle:
+        handle = self._loop.call_later(max(0.0, delay), callback)
+        self._handles.append(handle)
+        if len(self._handles) > 256:
+            # Drop fired/cancelled handles so a churny overlay (thousands
+            # of transitions per hour) does not grow this list unboundedly.
+            now = self._loop.time()
+            self._handles = [
+                h for h in self._handles if not h.cancelled() and h.when() > now
+            ]
+        return handle
+
+    def schedule_at(self, when: float, callback) -> asyncio.TimerHandle:
+        return self.schedule(when - self.now, callback)
+
+    def cancel_all(self) -> None:
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+
+@dataclass
+class LiveReport:
+    """Everything one live run measured, plus the persisted summary."""
+
+    config: LiveConfig
+    summary: SimulationSummary
+    #: Discovered ÷ expected monitor relationships over the final overlay.
+    discovery_ratio: float
+    discovered_pairs: int
+    expected_pairs: int
+    #: Reported PS/TS entries failing the consistency condition (should be 0).
+    violations: int
+    crashes: int
+    crash_victims: Tuple[NodeId, ...]
+    #: Discovered ÷ expected relationships involving crash victims.
+    victim_recovery: Optional[float]
+    final_alive: int
+    elapsed: float
+    store_path: Optional[str] = None
+    statuses: Dict[NodeId, StatusReply] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "summary": self.summary.to_dict(),
+            "discovery_ratio": self.discovery_ratio,
+            "discovered_pairs": self.discovered_pairs,
+            "expected_pairs": self.expected_pairs,
+            "violations": self.violations,
+            "crashes": self.crashes,
+            "crash_victims": list(self.crash_victims),
+            "victim_recovery": self.victim_recovery,
+            "final_alive": self.final_alive,
+            "elapsed": self.elapsed,
+            "store_path": self.store_path,
+        }
+
+
+class LiveSupervisor:
+    """Owns one overlay's lifecycle; also the live ``ChurnDriver``."""
+
+    #: Seconds granted for the overlay to fully register before failing.
+    BOOT_TIMEOUT_BASE = 15.0
+
+    def __init__(
+        self, config: LiveConfig, *, store: Optional[SummaryStore] = None
+    ) -> None:
+        self.config = config
+        self.store = store
+        self.rng = random.Random(config.seed)
+        self.condition = ConsistencyCondition(
+            config.resolved_k(), config.nodes, config.hash_algorithm
+        )
+        self.introducer = Introducer(ttl=config.introducer_ttl)
+        self.sim: Optional[_WallSim] = None
+        self._handles: Dict[NodeId, _NodeHandle] = {}
+        self._next_id = 0
+        self._model = None
+        self._running = False
+        self._stop_early = asyncio.Event()
+        self._state_dir: Optional[pathlib.Path] = None
+        self._own_state_dir = False
+        self._scraper: Optional[UdpTransport] = None
+        self._control: Optional[UdpTransport] = None
+        self._probe_seq = 0
+        self._probe_waiters: Dict[Tuple[NodeId, int], asyncio.Future] = {}
+        self._crash_victims: List[NodeId] = []
+        self._memory_series: Dict[NodeId, List[float]] = {}
+        self._last_statuses: Dict[NodeId, StatusReply] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def run(self) -> LiveReport:
+        """Boot the overlay, run it for the configured duration, report."""
+        started = time.monotonic()
+        config = self.config
+        introducer_addr = await self.introducer.start(config.host, 0)
+        self.sim = _WallSim()
+        try:
+            self._state_dir = (
+                pathlib.Path(config.state_dir)
+                if config.state_dir
+                else pathlib.Path(tempfile.mkdtemp(prefix="avmon-live-"))
+            )
+            self._own_state_dir = not config.state_dir
+            try:
+                self._state_dir.mkdir(parents=True, exist_ok=True)
+            except OSError as error:
+                raise RuntimeError(
+                    f"cannot use state dir {self._state_dir}: {error}"
+                ) from error
+            self._scraper = await UdpTransport.create(
+                self._on_scrape_reply, host=config.host, port=0
+            )
+            if config.control_port >= 0:
+                try:
+                    self._control = await UdpTransport.create(
+                        self._on_control,
+                        host=config.host,
+                        port=config.control_port,
+                    )
+                except OSError:
+                    # Port taken (another overlay up?): fall back to
+                    # ephemeral so the run proceeds — and say so, or the
+                    # operator's status/chaos/down commands would target
+                    # the *other* overlay.
+                    self._control = await UdpTransport.create(
+                        self._on_control, host=config.host, port=0
+                    )
+                    print(
+                        f"live: control port {config.control_port} in use; "
+                        f"this overlay's control is "
+                        f"{config.host}:{self._control.local_address[1]}",
+                        file=sys.stderr,
+                    )
+            self._running = True
+            for _ in range(config.nodes):
+                self._spawn_new(introducer_addr)
+            await self._await_boot()
+            self._bind_churn()
+            if config.crash_after is not None:
+                self.sim.schedule(config.crash_after, self._inject_crash)
+            await self._measurement_window()
+            statuses = await self.scrape(timeout=max(1.0, config.ping_timeout * 8))
+            self._last_statuses = statuses
+            final_alive = self.introducer.alive_count()
+        finally:
+            await self._teardown()
+        elapsed = time.monotonic() - started
+        report = self._build_report(statuses, final_alive, elapsed)
+        if self.store is not None:
+            path = self.store.save(live_config_key(config), report.summary)
+            report.store_path = str(path) if path is not None else None
+        return report
+
+    async def _await_boot(self) -> None:
+        deadline = time.monotonic() + (
+            self.BOOT_TIMEOUT_BASE + 0.25 * self.config.nodes
+        )
+        while time.monotonic() < deadline:
+            if self.introducer.alive_count() >= self.config.nodes:
+                return
+            dead = [
+                h.node
+                for h in self._handles.values()
+                if h.process is not None and h.process.poll() is not None
+            ]
+            if dead:
+                raise RuntimeError(
+                    f"node process(es) {sorted(dead)} exited during boot"
+                )
+            await asyncio.sleep(0.1)
+        raise RuntimeError(
+            f"overlay failed to assemble: "
+            f"{self.introducer.alive_count()}/{self.config.nodes} registered"
+        )
+
+    def _bind_churn(self) -> None:
+        factory = resolve("churn", self.config.churn)
+        self._model = factory(
+            self.config.nodes,
+            random.Random(self.config.seed + 7919),
+            churn_per_hour=self.config.churn_per_hour,
+            birth_death_per_day=self.config.birth_death_per_day,
+        )
+        self._model.bind(self)
+        self._model.setup()
+        for handle in self._handles.values():
+            if handle.alive:
+                self._model.on_node_up(handle.node)
+
+    async def _measurement_window(self) -> None:
+        deadline = time.monotonic() + self.config.duration
+        next_sample = time.monotonic() + self.config.sample_interval
+        while time.monotonic() < deadline and not self._stop_early.is_set():
+            remaining = deadline - time.monotonic()
+            wait = min(0.25, max(0.0, remaining))
+            try:
+                await asyncio.wait_for(self._stop_early.wait(), timeout=wait)
+                break
+            except asyncio.TimeoutError:
+                pass
+            if time.monotonic() >= next_sample:
+                next_sample = time.monotonic() + self.config.sample_interval
+                statuses = await self.scrape(
+                    timeout=max(0.5, self.config.ping_timeout * 4)
+                )
+                self._last_statuses = statuses
+                for node, status in statuses.items():
+                    self._memory_series.setdefault(node, []).append(
+                        float(status.memory_entries)
+                    )
+
+    async def _teardown(self) -> None:
+        self._running = False
+        if self.sim is not None:
+            self.sim.cancel_all()
+        for handle in self._handles.values():
+            self._stop_process(handle, sig=signal.SIGTERM)
+        await self._reap_processes()
+        if self._scraper is not None:
+            self._scraper.close()
+        if self._control is not None:
+            self._control.close()
+        self.introducer.close()
+        if self._own_state_dir and self._state_dir is not None:
+            shutil.rmtree(self._state_dir, ignore_errors=True)
+
+    async def _reap_processes(self, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        for handle in self._handles.values():
+            process = handle.process
+            if process is None:
+                continue
+            while process.poll() is None and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+            if process.poll() is None:
+                process.kill()
+                await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+
+    def _spawn_new(self, introducer_addr: Address) -> NodeId:
+        node = self._next_id
+        self._next_id += 1
+        spec = self.config.node_spec(
+            node,
+            introducer_addr,
+            epoch=self.introducer.epoch,
+            state_file=str(self._state_dir / f"node-{node}.json"),
+        )
+        handle = _NodeHandle(node=node, spec=spec)
+        self._handles[node] = handle
+        self._start_process(handle)
+        handle.first_spawn = time.time() - self.introducer.epoch
+        return node
+
+    def _start_process(self, handle: _NodeHandle) -> None:
+        src_root = pathlib.Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(src_root), env.get("PYTHONPATH")) if p
+        )
+        # stderr goes to a per-node log next to the state file (not
+        # /dev/null): a node whose ticks raise logs there, and the file is
+        # the first place to look when a gate fails.
+        log_path = pathlib.Path(handle.spec.state_file).with_suffix(".log")
+        try:
+            stderr = open(log_path, "ab")
+        except OSError:
+            stderr = subprocess.DEVNULL
+        handle.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.live.node_main",
+                "--spec",
+                handle.spec.to_json(),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=stderr,
+            start_new_session=True,
+        )
+        if stderr is not subprocess.DEVNULL:
+            stderr.close()  # the child holds its own descriptor now
+        handle.alive = True
+        handle.up_since = time.monotonic()
+
+    def _stop_process(
+        self, handle: _NodeHandle, *, sig: int = signal.SIGTERM
+    ) -> None:
+        process = handle.process
+        if process is not None and process.poll() is None:
+            try:
+                process.send_signal(sig)
+            except OSError:
+                pass
+        if handle.alive:
+            handle.alive = False
+            if handle.up_since is not None:
+                handle.last_life_seconds = time.monotonic() - handle.up_since
+                handle.up_since = None
+        self.introducer.drop(handle.node)
+
+    def _respawn(self, node: NodeId) -> None:
+        handle = self._handles.get(node)
+        if handle is None or handle.dead or handle.alive or not self._running:
+            return
+        process = handle.process
+        if process is not None and process.poll() is None:
+            process.kill()
+        self._start_process(handle)
+        if self._model is not None:
+            self._model.on_node_up(node)
+
+    def life_seconds(self, node: NodeId) -> float:
+        """Seconds of the node's *current* process life (or its last one).
+
+        The right denominator for counter-derived rates: a respawned
+        process restarts its counters at zero (only CV/PS/TS and ping
+        records persist), so dividing by cumulative uptime would
+        understate every crash victim's rates.
+        """
+        handle = self._handles[node]
+        if handle.up_since is not None:
+            return time.monotonic() - handle.up_since
+        return handle.last_life_seconds
+
+    # ------------------------------------------------------------------
+    # ChurnDriver interface (what registered churn components call)
+    # ------------------------------------------------------------------
+
+    def request_leave(self, node: NodeId) -> None:
+        handle = self._handles.get(node)
+        if handle is None or not handle.alive or not self._running:
+            return
+        self._stop_process(handle, sig=signal.SIGTERM)
+        if self._model is not None:
+            self._model.on_node_down(node)
+
+    def request_rejoin(self, node: NodeId) -> None:
+        self._respawn(node)
+
+    def request_birth(self) -> NodeId:
+        if not self._running:
+            return -1
+        node = self._spawn_new(self.introducer.address)
+        # Mirror the simulator's Cluster.request_birth: the model must hear
+        # about the newborn or it would never schedule its next transition.
+        if self._model is not None:
+            self._model.on_node_up(node)
+        return node
+
+    def request_death(self, node: NodeId) -> None:
+        handle = self._handles.get(node)
+        if handle is None or handle.dead:
+            return
+        self._stop_process(handle, sig=signal.SIGKILL)
+        handle.dead = True
+        # Death is final: the paper grants persistent storage to rejoining
+        # nodes only, so a dead node's store goes with it.
+        try:
+            pathlib.Path(handle.spec.state_file).unlink(missing_ok=True)
+        except OSError:
+            pass
+        if self._model is not None:
+            self._model.on_node_death(node)
+
+    def random_alive(self) -> Optional[NodeId]:
+        alive = [h.node for h in self._handles.values() if h.alive]
+        if not alive:
+            return None
+        return alive[self.rng.randrange(len(alive))]
+
+    def is_alive(self, node: NodeId) -> bool:
+        handle = self._handles.get(node)
+        return handle is not None and handle.alive
+
+    def is_dead(self, node: NodeId) -> bool:
+        handle = self._handles.get(node)
+        return handle is not None and handle.dead
+
+    # ------------------------------------------------------------------
+    # Chaos
+    # ------------------------------------------------------------------
+
+    def _inject_crash(self, downtime: Optional[float] = None) -> Optional[NodeId]:
+        """SIGKILL a random alive node; respawn it after *downtime*."""
+        if not self._running:
+            return None
+        victim = self.random_alive()
+        if victim is None:
+            return None
+        handle = self._handles[victim]
+        self._stop_process(handle, sig=signal.SIGKILL)
+        handle.crashes += 1
+        self._crash_victims.append(victim)
+        # Deliberately NOT telling the churn model: its on_node_down would
+        # schedule a competing rejoin timer and the earlier of the two
+        # would win, silently overriding the requested crash downtime.
+        # _respawn notifies on_node_up, which resumes the model's cycle.
+        wait = self.config.crash_downtime if downtime is None else downtime
+        self.sim.schedule(wait, lambda: self._respawn(victim))
+        return victim
+
+    # ------------------------------------------------------------------
+    # Scraping
+    # ------------------------------------------------------------------
+
+    def _on_scrape_reply(self, message, addr: Address) -> None:
+        if not isinstance(message, StatusReply):
+            return
+        waiter = self._probe_waiters.pop((message.node, message.probe), None)
+        if waiter is not None and not waiter.done():
+            waiter.set_result(message)
+
+    async def scrape(self, timeout: float = 1.0) -> Dict[NodeId, StatusReply]:
+        """One status probe of every currently-registered node."""
+        entries = self.introducer.alive_entries()
+        if not entries:
+            return {}
+        self._probe_seq += 1
+        probe = self._probe_seq
+        loop = asyncio.get_running_loop()
+        waiters = {}
+        for node, host, port in entries:
+            future = loop.create_future()
+            self._probe_waiters[(node, probe)] = future
+            waiters[node] = future
+            self._scraper.send_to((host, port), StatusRequest(probe=probe))
+        done, _pending = await asyncio.wait(
+            waiters.values(), timeout=timeout
+        )
+        statuses: Dict[NodeId, StatusReply] = {}
+        for node, future in waiters.items():
+            if future.done():
+                statuses[node] = future.result()
+            else:
+                future.cancel()
+                self._probe_waiters.pop((node, probe), None)
+        return statuses
+
+    # ------------------------------------------------------------------
+    # Operator control plane (avmon live status/chaos/down)
+    # ------------------------------------------------------------------
+
+    @property
+    def control_address(self) -> Optional[Address]:
+        return self._control.local_address if self._control is not None else None
+
+    def _on_control(self, message, addr: Address) -> None:
+        if isinstance(message, OverlayStatusRequest):
+            discovered, expected, _ = self._pair_coverage(self._last_statuses)
+            self._control.send_to(
+                addr,
+                OverlayStatusReply(
+                    probe=message.probe,
+                    nodes=len(self._handles),
+                    alive=self.introducer.alive_count(),
+                    elapsed=self.sim.now if self.sim is not None else 0.0,
+                    discovered_pairs=discovered,
+                    expected_pairs=expected,
+                    crashes=len(self._crash_victims),
+                ),
+            )
+        elif isinstance(message, ChaosRequest):
+            victims = []
+            # Cap at the overlay size and stop when nobody is left alive:
+            # the control port is an unauthenticated UDP socket, so a huge
+            # kill count must not pin the supervisor's event loop.
+            budget = min(max(0, message.kill), len(self._handles))
+            for _ in range(budget):
+                victim = self._inject_crash(downtime=message.downtime)
+                if victim is None:
+                    break
+                victims.append(victim)
+            self._control.send_to(addr, ChaosReply(victims=tuple(victims)))
+        elif isinstance(message, DownRequest):
+            self._control.send_to(addr, DownAck(probe=message.probe))
+            self._stop_early.set()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _pair_coverage(
+        self, statuses: Dict[NodeId, StatusReply]
+    ) -> Tuple[int, int, int]:
+        """(discovered, expected, violations) over the scraped population.
+
+        Expected: every ordered pair ``(monitor, target)`` of *scraped*
+        nodes satisfying the consistency condition.  Discovered: the pair's
+        target reports the monitor in its PS.  Violations: reported PS/TS
+        entries that fail the condition — the scheme's verifiability means
+        any party can run this audit.
+        """
+        population = sorted(statuses)
+        expected = 0
+        discovered = 0
+        violations = 0
+        holds = self.condition.holds
+        for target in population:
+            reported = {m for m, _t in statuses[target].ps}
+            for monitor in population:
+                if monitor == target:
+                    continue
+                if holds(monitor, target):
+                    expected += 1
+                    if monitor in reported:
+                        discovered += 1
+            violations += sum(1 for m in reported if not holds(m, target))
+            violations += sum(
+                1 for t in statuses[target].ts if not holds(target, t)
+            )
+        return discovered, expected, violations
+
+    def _victim_recovery(
+        self, statuses: Dict[NodeId, StatusReply]
+    ) -> Optional[float]:
+        """Coverage of pairs involving crash victims, post-recovery."""
+        victims = set(self._crash_victims)
+        if not victims:
+            return None
+        holds = self.condition.holds
+        expected = 0
+        discovered = 0
+        for target, status in statuses.items():
+            reported = {m for m, _t in status.ps}
+            for monitor in statuses:
+                if monitor == target:
+                    continue
+                if not (monitor in victims or target in victims):
+                    continue
+                if holds(monitor, target):
+                    expected += 1
+                    if monitor in reported:
+                        discovered += 1
+        if expected == 0:
+            return None
+        return discovered / expected
+
+    def _build_report(
+        self,
+        statuses: Dict[NodeId, StatusReply],
+        final_alive: int,
+        elapsed: float,
+    ) -> LiveReport:
+        config = self.config
+        discovered, expected, violations = self._pair_coverage(statuses)
+        if expected:
+            ratio = discovered / expected
+        elif len(statuses) >= 2:
+            # A real scraped population that genuinely has no expected
+            # pairs (tiny N/K can hash that way): vacuously complete.
+            ratio = 1.0
+        else:
+            # Nothing (or one node) answered the final scrape: report zero,
+            # not a vacuous 100% — the --expect-discovery gate exists to
+            # catch exactly this kind of dead overlay.
+            ratio = 0.0
+        summary = self._summarize(statuses, final_alive)
+        return LiveReport(
+            config=config,
+            summary=summary,
+            discovery_ratio=ratio,
+            discovered_pairs=discovered,
+            expected_pairs=expected,
+            violations=violations,
+            crashes=len(self._crash_victims),
+            crash_victims=tuple(self._crash_victims),
+            victim_recovery=self._victim_recovery(statuses),
+            final_alive=final_alive,
+            elapsed=elapsed,
+            statuses=dict(statuses),
+        )
+
+    def _summarize(
+        self, statuses: Dict[NodeId, StatusReply], final_alive: int
+    ) -> SimulationSummary:
+        """Fold scraped node states into the standard summary shape."""
+        config = self.config
+        monitor_delays: Dict[int, List[float]] = {}
+        undiscovered = 0
+        comp_rates: List[float] = []
+        memory: List[float] = []
+        bandwidth: List[float] = []
+        useless: List[float] = []
+        datagrams = 0
+        for node in sorted(statuses):
+            status = statuses[node]
+            handle = self._handles.get(node)
+            if handle is None:
+                # Not ours: an operator hand-ran a node against this
+                # overlay's introducer.  It counts for pair coverage, but
+                # we have no spawn/uptime bookkeeping to rate its counters.
+                continue
+            join_time = handle.first_spawn
+            delays = sorted(
+                max(0.0, t - join_time) for _m, t in status.ps
+            )
+            if not delays:
+                undiscovered += 1
+            for rank, delay in enumerate(delays, start=1):
+                monitor_delays.setdefault(rank, []).append(delay)
+            life_s = max(self.life_seconds(node), 1e-9)
+            comp_rates.append(status.computations / life_s)
+            series = self._memory_series.get(node, [])
+            memory.append(
+                stats.mean(series) if series else float(status.memory_entries)
+            )
+            bandwidth.append(status.bytes_sent / life_s)
+            useless.append(status.useless_pings / (life_s / 60.0))
+            datagrams += status.datagrams_received
+        return SimulationSummary(
+            model="LIVE",
+            n=config.nodes,
+            seed=config.seed,
+            label=config.label,
+            params={
+                "duration": config.duration,
+                "warmup": 0.0,
+                "control_fraction": 1.0,
+                "churn_per_hour": config.churn_per_hour,
+                "birth_death_per_day": config.birth_death_per_day,
+                "overreport_fraction": 0.0,
+                "sample_interval": config.sample_interval,
+            },
+            avmon={
+                "n_expected": float(config.nodes),
+                "k": float(config.resolved_k()),
+                "cvs": float(config.resolved_cvs()),
+                "protocol_period": config.protocol_period,
+                "monitoring_period": config.monitoring_period,
+                "expected_memory_entries": (
+                    config.resolved_cvs() + 2.0 * config.resolved_k()
+                ),
+                "enable_forgetful": config.enable_forgetful,
+                "enable_pr2": config.enable_pr2,
+            },
+            monitor_delays=monitor_delays,
+            control_count=len(memory),
+            undiscovered_count=undiscovered,
+            computation_rates_control=comp_rates,
+            computation_rates_all=list(comp_rates),
+            memory_control=memory,
+            memory_all=list(memory),
+            bandwidth=bandwidth,
+            useless_pings=useless,
+            n_longterm=self._next_id,
+            final_alive=final_alive,
+            events_processed=datagrams,
+            window_seconds=config.duration,
+        )
+
+
+def run_live(
+    config: LiveConfig, *, store: Optional[SummaryStore] = None
+) -> LiveReport:
+    """Synchronous front door: deploy, run, summarise, tear down."""
+    supervisor = LiveSupervisor(config, store=store)
+    return asyncio.run(supervisor.run())
+
+
+def live_store_filename(config: LiveConfig) -> str:
+    """The store-relative filename a live run's summary persists under."""
+    return f"{stable_key_hash(live_config_key(config))}.json"
+
+
+async def _control_call(address: Address, request, timeout: float):
+    loop = asyncio.get_running_loop()
+    reply = loop.create_future()
+
+    def handler(message, _addr) -> None:
+        if not reply.done():
+            reply.set_result(message)
+
+    # Bind the wildcard address, not loopback: `--host <remote>` must be
+    # able to reach a supervisor on another machine.
+    transport = await UdpTransport.create(handler, host="0.0.0.0", port=0)
+    try:
+        transport.send_to(address, request)
+        return await asyncio.wait_for(reply, timeout)
+    finally:
+        transport.close()
+
+
+def control_call(address: Address, request, timeout: float = 2.0):
+    """Send one operator request to a running supervisor, await the reply.
+
+    The client behind ``avmon live status|chaos|down``.  Raises
+    ``TimeoutError`` when nothing answers at *address* (no overlay up, or a
+    wrong port).
+    """
+    return asyncio.run(_control_call(address, request, timeout))

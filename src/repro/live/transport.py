@@ -1,0 +1,175 @@
+"""Asyncio UDP endpoint speaking the live wire codec.
+
+:class:`UdpTransport` binds one datagram socket, decodes every incoming
+payload through :mod:`repro.live.codec`, and hands well-formed messages to
+a handler callback together with the sender's address.  Malformed or
+unknown datagrams are counted and dropped — a live transport is attack
+surface, so nothing a peer can put on the wire may crash the process.
+Handler exceptions are likewise contained and counted: a bug triggered by
+one datagram must not take the node down with it.
+
+:class:`PeerTable` is the id -> UDP address map a node routes by.  It is
+fed from two directions: introducer directory refreshes (authoritative)
+and passive learning from incoming datagrams (a peer that can reach us is
+reachable at its source address), which keeps replies flowing even while a
+directory refresh is in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.hashing import NodeId
+from .codec import CodecError, decode, encode
+
+__all__ = ["Address", "WireStats", "PeerTable", "UdpTransport"]
+
+#: A UDP endpoint address.
+Address = Tuple[str, int]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class WireStats:
+    """Datagram-level counters one transport accumulates over its life."""
+
+    datagrams_sent: int = 0
+    datagrams_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    malformed: int = 0
+    handler_errors: int = 0
+    unroutable: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass
+class PeerTable:
+    """Mutable id -> address map with alive-set bookkeeping."""
+
+    _addresses: Dict[NodeId, Address] = field(default_factory=dict)
+    _alive: set = field(default_factory=set)
+
+    def learn(self, node: NodeId, address: Address) -> None:
+        self._addresses[node] = address
+
+    def forget(self, node: NodeId) -> None:
+        self._addresses.pop(node, None)
+        self._alive.discard(node)
+
+    def address_of(self, node: NodeId) -> Optional[Address]:
+        return self._addresses.get(node)
+
+    def set_alive(self, nodes) -> None:
+        """Replace the alive set (one directory refresh)."""
+        self._alive = set(nodes)
+
+    def alive_ids(self) -> Tuple[NodeId, ...]:
+        return tuple(sorted(self._alive))
+
+    def is_alive(self, node: NodeId) -> bool:
+        return node in self._alive
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._addresses
+
+
+class _Protocol(asyncio.DatagramProtocol):
+    """Glue between the asyncio datagram API and :class:`UdpTransport`."""
+
+    def __init__(self, owner: "UdpTransport") -> None:
+        self._owner = owner
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self._owner._on_datagram(data, addr)
+
+    def error_received(self, exc: Exception) -> None:
+        # ICMP port-unreachable for a departed peer: expected under churn.
+        logger.debug("transport error: %s", exc)
+
+
+class UdpTransport:
+    """One bound UDP socket sending and receiving codec messages.
+
+    Build with :meth:`create`; the *handler* receives
+    ``(message, source_address)`` for every well-formed datagram.
+    """
+
+    def __init__(
+        self,
+        transport: asyncio.DatagramTransport,
+        handler: Callable[[Any, Address], None],
+    ) -> None:
+        self._transport = transport
+        self._handler = handler
+        self.stats = WireStats()
+        self._closed = False
+
+    @classmethod
+    async def create(
+        cls,
+        handler: Callable[[Any, Address], None],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> "UdpTransport":
+        loop = asyncio.get_running_loop()
+        # Two-phase wiring: the protocol needs the UdpTransport, which needs
+        # the asyncio transport returned by create_datagram_endpoint.  No
+        # datagram can be dispatched before __init__ runs — the loop only
+        # reads the socket on its next iteration.
+        instance = cls.__new__(cls)
+        transport, _protocol = await loop.create_datagram_endpoint(
+            lambda: _Protocol(instance), local_addr=(host, port)
+        )
+        instance.__init__(transport, handler)  # type: ignore[misc]
+        return instance
+
+    @property
+    def local_address(self) -> Address:
+        host, port = self._transport.get_extra_info("sockname")[:2]
+        return (host, port)
+
+    def send_to(self, address: Address, message: Any) -> int:
+        """Encode and transmit one message; returns the payload size."""
+        if self._closed:
+            return 0
+        data = encode(message)
+        self._transport.sendto(data, address)
+        self.stats.datagrams_sent += 1
+        self.stats.bytes_sent += len(data)
+        return len(data)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._transport.close()
+
+    # -- receive path ------------------------------------------------------
+
+    def _on_datagram(self, data: bytes, addr: Address) -> None:
+        self.stats.datagrams_received += 1
+        self.stats.bytes_received += len(data)
+        try:
+            message = decode(data)
+        except CodecError as error:
+            self.stats.malformed += 1
+            logger.debug("dropped malformed datagram from %s: %s", addr, error)
+            return
+        try:
+            self._handler(message, addr)
+        except Exception:  # noqa: BLE001 — one bad datagram must not kill us
+            self.stats.handler_errors += 1
+            logger.exception("handler failed for %s from %s", type(message).__name__, addr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"bound={self.local_address}"
+        return f"UdpTransport({state}, sent={self.stats.datagrams_sent})"

@@ -117,9 +117,13 @@ class TestFigureComputations:
 
     def test_all_sweep_figures_support_jobs(self):
         """Every simulation-backed artifact fans out through the
-        orchestrator now; only the closed-form table is exempt."""
+        orchestrator now; exempt are the closed-form table and the
+        single-simulation workloads (baselines, app_*), which have no
+        cell grid to fan out."""
+        single_run = {"table1", "ext_baselines"}
+        single_run.update(eid for eid in EXPERIMENTS if eid.startswith("app_"))
         for eid, experiment in EXPERIMENTS.items():
-            if eid in ("table1", "ext_baselines"):
+            if eid in single_run:
                 continue
             assert experiment.supports_jobs, f"{eid} lost jobs support"
 
@@ -179,7 +183,11 @@ class TestFigureComputations:
 
 class TestRegistry:
     def test_all_ids_present(self):
-        expected = {f"fig{i}" for i in range(3, 21)} | {"table1", "ext_baselines"}
+        expected = (
+            {f"fig{i}" for i in range(3, 21)}
+            | {"table1", "ext_baselines"}
+            | {"app_query", "app_replication", "app_prediction"}
+        )
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_id_rejected(self):

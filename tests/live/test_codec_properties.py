@@ -1,0 +1,200 @@
+"""Property tests: the wire codec round-trips every message type.
+
+ISSUE satellite: ``decode(encode(m)) == m`` for every type in
+``core/messages.py`` (plus the whole control plane), and malformed
+datagrams are rejected with :class:`~repro.live.codec.CodecError` — never
+any other exception — so the transport can treat decoding as total.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.messages import MESSAGE_TYPES
+from repro.live import codec
+from repro.live.control import CONTROL_TYPES
+
+ALL_TYPES = MESSAGE_TYPES + CONTROL_TYPES
+
+node_ids = st.integers(min_value=0, max_value=(1 << 48) - 1)
+wire_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+
+
+def _strategy_for(annotation):
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union:
+        return st.one_of(
+            *[_strategy_for(arg) for arg in typing.get_args(annotation)]
+        )
+    if annotation is type(None):
+        return st.none()
+    if annotation is bool:
+        return st.booleans()
+    if annotation is int:
+        return node_ids
+    if annotation is float:
+        return wire_floats
+    if annotation is str:
+        return st.text(max_size=30)
+    if origin is tuple:
+        args = typing.get_args(annotation)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return st.lists(_strategy_for(args[0]), max_size=6).map(tuple)
+        return st.tuples(*[_strategy_for(arg) for arg in args])
+    raise AssertionError(f"no strategy for annotation {annotation!r}")
+
+
+def _instances(cls):
+    hints = typing.get_type_hints(cls)
+    fields = dataclasses.fields(cls)
+    return st.builds(
+        cls, **{f.name: _strategy_for(hints[f.name]) for f in fields}
+    )
+
+
+any_message = st.one_of(*[_instances(cls) for cls in ALL_TYPES])
+
+
+@given(any_message)
+def test_round_trip(message):
+    data = codec.encode(message)
+    decoded = codec.decode(data)
+    assert decoded == message
+    assert type(decoded) is type(message)
+
+
+@given(any_message)
+def test_encoding_is_deterministic(message):
+    assert codec.encode(message) == codec.encode(message)
+
+
+@pytest.mark.parametrize("cls", ALL_TYPES, ids=lambda c: c.__name__)
+def test_every_type_round_trips_at_defaults(cls):
+    """Each type individually (the parametrized ids make failures obvious)."""
+    fields = dataclasses.fields(cls)
+    kwargs = {}
+    for field in fields:
+        if field.default is not dataclasses.MISSING:
+            continue
+        if field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+            continue
+        annotation = typing.get_type_hints(cls)[field.name]
+        if annotation is int:
+            kwargs[field.name] = 1
+        elif annotation is float:
+            kwargs[field.name] = 1.0
+        elif annotation is str:
+            kwargs[field.name] = "x"
+        else:
+            kwargs[field.name] = ()
+    message = cls(**kwargs)
+    assert codec.decode(codec.encode(message)) == message
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        b"",
+        b"not json",
+        b"\xff\xfe\x00",
+        b"[1, 2, 3]",
+        b'"Join"',
+        b"{}",
+        b'{"t": "Join"}',  # missing version
+        b'{"t": "Join", "v": 999}',  # unknown version
+        b'{"t": "NoSuchType", "v": 1}',
+        b'{"t": "Join", "v": 1}',  # missing fields
+        b'{"t": "Join", "v": 1, "sender": 1, "origin": 2, "weight": 3, "extra": 4}',
+        b'{"t": "Join", "v": 1, "sender": "evil", "origin": 2, "weight": 3}',
+        b'{"t": "Join", "v": 1, "sender": 1, "origin": 2, "weight": true}',
+        b'{"t": "CvFetchReply", "v": 1, "sender": 1, "seq": 2, "view": 7}',
+        b'{"t": 5, "v": 1}',
+    ],
+    ids=repr,
+)
+def test_malformed_payloads_raise_codec_error(payload):
+    with pytest.raises(codec.CodecError):
+        codec.decode(payload)
+
+
+@given(st.binary(max_size=200))
+def test_arbitrary_bytes_never_raise_anything_else(data):
+    try:
+        codec.decode(data)
+    except codec.CodecError:
+        pass  # the one permitted outcome for garbage
+
+
+@given(st.dictionaries(st.text(max_size=8), st.integers(), max_size=6))
+def test_arbitrary_json_objects_never_raise_anything_else(payload):
+    data = json.dumps(payload).encode()
+    try:
+        codec.decode(data)
+    except codec.CodecError:
+        pass
+
+
+def test_deeply_nested_payload_is_a_codec_error_not_recursion():
+    depth = 2000
+    for payload in (
+        b"[" * depth + b"]" * depth,
+        b'{"t":"CvFetchReply","v":1,"sender":1,"seq":1,"view":'
+        + b"[" * depth
+        + b"]" * depth
+        + b"}",
+    ):
+        with pytest.raises(codec.CodecError):
+            codec.decode(payload)
+
+
+def test_oversized_datagram_rejected():
+    huge = b'{"t": "Join", "v": 1, ' + b" " * codec.MAX_DATAGRAM_BYTES + b"}"
+    with pytest.raises(codec.CodecError):
+        codec.decode(huge)
+
+
+def test_unregistered_type_cannot_encode():
+    @dataclasses.dataclass(frozen=True)
+    class Rogue:
+        x: int = 0
+
+    with pytest.raises(codec.CodecError):
+        codec.encode(Rogue())
+
+
+def test_reserved_envelope_field_names_rejected():
+    @dataclasses.dataclass(frozen=True)
+    class EnvelopeClash:
+        t: int = 0
+
+    with pytest.raises(ValueError, match="reserved"):
+        codec.register_wire_type(EnvelopeClash)
+
+    @dataclasses.dataclass(frozen=True)
+    class VersionClash:
+        v: int = 0
+
+    with pytest.raises(ValueError, match="reserved"):
+        codec.register_wire_type(VersionClash)
+
+
+def test_duplicate_registration_name_rejected():
+    @dataclasses.dataclass(frozen=True)
+    class Join:  # clashes with the protocol's Join
+        x: int = 0
+
+    with pytest.raises(ValueError):
+        codec.register_wire_type(Join)
+
+
+def test_all_protocol_messages_registered():
+    registered = set(codec.wire_types())
+    for cls in ALL_TYPES:
+        assert cls in registered

@@ -1,0 +1,145 @@
+"""The introducer: registration, directories, goodbye and TTL expiry."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.live.control import (
+    DirectoryReply,
+    DirectoryRequest,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    HelloAck,
+)
+from repro.live.introducer import Introducer
+from repro.live.transport import UdpTransport
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=10.0))
+
+
+async def _settle(predicate, timeout=5.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            raise AssertionError("condition never became true")
+        await asyncio.sleep(0.01)
+
+
+def test_register_directory_and_goodbye():
+    async def scenario():
+        introducer = Introducer(ttl=5.0)
+        addr = await introducer.start()
+        inbox = []
+        client = await UdpTransport.create(lambda m, a: inbox.append(m))
+        try:
+            client.send_to(addr, Hello(node=1, port=1111))
+            client.send_to(addr, Hello(node=2, port=2222, host="10.0.0.9"))
+            await _settle(
+                lambda: sum(isinstance(m, HelloAck) for m in inbox) >= 2
+            )
+            ack = next(m for m in inbox if isinstance(m, HelloAck))
+            assert ack.epoch > 0.0
+
+            client.send_to(addr, DirectoryRequest(node=1))
+            await _settle(
+                lambda: any(isinstance(m, DirectoryReply) for m in inbox)
+            )
+            reply = next(m for m in inbox if isinstance(m, DirectoryReply))
+            nodes = {entry[0] for entry in reply.entries}
+            assert nodes == {1, 2}
+            by_id = {entry[0]: entry for entry in reply.entries}
+            assert by_id[1] == (1, "127.0.0.1", 1111)  # host from datagram
+            assert by_id[2] == (2, "10.0.0.9", 2222)  # explicit host wins
+
+            client.send_to(addr, Goodbye(node=2))
+            await _settle(lambda: introducer.alive_count() == 1)
+            assert introducer.is_alive(1)
+            assert not introducer.is_alive(2)
+        finally:
+            client.close()
+            introducer.close()
+
+    run(scenario())
+
+
+def test_silent_node_expires_after_ttl():
+    async def scenario():
+        introducer = Introducer(ttl=0.3)
+        addr = await introducer.start()
+        inbox = []
+        client = await UdpTransport.create(lambda m, a: inbox.append(m))
+        try:
+            client.send_to(addr, Hello(node=7, port=7777))
+            await _settle(lambda: introducer.alive_count() == 1)
+            # Heartbeats keep it alive past the TTL...
+            for _ in range(3):
+                await asyncio.sleep(0.15)
+                client.send_to(addr, Heartbeat(node=7))
+                await asyncio.sleep(0)
+                assert introducer.alive_count() == 1
+            # ...silence expires it.
+            await asyncio.sleep(0.5)
+            assert introducer.alive_count() == 0
+            assert introducer.alive_entries() == ()
+        finally:
+            client.close()
+            introducer.close()
+
+    run(scenario())
+
+
+def test_heartbeat_reregisters_an_expired_node():
+    """A TTL expiry must not be permanent exile: the node's next heartbeat
+    (sent from the same socket it announced in Hello) re-registers it at
+    the datagram's source address."""
+
+    async def scenario():
+        introducer = Introducer(ttl=0.2)
+        addr = await introducer.start()
+        client = await UdpTransport.create(lambda m, a: None)
+        try:
+            client.send_to(addr, Hello(node=7, port=client.local_address[1]))
+            await _settle(lambda: introducer.alive_count() == 1)
+            await asyncio.sleep(0.4)  # miss the TTL
+            assert introducer.alive_count() == 0
+            client.send_to(addr, Heartbeat(node=7))
+            await _settle(lambda: introducer.alive_count() == 1)
+            entry = introducer.alive_entries()[0]
+            assert entry[0] == 7
+            assert (entry[1], entry[2]) == client.local_address
+        finally:
+            client.close()
+            introducer.close()
+
+    run(scenario())
+
+
+def test_supervisor_drop_expires_immediately_and_quarantines():
+    """A force-dropped node's stale heartbeats must not resurrect it, but
+    a fresh Hello (the respawn) lifts the quarantine."""
+
+    async def scenario():
+        introducer = Introducer(ttl=60.0)
+        addr = await introducer.start()
+        client = await UdpTransport.create(lambda m, a: None)
+        try:
+            client.send_to(addr, Hello(node=3, port=3333))
+            await _settle(lambda: introducer.alive_count() == 1)
+            introducer.drop(3)
+            assert introducer.alive_count() == 0
+            # The corpse's in-flight heartbeat does not re-register it...
+            client.send_to(addr, Heartbeat(node=3))
+            await asyncio.sleep(0.1)
+            assert introducer.alive_count() == 0
+            # ...but the respawned process's Hello does.
+            client.send_to(addr, Hello(node=3, port=3334))
+            await _settle(lambda: introducer.alive_count() == 1)
+        finally:
+            client.close()
+            introducer.close()
+
+    run(scenario())

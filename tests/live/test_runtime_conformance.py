@@ -1,0 +1,219 @@
+"""Runtime conformance: the same protocol, two runtimes, one behaviour.
+
+ISSUE satellite: drive a tiny overlay through join -> discovery ->
+monitoring against both the discrete-event ``NodeRuntime``
+(:class:`repro.net.network.SimHost`) and the live UDP runtime
+(:class:`repro.live.runtime.LiveNode`), then assert equivalent protocol
+behaviour from one shared oracle:
+
+* every PS entry a node reports satisfies the consistency condition, and
+  every TS entry likewise (consistency respected — the property any party
+  can audit);
+* the overlay discovers (nearly) all of the optimal monitor
+  relationships among its members (monitors discovered);
+* monitoring pings flow: monitors record answered pings for their targets.
+
+The protocol node is byte-for-byte the same class in both runs — only the
+runtime underneath changes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Dict, Set, Tuple
+
+import pytest
+
+from repro.core.condition import ConsistencyCondition
+from repro.core.config import AvmonConfig
+from repro.core.node import AvmonNode
+from repro.core.relation import MonitorRelation
+from repro.live.introducer import Introducer
+from repro.live.runtime import LiveNode, LiveNodeSpec
+from repro.net.network import Network, SimHost
+from repro.sim.engine import Simulator
+
+N = 8
+K = 3
+CVS = 7
+SEED = 5
+
+
+class OverlaySnapshot:
+    """What one overlay run exposes for the conformance assertions."""
+
+    def __init__(self, condition: ConsistencyCondition) -> None:
+        self.condition = condition
+        #: node -> {monitor ids the node discovered in its PS}
+        self.ps: Dict[int, Set[int]] = {}
+        #: node -> {target ids the node monitors}
+        self.ts: Dict[int, Set[int]] = {}
+        #: node -> {target: (pings_sent, pings_answered)}
+        self.pings: Dict[int, Dict[int, Tuple[int, int]]] = {}
+
+    def expected_pairs(self) -> Set[Tuple[int, int]]:
+        ids = sorted(self.ps)
+        return {
+            (monitor, target)
+            for monitor in ids
+            for target in ids
+            if monitor != target and self.condition.holds(monitor, target)
+        }
+
+    def discovered_pairs(self) -> Set[Tuple[int, int]]:
+        return {
+            (monitor, target)
+            for target, monitors in self.ps.items()
+            for monitor in monitors
+        }
+
+
+def simulated_overlay() -> OverlaySnapshot:
+    """Protocol periods of 60 s on virtual time; ~25 periods of protocol."""
+    config = AvmonConfig(n_expected=N, k=K, cvs=CVS)
+    sim = Simulator()
+    network = Network(sim, rng=random.Random(SEED))
+    condition = ConsistencyCondition(K, N)
+    relation = MonitorRelation(condition)
+    join_rng = random.Random(SEED + 1)
+    nodes = []
+    for node_id in range(N):
+        relation.add_node(node_id)
+        host = SimHost(network, node_id, random.Random(SEED * 100 + node_id))
+        node = AvmonNode(node_id, config, relation, host)
+        host.attach(node)
+        host.add_periodic(config.protocol_period, node.protocol_tick)
+        host.add_periodic(config.monitoring_period, node.monitoring_tick)
+        nodes.append(node)
+
+        def bring_up(h=host, n=node):
+            h.bring_up()
+            n.begin_join()
+
+        sim.schedule_at(join_rng.uniform(0.0, 3 * config.protocol_period), bring_up)
+    sim.run_until(25 * config.protocol_period)
+    snapshot = OverlaySnapshot(condition)
+    for node in nodes:
+        snapshot.ps[node.id] = set(node.ps)
+        snapshot.ts[node.id] = set(node.ts)
+        snapshot.pings[node.id] = {
+            record.target: (record.pings_sent, record.pings_answered)
+            for record in node.store.records()
+        }
+    return snapshot
+
+
+def live_overlay() -> OverlaySnapshot:
+    """Protocol periods of 0.2 s on the wall clock, in-process over UDP."""
+
+    async def scenario() -> OverlaySnapshot:
+        introducer = Introducer(ttl=1.5)
+        addr = await introducer.start()
+        nodes = []
+        try:
+            for node_id in range(N):
+                spec = LiveNodeSpec(
+                    node=node_id,
+                    introducer_host=addr[0],
+                    introducer_port=addr[1],
+                    n_expected=N,
+                    k=K,
+                    cvs=CVS,
+                    protocol_period=0.2,
+                    monitoring_period=0.2,
+                    ping_timeout=0.08,
+                    forgetful_tau=0.5,
+                    heartbeat_interval=0.1,
+                    directory_interval=0.2,
+                    snapshot_interval=0.0,
+                    seed=SEED,
+                )
+                node = LiveNode(spec)
+                await node.start()
+                nodes.append(node)
+            # ~25 protocol periods, matching the simulated run.
+            await asyncio.sleep(25 * 0.2)
+            snapshot = OverlaySnapshot(nodes[0].condition)
+            for live in nodes:
+                snapshot.ps[live.id] = set(live.node.ps)
+                snapshot.ts[live.id] = set(live.node.ts)
+                snapshot.pings[live.id] = {
+                    record.target: (record.pings_sent, record.pings_answered)
+                    for record in live.node.store.records()
+                }
+            return snapshot
+        finally:
+            for node in nodes:
+                await node.stop(graceful=False)
+            introducer.close()
+
+    return asyncio.run(asyncio.wait_for(scenario(), timeout=60.0))
+
+
+HARNESSES = {"sim": simulated_overlay, "live": live_overlay}
+
+
+@pytest.fixture(scope="module", params=sorted(HARNESSES), ids=str)
+def snapshot(request) -> OverlaySnapshot:
+    return HARNESSES[request.param]()
+
+
+def test_all_nodes_participated(snapshot):
+    assert sorted(snapshot.ps) == list(range(N))
+
+
+def test_consistency_condition_respected(snapshot):
+    """No runtime lets an unverified pair into PS or TS (Section 3.3)."""
+    holds = snapshot.condition.holds
+    for target, monitors in snapshot.ps.items():
+        for monitor in monitors:
+            assert holds(monitor, target), (
+                f"node {target} accepted non-monitor {monitor} into PS"
+            )
+    for monitor, targets in snapshot.ts.items():
+        for target in targets:
+            assert holds(monitor, target), (
+                f"node {monitor} accepted non-target {target} into TS"
+            )
+
+
+def test_optimal_relationships_discovered(snapshot):
+    """Both runtimes find (nearly) every optimal monitor relationship."""
+    expected = snapshot.expected_pairs()
+    discovered = snapshot.discovered_pairs()
+    assert expected, "degenerate oracle: no expected pairs at this N/K"
+    missing = expected - discovered
+    coverage = 1.0 - len(missing) / len(expected)
+    assert coverage >= 0.9, (
+        f"only {coverage:.0%} of optimal relationships discovered; "
+        f"missing: {sorted(missing)}"
+    )
+    assert discovered <= expected
+
+
+def test_ts_mirrors_ps_discovery(snapshot):
+    """NOTIFY reaches both endpoints: most discovered pairs appear in the
+    monitor's TS as well as the target's PS."""
+    ps_pairs = snapshot.discovered_pairs()
+    ts_pairs = {
+        (monitor, target)
+        for monitor, targets in snapshot.ts.items()
+        for target in targets
+    }
+    assert ts_pairs, "no TS entries at all"
+    overlap = len(ps_pairs & ts_pairs)
+    assert overlap >= 0.8 * len(ps_pairs)
+
+
+def test_monitoring_pings_flow(snapshot):
+    """Monitors ping their TS targets and the targets answer."""
+    sent = answered = 0
+    for monitor, records in snapshot.pings.items():
+        for target, (pings_sent, pings_answered) in records.items():
+            assert target in snapshot.ts[monitor]
+            sent += pings_sent
+            answered += pings_answered
+    assert sent > 0, "no monitoring pings were sent"
+    # Everyone stayed up, so the overwhelming majority must be answered.
+    assert answered >= 0.8 * sent
