@@ -105,6 +105,11 @@ class Scenario:
     trace_params: Dict[str, Any] = field(default_factory=dict)
     #: AvmonConfig overrides (k, cvs, enable_pr2, ...); {} -> paper defaults.
     avmon: Dict[str, Any] = field(default_factory=dict)
+    #: Fault component key (registry kind ``fault``: NONE, LOSSY, WAN,
+    #: FLAKY, ...); None -> a perfect network and the pre-fault cache key.
+    fault: Optional[str] = None
+    #: Overrides for the fault component's factory (e.g. ``loss=0.25``).
+    fault_params: Dict[str, Any] = field(default_factory=dict)
     sample_interval: float = 120.0
     label: str = ""
 
@@ -177,6 +182,25 @@ class Scenario:
                 )
             return kwargs
         return {"latency": create("latency", self.latency, **self.latency_params)}
+
+    def _resolve_fault(self):
+        """Build the named fault plan (None for a perfect network).
+
+        The plan's decision-stream seed defaults to the scenario seed, so
+        seed replications vary the injected faults along with everything
+        else; a null plan collapses to None so fault-free scenarios keep
+        the exact pre-fault cache key.
+        """
+        if self.fault is None:
+            if self.fault_params:
+                raise ValueError(
+                    "fault_params given without a fault component name"
+                )
+            return None
+        params = dict(self.fault_params)
+        params.setdefault("seed", self.seed)
+        plan = create("fault", self.fault, **params)
+        return None if plan.is_null() else plan
 
     def _resolve_trace(self):
         """Generate the replay trace named by ``trace_generator``."""
@@ -276,6 +300,7 @@ class Scenario:
             overreport_fraction=self.overreport_fraction,
             sample_interval=self.sample_interval,
             label=self.label or self.model_key,
+            fault=self._resolve_fault(),
             **self._resolve_latency(),
         )
 

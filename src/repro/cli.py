@@ -208,6 +208,19 @@ def _build_live_parser(commands) -> None:
         help="churn component driving process kill/restart (default: STAT)",
     )
     up.add_argument(
+        "--fault",
+        default="NONE",
+        help="fault component shaping the network (NONE, LOSSY, WAN, "
+        "FLAKY, ...; see 'avmon list --json'; default: NONE)",
+    )
+    up.add_argument(
+        "--loss",
+        type=float,
+        default=None,
+        metavar="P",
+        help="override the fault plan's per-datagram loss probability",
+    )
+    up.add_argument(
         "--churn-per-hour",
         type=float,
         default=0.2,
@@ -265,17 +278,49 @@ def _build_live_parser(commands) -> None:
     status.add_argument("--json", action="store_true", help="JSON output")
 
     chaos = live_commands.add_parser(
-        "chaos", help="crash random nodes of a running overlay"
+        "chaos",
+        help="crash random nodes and/or inject network faults into a "
+        "running overlay",
     )
     _add_control_arguments(chaos)
     chaos.add_argument(
-        "--kill", type=int, default=1, help="how many nodes to crash (default: 1)"
+        "--kill",
+        type=int,
+        default=None,
+        help="how many nodes to crash (default: 1, or 0 when --loss/"
+        "--partition is given)",
     )
     chaos.add_argument(
         "--downtime",
         type=float,
         default=3.0,
         help="seconds before each victim restarts (default: 3.0)",
+    )
+    chaos.add_argument(
+        "--loss",
+        type=float,
+        default=None,
+        metavar="P",
+        help="set the running fault plan's per-datagram loss probability "
+        "(other plan components are kept)",
+    )
+    chaos.add_argument(
+        "--partition",
+        default=None,
+        metavar="GROUPS",
+        help="set the running fault plan's partition, e.g. '0,1,2|3,4' "
+        "('' clears it; other plan components are kept)",
+    )
+    chaos.add_argument(
+        "--heal",
+        action="store_true",
+        help="clear the entire fault plan (loss, latency, partitions, ...)",
+    )
+    chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="replace the fault plan's decision-stream seed",
     )
 
     down = live_commands.add_parser("down", help="tear a running overlay down")
@@ -452,7 +497,13 @@ def _cmd_sweep(args, out) -> int:
 
 
 def _cmd_live(args, out) -> int:
-    from .live.control import ChaosRequest, DownRequest, OverlayStatusRequest
+    from .live.control import (
+        ChaosRequest,
+        DownRequest,
+        FaultRequest,
+        OverlayStatusRequest,
+    )
+    from .live.faults import FaultPlan, parse_partition_groups
     from .live.supervisor import LiveConfig, control_call, run_live
 
     if args.live_command == "up":
@@ -476,11 +527,84 @@ def _cmd_live(args, out) -> int:
                     print(f"{key}: {value}", file=out)
             return 0
         if args.live_command == "chaos":
-            reply = control_call(
-                address, ChaosRequest(kill=args.kill, downtime=args.downtime)
+            injecting = (
+                args.heal
+                or args.loss is not None
+                or args.partition is not None
+                or args.fault_seed is not None
             )
-            victims = ",".join(str(v) for v in reply.victims) or "(none)"
-            print(f"crashed: {victims}", file=out)
+            if args.heal and (
+                args.loss is not None
+                or args.partition is not None
+                or args.fault_seed is not None
+            ):
+                print(
+                    "error: --heal clears the whole plan; it cannot be "
+                    "combined with --loss/--partition/--fault-seed",
+                    file=sys.stderr,
+                )
+                return 2
+            if injecting:
+                # Build a *sparse* update: only the fields the operator
+                # named, merged server-side onto the running plan — a
+                # partition pushed onto a `--fault WAN` overlay keeps the
+                # WAN loss/latency.  --heal replaces with a clean slate.
+                overrides = {}
+                if args.loss is not None:
+                    overrides["loss"] = args.loss
+                if args.fault_seed is not None:
+                    overrides["seed"] = args.fault_seed
+                if args.partition is not None:
+                    if args.partition:
+                        try:
+                            groups = parse_partition_groups(args.partition)
+                        except ValueError as error:
+                            print(f"error: {error}", file=sys.stderr)
+                            return 2
+                        if "supervisor" in {
+                            member for group in groups for member in group
+                        }:
+                            print(
+                                "warning: the 'supervisor' label only takes "
+                                "effect on the in-memory fabric; live UDP "
+                                "nodes cannot identify the supervisor's "
+                                "scrape endpoint",
+                                file=sys.stderr,
+                            )
+                        overrides["partitions"] = [
+                            {"groups": [list(group) for group in groups]}
+                        ]
+                    else:
+                        overrides["partitions"] = []
+                try:
+                    FaultPlan.from_dict(overrides)  # validate before pushing
+                except ValueError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 2
+                request = (
+                    FaultRequest(plan="")
+                    if args.heal
+                    else FaultRequest(plan=json.dumps(overrides), merge=True)
+                )
+                reply = control_call(address, request)
+                if reply.applied < 0:
+                    print(
+                        "error: supervisor rejected the fault plan",
+                        file=sys.stderr,
+                    )
+                    return 1
+                action = "healed" if args.heal else "updated"
+                print(
+                    f"fault plan {action}: pushed to {reply.applied} nodes",
+                    file=out,
+                )
+            kill = args.kill if args.kill is not None else (0 if injecting else 1)
+            if kill > 0:
+                reply = control_call(
+                    address, ChaosRequest(kill=kill, downtime=args.downtime)
+                )
+                victims = ",".join(str(v) for v in reply.victims) or "(none)"
+                print(f"crashed: {victims}", file=out)
             return 0
         reply = control_call(address, DownRequest())
         print("overlay teardown initiated", file=out)
@@ -500,8 +624,12 @@ def _cmd_live_up(args, out, LiveConfig, run_live) -> int:
     except CacheDirError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    fault_params = {}
+    if args.loss is not None:
+        fault_params["loss"] = args.loss
     try:
         REGISTRY.resolve("churn", args.churn)  # fail fast, list alternatives
+        REGISTRY.resolve("fault", args.fault)
         config = LiveConfig(
             nodes=args.nodes,
             duration=args.duration,
@@ -517,13 +645,20 @@ def _cmd_live_up(args, out, LiveConfig, run_live) -> int:
             crash_downtime=args.crash_downtime,
             control_port=args.control_port,
             state_dir=args.state_dir,
+            fault=args.fault,
+            fault_params=fault_params,
         )
+        config.resolved_fault_plan()  # validate params (e.g. --loss 1.5) now
     except ValueError as error:  # includes UnknownComponentError
         print(f"error: {error}", file=sys.stderr)
         return 2
+    fault_note = "" if config.fault.upper() == "NONE" and not fault_params else (
+        f", fault={config.fault}"
+        + (f" loss={fault_params['loss']}" if "loss" in fault_params else "")
+    )
     print(
         f"live: booting {config.nodes} nodes for {config.duration:.0f}s "
-        f"(control port {config.control_port})",
+        f"(control port {config.control_port}{fault_note})",
         file=sys.stderr,
     )
     try:

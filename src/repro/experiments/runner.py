@@ -31,6 +31,7 @@ from ..core.config import AvmonConfig
 from ..core.hashing import NodeId
 from ..core.node import AvmonNode
 from ..core.relation import MonitorRelation
+from ..live.faults import FaultInjector, FaultPlan
 from ..metrics import stats
 from ..metrics.collectors import MetricsHub
 from ..net.latency import LatencyModel, UniformLatency
@@ -75,6 +76,9 @@ class SimulationConfig:
     label: str = ""
     #: Pluggable latency model; None -> UniformLatency(latency_low, latency_high).
     latency: Optional[LatencyModel] = None
+    #: Network fault plan (loss/duplication/partitions); None -> perfect
+    #: network, with the exact pre-fault behaviour and cache key.
+    fault: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.n <= 1:
@@ -451,11 +455,15 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     latency = config.latency
     if latency is None:
         latency = UniformLatency(config.latency_low, config.latency_high)
+    fault = None
+    if config.fault is not None and not config.fault.is_null():
+        fault = FaultInjector(config.fault)
     network = Network(
         sim,
         latency=latency,
         rng=source.stream("network"),
         entry_bytes=avmon_config.entry_bytes,
+        fault=fault,
     )
     condition = ConsistencyCondition(
         avmon_config.k, avmon_config.n_expected, avmon_config.hash_algorithm

@@ -110,7 +110,7 @@ def config_key(config: SimulationConfig) -> Tuple:
     trace_fingerprint = None
     if config.trace is not None:
         trace_fingerprint = config.trace.content_hash()
-    return (
+    key = (
         config.model_key,
         config.n,
         config.duration,
@@ -140,6 +140,11 @@ def config_key(config: SimulationConfig) -> Tuple:
             avmon.hash_algorithm,
         ),
     )
+    if config.fault is not None and not config.fault.is_null():
+        # Appended only for faulty runs: every fault-free cell already on
+        # disk keeps its address (see the key-stability contract above).
+        key = key + (config.fault.key(),)
+    return key
 
 
 def _canonical(value):

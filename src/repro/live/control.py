@@ -34,6 +34,9 @@ __all__ = [
     "OverlayStatusReply",
     "ChaosRequest",
     "ChaosReply",
+    "FaultRequest",
+    "FaultReply",
+    "FaultUpdate",
     "DownRequest",
     "DownAck",
     "CONTROL_TYPES",
@@ -161,6 +164,40 @@ class ChaosReply:
 
 
 @dataclass(frozen=True)
+class FaultRequest:
+    """Operator network-fault injection (``avmon live chaos --loss ...``).
+
+    ``plan`` is a JSON-encoded :class:`~repro.live.faults.FaultPlan` (or,
+    with ``merge``, a sparse dict of plan fields); the supervisor pushes
+    the result to every known node as a :class:`FaultUpdate`.
+
+    With ``merge`` the given fields are laid over the overlay's *current*
+    plan — ``--partition`` on an overlay booted ``--fault WAN`` keeps the
+    WAN latency/loss.  Without it, the plan replaces everything (an empty
+    ``plan`` heals the network completely).
+    """
+
+    probe: int = 0
+    plan: str = ""
+    merge: bool = False
+
+
+@dataclass(frozen=True)
+class FaultReply:
+    """How many nodes the new fault plan was pushed to."""
+
+    probe: int = 0
+    applied: int = 0
+
+
+@dataclass(frozen=True)
+class FaultUpdate:
+    """Supervisor -> node: replace the transport's active fault plan."""
+
+    plan: str = ""
+
+
+@dataclass(frozen=True)
 class DownRequest:
     """Operator teardown (``avmon live down``)."""
 
@@ -188,6 +225,9 @@ CONTROL_TYPES = (
     OverlayStatusReply,
     ChaosRequest,
     ChaosReply,
+    FaultRequest,
+    FaultReply,
+    FaultUpdate,
     DownRequest,
     DownAck,
 )

@@ -25,7 +25,7 @@ new joins and staleness-tolerant metrics, nothing else.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..core.hashing import NodeId
 from .control import (
@@ -44,12 +44,21 @@ __all__ = ["Introducer"]
 class Introducer:
     """Soft-state registration service over one UDP socket."""
 
-    def __init__(self, *, ttl: float = 5.0, epoch: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        *,
+        ttl: float = 5.0,
+        epoch: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         if ttl <= 0:
             raise ValueError(f"ttl must be positive, got {ttl}")
         self.ttl = ttl
         #: Overlay epoch (UNIX time); node clocks report relative to this.
         self.epoch = epoch if epoch is not None else time.time()
+        #: TTL timebase; injectable so the in-memory harness can run the
+        #: introducer on a virtual clock (default: the wall clock).
+        self._clock = clock if clock is not None else time.monotonic
         self._transport: Optional[UdpTransport] = None
         self._addresses: Dict[NodeId, Address] = {}
         self._last_seen: Dict[NodeId, float] = {}
@@ -58,11 +67,22 @@ class Introducer:
         self._quarantine: Dict[NodeId, float] = {}
         self.registrations = 0
 
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Address:
-        """Bind the service; returns the actual listening address."""
-        self._transport = await UdpTransport.create(
-            self._handle, host=host, port=port
-        )
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        transport_factory=None,
+    ) -> Address:
+        """Bind the service; returns the actual listening address.
+
+        *transport_factory* (an async ``(handler, host, port) -> endpoint``)
+        swaps the fabric — the in-memory harness passes a
+        :class:`~repro.live.memory_transport.MemoryTransport` factory.
+        """
+        if transport_factory is None:
+            transport_factory = UdpTransport.create
+        self._transport = await transport_factory(self._handle, host, port)
         return self._transport.local_address
 
     @property
@@ -87,7 +107,7 @@ class Introducer:
 
     def alive_entries(self) -> Tuple[Tuple[NodeId, str, int], ...]:
         """Current alive peers as ``(node, host, port)``, sorted by id."""
-        self._expire(time.monotonic())
+        self._expire(self._clock())
         return tuple(
             (node, self._addresses[node][0], self._addresses[node][1])
             for node in sorted(self._last_seen)
@@ -98,7 +118,7 @@ class Introducer:
         return len(self.alive_entries())
 
     def is_alive(self, node: NodeId) -> bool:
-        self._expire(time.monotonic())
+        self._expire(self._clock())
         return node in self._last_seen
 
     def drop(self, node: NodeId) -> None:
@@ -111,12 +131,12 @@ class Introducer:
         """
         self._last_seen.pop(node, None)
         self._addresses.pop(node, None)
-        self._quarantine[node] = time.monotonic() + self.ttl
+        self._quarantine[node] = self._clock() + self.ttl
 
     # -- message handling --------------------------------------------------
 
     def _handle(self, message, addr: Address) -> None:
-        now = time.monotonic()
+        now = self._clock()
         if isinstance(message, Hello):
             host = message.host or addr[0]
             self._quarantine.pop(message.node, None)

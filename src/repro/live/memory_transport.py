@@ -1,0 +1,499 @@
+"""Deterministic in-process transport + virtual-clock overlay harness.
+
+The live stack (codec, transport, introducer, :class:`LiveNode`, the
+supervisor's scrape path) was only testable over real UDP sockets on real
+clocks — slow, port-hungry and irreproducible.  This module supplies the
+missing fabric:
+
+* :class:`MemoryTransport` satisfies the same endpoint surface as
+  :class:`~repro.live.transport.UdpTransport` (``create``/``send_to``/
+  ``local_address``/``close``/``stats``, the shared
+  :class:`~repro.live.transport.DatagramEndpoint` receive path), but
+  datagrams travel through an in-process :class:`MemoryNetwork` hub —
+  still as *bytes through the codec*, so malformed-datagram tolerance and
+  wire-format bugs are exercised exactly as over UDP;
+* :class:`MemoryNetwork` applies one
+  :class:`~repro.live.faults.FaultInjector` centrally: loss, latency,
+  jitter, duplication, reordering and timed partitions per the plan, every
+  decision drawn from per-link seeded streams;
+* :func:`install_virtual_clock` time-warps an asyncio event loop — when
+  the loop would sleep, virtual time jumps instead — so ``loop.time()``,
+  every timer and every ``asyncio.sleep`` are deterministic and a
+  30-virtual-second overlay runs in well under a wall second;
+* :class:`MemoryOverlay` composes it all: a real
+  :class:`~repro.live.introducer.Introducer`, N real
+  :class:`~repro.live.runtime.LiveNode` instances, the supervisor's
+  :class:`~repro.live.supervisor.StatusProber` scrape path and the shared
+  report/summary builders — the **whole** live stack, in one process, no
+  sockets, no subprocesses, byte-identical
+  :class:`~repro.experiments.summary.SimulationSummary` output for a fixed
+  seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import random
+import shutil
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.condition import ConsistencyCondition
+from ..core.hashing import NodeId
+from ..experiments.store import SummaryStore
+from .codec import encode
+from .faults import INTRODUCER, SUPERVISOR, FaultInjector, FaultPlan, Label
+from .introducer import Introducer
+from .runtime import LiveNode
+from .supervisor import (
+    LiveConfig,
+    LiveReport,
+    StatusProber,
+    build_live_report,
+    live_config_key,
+)
+from .transport import Address, DatagramEndpoint
+
+__all__ = [
+    "MEM_HOST",
+    "VIRTUAL_EPOCH",
+    "MemoryNetwork",
+    "MemoryTransport",
+    "MemoryOverlay",
+    "install_virtual_clock",
+    "run_memory_overlay",
+    "run_virtual",
+]
+
+#: Host component of in-memory addresses (they never touch a resolver).
+MEM_HOST = "mem"
+
+#: Where virtual clocks start.  Deliberately positive: a ``LiveNodeSpec``
+#: epoch of 0.0 means "adopt the introducer's", so the harness needs a
+#: non-zero epoch that every node can share.
+VIRTUAL_EPOCH = 1000.0
+
+
+class _VirtualClock:
+    """A clock that only moves when the event loop would otherwise sleep."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def time(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+
+def install_virtual_clock(
+    loop: asyncio.AbstractEventLoop, *, start: float = VIRTUAL_EPOCH
+) -> _VirtualClock:
+    """Time-warp *loop*: sleeps become instant virtual-time jumps.
+
+    The selector's blocking ``select(timeout)`` is replaced by "advance the
+    virtual clock by *timeout*, then poll" and ``loop.time`` by the virtual
+    clock, so timer ordering, ``asyncio.sleep`` and ``wait_for`` all run on
+    deterministic virtual time.  Only valid for loops that never wait on
+    real I/O — which is the point: the memory fabric has none.
+    """
+    clock = _VirtualClock(start)
+    selector = loop._selector  # type: ignore[attr-defined]
+    original_select = selector.select
+
+    def warped_select(timeout=None):
+        if timeout is None:
+            # No ready callbacks and no timers: nothing can ever wake this
+            # loop again.  Failing loudly beats hanging the test run.
+            raise RuntimeError(
+                "virtual clock: the event loop would sleep forever "
+                "(deadlock in the in-memory overlay?)"
+            )
+        if timeout > 0:
+            clock.advance(timeout)
+            timeout = 0
+        return original_select(timeout)
+
+    selector.select = warped_select
+    loop.time = clock.time  # type: ignore[method-assign]
+    return clock
+
+
+def run_virtual(coro, *, start: float = VIRTUAL_EPOCH):
+    """``asyncio.run`` on a fresh virtual-clock loop."""
+    loop = asyncio.new_event_loop()
+    install_virtual_clock(loop, start=start)
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+class MemoryNetwork:
+    """In-process datagram hub: binds endpoints, applies one fault plan.
+
+    Unlike the UDP fabric (where each sender injects its own faults), the
+    hub sees both endpoints of every datagram, so link rules and partition
+    groups can name infrastructure (:data:`~repro.live.faults.SUPERVISOR`,
+    :data:`~repro.live.faults.INTRODUCER`) as well as node ids.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.injector = FaultInjector(plan)
+        #: Overlay-relative "now" for timed partitions; defaults to the
+        #: running loop's clock.
+        self._clock = clock
+        self._endpoints: Dict[Address, "MemoryTransport"] = {}
+        self._labels: Dict[Address, Optional[Label]] = {}
+        self._next_port = 1
+        #: Datagrams addressed to nobody (a closed or never-bound address).
+        self.undeliverable = 0
+        #: Copies actually scheduled for delivery.
+        self.delivered = 0
+
+    def set_plan(self, plan: FaultPlan) -> None:
+        """Swap the network-wide fault plan (e.g. heal a partition)."""
+        self.injector.set_plan(plan)
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return asyncio.get_running_loop().time()
+
+    # -- endpoint registry -------------------------------------------------
+
+    def bind(
+        self, endpoint: "MemoryTransport", label: Optional[Label] = None
+    ) -> Address:
+        address = (MEM_HOST, self._next_port)
+        self._next_port += 1
+        self._endpoints[address] = endpoint
+        self._labels[address] = label
+        return address
+
+    def unbind(self, address: Address) -> None:
+        self._endpoints.pop(address, None)
+        self._labels.pop(address, None)
+
+    def transport_factory(self, label: Optional[Label] = None):
+        """An async ``(handler, host, port) -> MemoryTransport`` factory,
+        signature-compatible with :meth:`UdpTransport.create` so it plugs
+        straight into :class:`~repro.live.runtime.LiveNode` and
+        :meth:`Introducer.start`."""
+
+        async def factory(handler, _host: str = MEM_HOST, _port: int = 0):
+            return MemoryTransport(self, handler, label=label)
+
+        return factory
+
+    # -- delivery ----------------------------------------------------------
+
+    def deliver(self, src: Address, dst: Address, data: bytes) -> None:
+        """Route one datagram through the fault plan to its destination."""
+        if dst not in self._endpoints:
+            self.undeliverable += 1
+            return
+        loop = asyncio.get_running_loop()
+        deliveries = self.injector.plan_delivery(
+            self._labels.get(src), self._labels.get(dst), self._now()
+        )
+        for delay in deliveries:
+            self.delivered += 1
+            if delay <= 0.0:
+                loop.call_soon(self._push, dst, data, src)
+            else:
+                loop.call_later(delay, self._push, dst, data, src)
+
+    def _push(self, dst: Address, data: bytes, src: Address) -> None:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is not None and not endpoint._closed:
+            endpoint._on_datagram(data, src)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryNetwork(endpoints={len(self._endpoints)}, "
+            f"delivered={self.delivered})"
+        )
+
+
+class MemoryTransport(DatagramEndpoint):
+    """One in-process endpoint: same surface as ``UdpTransport``, no socket.
+
+    Messages are *encoded to bytes* on send and decoded on receive, so the
+    codec sits on the path exactly as it does over UDP.  Fault injection
+    happens in the hub (which knows both endpoints' labels), so
+    :meth:`set_fault_plan` — the handler for a pushed
+    :class:`~repro.live.control.FaultUpdate` — forwards to the network.
+    """
+
+    def __init__(
+        self,
+        network: MemoryNetwork,
+        handler: Callable[[Any, Address], None],
+        *,
+        label: Optional[Label] = None,
+    ) -> None:
+        super().__init__(handler)
+        self._network = network
+        self.label = label
+        self._address = network.bind(self, label)
+
+    @classmethod
+    async def create(
+        cls,
+        handler: Callable[[Any, Address], None],
+        host: str = MEM_HOST,
+        port: int = 0,
+        *,
+        network: MemoryNetwork,
+        label: Optional[Label] = None,
+    ) -> "MemoryTransport":
+        return cls(network, handler, label=label)
+
+    @property
+    def local_address(self) -> Address:
+        return self._address
+
+    def send_to(self, address: Address, message: Any) -> int:
+        """Encode and route one message; returns the payload size."""
+        if self._closed:
+            return 0
+        data = encode(message)
+        self.stats.datagrams_sent += 1
+        self.stats.bytes_sent += len(data)
+        self._network.deliver(self._address, address, data)
+        return len(data)
+
+    def set_fault_plan(self, plan: FaultPlan) -> None:
+        # The hub is the single fault-decision point on this fabric: a
+        # per-endpoint injector here would compound with the network's.
+        self._network.set_plan(plan)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._network.unbind(self._address)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"bound={self._address}"
+        return f"MemoryTransport({state}, label={self.label!r})"
+
+
+class MemoryOverlay:
+    """A complete live overlay run, in one process, on a virtual clock.
+
+    Mirrors :class:`~repro.live.supervisor.LiveSupervisor` — boot N nodes
+    against a real introducer, optionally crash/respawn one, scrape over
+    the control plane, audit with the shared consistency oracle — except
+    nodes are in-process :class:`LiveNode` instances over a
+    :class:`MemoryNetwork`, so a run is fast, socket-free and, for a fixed
+    config + plan seed, byte-identical in its summary JSON.
+
+    Churn components (which kill OS processes) are not driven here; the
+    one-shot ``crash_after``/``crash_downtime`` chaos and arbitrary
+    :class:`~repro.live.faults.FaultPlan` regimes are.
+    """
+
+    def __init__(
+        self,
+        config: LiveConfig,
+        *,
+        plan: Optional[FaultPlan] = None,
+        store: Optional[SummaryStore] = None,
+    ) -> None:
+        self.config = config
+        self.plan = plan if plan is not None else config.resolved_fault_plan()
+        self.store = store
+        self.condition = ConsistencyCondition(
+            config.resolved_k(), config.nodes, config.hash_algorithm
+        )
+        self.network: Optional[MemoryNetwork] = None
+        self.introducer: Optional[Introducer] = None
+        self.nodes: Dict[NodeId, LiveNode] = {}
+        self._rng = random.Random(config.seed * 7919 + 13)
+        self._crash_victims: List[NodeId] = []
+        self._join_times: Dict[NodeId, float] = {}
+        self._up_since: Dict[NodeId, float] = {}
+        self._last_life: Dict[NodeId, float] = {}
+        self._memory_series: Dict[NodeId, List[float]] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._state_dir: Optional[pathlib.Path] = None
+        self._own_state_dir = False
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> LiveReport:
+        """Execute the deployment on a fresh virtual-clock loop."""
+        loop = asyncio.new_event_loop()
+        install_virtual_clock(loop, start=VIRTUAL_EPOCH)
+        self._loop = loop
+        try:
+            report = loop.run_until_complete(self._run())
+        finally:
+            self._loop = None
+            loop.close()
+        if self.store is not None:
+            path = self.store.save(
+                live_config_key(self.config, plan=self.plan), report.summary
+            )
+            report.store_path = str(path) if path is not None else None
+        return report
+
+    # -- internals ---------------------------------------------------------
+
+    def _overlay_now(self) -> float:
+        return self._loop.time() - VIRTUAL_EPOCH
+
+    def _life_seconds(self, node: NodeId) -> float:
+        up_since = self._up_since.get(node)
+        if up_since is not None:
+            return self._loop.time() - up_since
+        return self._last_life.get(node, 0.0)
+
+    async def _boot_node(self, node_id: NodeId, introducer_addr: Address) -> None:
+        spec = self.config.node_spec(
+            node_id,
+            introducer_addr,
+            epoch=VIRTUAL_EPOCH,
+            state_file=str(self._state_dir / f"node-{node_id}.json"),
+        )
+        # Addresses on this fabric are ("mem", port): the host a node
+        # announces in Hello must match, or every directory entry (and so
+        # all peer traffic) would point at an unbound address.
+        spec.host = MEM_HOST
+        node = LiveNode(
+            spec,
+            transport_factory=self.network.transport_factory(node_id),
+            clock=self._loop.time,
+        )
+        await node.start()
+        self.nodes[node_id] = node
+        self._join_times.setdefault(node_id, self._overlay_now())
+        self._up_since[node_id] = self._loop.time()
+
+    async def _crash_and_respawn(self, introducer_addr: Address) -> None:
+        config = self.config
+        await asyncio.sleep(config.crash_after)
+        candidates = sorted(
+            node for node, since in self._up_since.items() if since is not None
+        )
+        if not candidates:
+            return
+        victim = candidates[self._rng.randrange(len(candidates))]
+        self._crash_victims.append(victim)
+        self._last_life[victim] = self._loop.time() - self._up_since[victim]
+        self._up_since[victim] = None
+        node = self.nodes[victim]
+        await node.stop(graceful=False)  # a crash: no goodbye, no snapshot
+        self.introducer.drop(victim)
+        await asyncio.sleep(config.crash_downtime)
+        await self._boot_node(victim, introducer_addr)
+
+    async def _scrape(self, prober, scraper, timeout: float, attempts: int = 3):
+        return await prober.probe(
+            scraper,
+            self.introducer.alive_entries(),
+            timeout=timeout,
+            attempts=attempts,
+        )
+
+    async def _run(self) -> LiveReport:
+        config = self.config
+        loop = self._loop
+        wall_start = time.perf_counter()
+        self.network = MemoryNetwork(self.plan, clock=self._overlay_now)
+        self.introducer = Introducer(
+            ttl=config.introducer_ttl, epoch=VIRTUAL_EPOCH, clock=loop.time
+        )
+        introducer_addr = await self.introducer.start(
+            transport_factory=self.network.transport_factory(INTRODUCER)
+        )
+        prober = StatusProber()
+        scraper = MemoryTransport(
+            self.network, prober.on_reply, label=SUPERVISOR
+        )
+        self._state_dir = (
+            pathlib.Path(config.state_dir)
+            if config.state_dir
+            else pathlib.Path(tempfile.mkdtemp(prefix="avmon-mem-"))
+        )
+        self._own_state_dir = not config.state_dir
+        self._state_dir.mkdir(parents=True, exist_ok=True)
+        chaos_task: Optional[asyncio.Task] = None
+        try:
+            for node_id in range(config.nodes):
+                await self._boot_node(node_id, introducer_addr)
+            if config.crash_after is not None:
+                chaos_task = asyncio.create_task(
+                    self._crash_and_respawn(introducer_addr)
+                )
+            deadline = loop.time() + config.duration
+            next_sample = loop.time() + config.sample_interval
+            scrape_timeout = max(0.5, config.ping_timeout * 4)
+            while loop.time() < deadline:
+                await asyncio.sleep(min(0.25, deadline - loop.time()))
+                if loop.time() >= next_sample:
+                    next_sample = loop.time() + config.sample_interval
+                    statuses = await self._scrape(
+                        prober, scraper, scrape_timeout
+                    )
+                    for node, status in statuses.items():
+                        self._memory_series.setdefault(node, []).append(
+                            float(status.memory_entries)
+                        )
+            if chaos_task is not None:
+                # The crash schedule lies inside the run window; let a
+                # respawn that is mid-boot finish so teardown is orderly.
+                await chaos_task
+                chaos_task = None
+            # The final scrape feeds the audit: retry harder, so a lossy
+            # regime degrades the *measured* discovery ratio, not the
+            # measurement itself (6 probe losses in a row at 20% loss is
+            # already < 0.1% per node).
+            statuses = await self._scrape(
+                prober, scraper, max(2.0, config.ping_timeout * 12), attempts=6
+            )
+            final_alive = self.introducer.alive_count()
+        finally:
+            if chaos_task is not None:
+                chaos_task.cancel()
+                try:
+                    await chaos_task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+            for node in self.nodes.values():
+                await node.stop(graceful=False)
+            scraper.close()
+            self.introducer.close()
+            if self._own_state_dir and self._state_dir is not None:
+                shutil.rmtree(self._state_dir, ignore_errors=True)
+        return build_live_report(
+            config,
+            self.condition,
+            statuses,
+            crash_victims=self._crash_victims,
+            final_alive=final_alive,
+            elapsed=time.perf_counter() - wall_start,
+            join_times=self._join_times,
+            life_seconds=self._life_seconds,
+            memory_series=self._memory_series,
+            n_longterm=config.nodes,
+        )
+
+
+def run_memory_overlay(
+    config: LiveConfig,
+    *,
+    plan: Optional[FaultPlan] = None,
+    store: Optional[SummaryStore] = None,
+) -> LiveReport:
+    """Synchronous front door for the in-memory harness."""
+    return MemoryOverlay(config, plan=plan, store=store).run()

@@ -27,7 +27,7 @@ import pathlib
 import random
 import time
 from dataclasses import asdict, dataclass
-from typing import Any, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..core.condition import ConsistencyCondition
 from ..core.config import AvmonConfig
@@ -39,6 +39,7 @@ from ..ioutils import atomic_write_text
 from .control import (
     DirectoryReply,
     DirectoryRequest,
+    FaultUpdate,
     Goodbye,
     Heartbeat,
     Hello,
@@ -46,6 +47,7 @@ from .control import (
     StatusReply,
     StatusRequest,
 )
+from .faults import INTRODUCER, FaultInjector, FaultPlan, Label
 from .transport import Address, PeerTable, UdpTransport
 
 __all__ = ["LiveNodeSpec", "LiveRuntime", "LiveNode", "referenced_ids"]
@@ -110,6 +112,9 @@ class LiveNodeSpec:
     snapshot_interval: float = 1.0
     #: Path of this node's persistent store; empty disables persistence.
     state_file: str = ""
+    #: JSON-encoded :class:`~repro.live.faults.FaultPlan` applied to this
+    #: node's outgoing datagrams; empty means a perfect network.
+    fault: str = ""
 
     def avmon_config(self) -> AvmonConfig:
         return AvmonConfig(
@@ -150,12 +155,17 @@ class LiveRuntime:
         rng: random.Random,
         *,
         epoch: float,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.id = node_id
         self.rng = rng
         self._transport = transport
         self._peers = peers
         self._epoch = epoch
+        #: Absolute timebase ``now()`` subtracts the epoch from; the wall
+        #: clock in production, the virtual loop clock in the in-memory
+        #: harness.
+        self._clock = clock if clock is not None else time.time
         self._loop = asyncio.get_running_loop()
 
     # -- clock -------------------------------------------------------------
@@ -169,7 +179,7 @@ class LiveRuntime:
         self._epoch = epoch
 
     def now(self) -> float:
-        return time.time() - self._epoch
+        return self._clock() - self._epoch
 
     # -- transport ---------------------------------------------------------
 
@@ -199,9 +209,21 @@ class LiveNode:
     """One live AVMON participant: transport + runtime + protocol + loops."""
 
     def __init__(
-        self, spec: LiveNodeSpec, metrics: Optional[MetricsSink] = None
+        self,
+        spec: LiveNodeSpec,
+        metrics: Optional[MetricsSink] = None,
+        *,
+        transport_factory=None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.spec = spec
+        #: Async ``(handler, host, port) -> endpoint``; None -> real UDP.
+        self._transport_factory = (
+            transport_factory
+            if transport_factory is not None
+            else UdpTransport.create
+        )
+        self._clock = clock
         self.id = spec.node
         self.config = spec.avmon_config()
         self.condition = ConsistencyCondition(
@@ -226,6 +248,8 @@ class LiveNode:
         self.tick_errors = 0
         #: JOIN datagrams dropped by the per-origin admission budget.
         self.joins_throttled = 0
+        #: JSON of the fault plan currently applied ("" = perfect network).
+        self._fault_plan_json = ""
         self._join_window_start = 0.0
         self._join_counts: dict = {}
 
@@ -233,16 +257,30 @@ class LiveNode:
 
     async def start(self) -> None:
         """Bind, register with the introducer, restore state, join, tick."""
-        self.transport = await UdpTransport.create(
-            self._handle, host=self.spec.host, port=0
+        self.transport = await self._transport_factory(
+            self._handle, self.spec.host, 0
         )
+        clock = self._clock if self._clock is not None else time.time
         self.runtime = LiveRuntime(
             self.id,
             self.transport,
             self.peers,
             self.rng,
-            epoch=self.spec.epoch or time.time(),
+            epoch=self.spec.epoch or clock(),
+            clock=clock,
         )
+        # Identity/clock wiring happens unconditionally so a FaultUpdate
+        # pushed later finds a fully-configured send path; the injector
+        # itself exists only when a plan does.
+        self.transport.configure_faults(
+            FaultInjector(FaultPlan.from_json(self.spec.fault))
+            if self.spec.fault
+            else None,
+            label=self.id,
+            resolve=self._peer_label,
+            clock=self.runtime.now,
+        )
+        self._fault_plan_json = self.spec.fault
         self.node = AvmonNode(
             self.id, self.config, self.relation, self.runtime, self._metrics
         )
@@ -331,12 +369,19 @@ class LiveNode:
         if self._joined:
             self.node.monitoring_tick()
 
+    def _peer_label(self, address: Address) -> Optional[Label]:
+        """The fault-injection identity of a destination address."""
+        if address == self._introducer:
+            return INTRODUCER
+        return self.peers.id_at(address)
+
     async def _membership_loop(self) -> None:
         """Heartbeat the introducer and refresh the peer directory."""
-        next_directory = 0.0
+        loop = asyncio.get_running_loop()
+        next_directory = loop.time()
         while True:
             self.transport.send_to(self._introducer, Heartbeat(node=self.id))
-            now = time.monotonic()
+            now = loop.time()
             if now >= next_directory:
                 self.transport.send_to(
                     self._introducer, DirectoryRequest(node=self.id)
@@ -398,6 +443,23 @@ class LiveNode:
             self._hello_acked.set()
         elif isinstance(message, StatusRequest):
             self.transport.send_to(addr, self.status_reply(message.probe))
+        elif isinstance(message, FaultUpdate):
+            if message.plan == self._fault_plan_json:
+                # Already running this exact plan.  The supervisor
+                # re-broadcasts with every scrape so nodes whose
+                # registration lapsed still converge; an idempotent skip
+                # keeps those re-sends from resetting decision streams.
+                return
+            try:
+                plan = (
+                    FaultPlan.from_json(message.plan)
+                    if message.plan
+                    else FaultPlan()
+                )
+            except (ValueError, TypeError):
+                return  # a bad plan must not take the node down
+            self.transport.set_fault_plan(plan)
+            self._fault_plan_json = message.plan
         # Unknown control traffic is ignored.
 
     def _on_directory(self, reply: DirectoryReply) -> None:

@@ -30,6 +30,7 @@ that fail the condition; always 0 unless a node misbehaves).
 from __future__ import annotations
 
 import asyncio
+import json
 import math
 import os
 import pathlib
@@ -41,7 +42,7 @@ import sys
 import tempfile
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..churn import models as _churn_models  # noqa: F401 — registers STAT/SYNTH*
 from ..core import optimal
@@ -50,17 +51,21 @@ from ..core.hashing import NodeId
 from ..experiments.store import SummaryStore, stable_key_hash
 from ..experiments.summary import SimulationSummary
 from ..metrics import stats
-from ..registry import canonical_name, resolve
+from ..registry import canonical_name, create, resolve
 from .control import (
     ChaosReply,
     ChaosRequest,
     DownAck,
     DownRequest,
+    FaultReply,
+    FaultRequest,
+    FaultUpdate,
     OverlayStatusReply,
     OverlayStatusRequest,
     StatusReply,
     StatusRequest,
 )
+from .faults import FaultPlan
 from .introducer import Introducer
 from .runtime import LiveNodeSpec
 from .transport import Address, UdpTransport
@@ -69,10 +74,15 @@ __all__ = [
     "LiveConfig",
     "LiveReport",
     "LiveSupervisor",
+    "StatusProber",
+    "build_live_report",
     "control_call",
     "live_config_key",
     "live_store_filename",
+    "pair_coverage",
     "run_live",
+    "summarize_statuses",
+    "victim_recovery_ratio",
 ]
 
 
@@ -115,6 +125,10 @@ class LiveConfig:
     introducer_ttl: float = 2.5
     #: Node state files live here; empty -> a run-scoped temp directory.
     state_dir: str = ""
+    #: Fault component key (registry kind ``fault``) shaping the network.
+    fault: str = "NONE"
+    #: Overrides for the fault component's factory (e.g. ``loss=0.25``).
+    fault_params: Dict[str, Any] = field(default_factory=dict)
     label: str = "LIVE"
 
     def __post_init__(self) -> None:
@@ -142,6 +156,13 @@ class LiveConfig:
             else optimal.cvs_paper_default(self.nodes)
         )
 
+    def resolved_fault_plan(self) -> FaultPlan:
+        """The :class:`~repro.live.faults.FaultPlan` this deployment runs
+        under, built through the ``fault`` component registry."""
+        params = dict(self.fault_params)
+        params.setdefault("seed", self.seed)
+        return create("fault", self.fault, **params)
+
     def node_spec(
         self,
         node: NodeId,
@@ -149,6 +170,7 @@ class LiveConfig:
         *,
         epoch: float,
         state_file: str,
+        fault: str = "",
     ) -> LiveNodeSpec:
         return LiveNodeSpec(
             node=node,
@@ -174,13 +196,16 @@ class LiveConfig:
             ),
             snapshot_interval=self.protocol_period,
             state_file=state_file,
+            fault=fault,
         )
 
     def to_dict(self) -> dict:
         return asdict(self)
 
 
-def live_config_key(config: LiveConfig) -> Tuple:
+def live_config_key(
+    config: LiveConfig, *, plan: Optional[FaultPlan] = None
+) -> Tuple:
     """The structural identity of a live deployment, store-addressable.
 
     Unlike simulation keys this does not promise byte-identical summaries
@@ -188,8 +213,12 @@ def live_config_key(config: LiveConfig) -> Tuple:
     holds the *latest* run of each distinct deployment (re-running a
     deployment overwrites its cell, exactly what a monitoring dashboard
     wants).
+
+    *plan* overrides the config's own fault component — the in-memory
+    harness accepts an explicit :class:`FaultPlan`, and a faulty run must
+    never land in (and clobber) the fault-free deployment's cell.
     """
-    return (
+    key = (
         "LIVE-RUN",
         config.nodes,
         config.duration,
@@ -210,6 +239,13 @@ def live_config_key(config: LiveConfig) -> Tuple:
         config.crash_after,
         config.crash_downtime,
     )
+    if plan is None:
+        plan = config.resolved_fault_plan()
+    if not plan.is_null():
+        # Appended only for faulty deployments, so every pre-fault store
+        # cell keeps its address.
+        key = key + (plan.key(),)
+    return key
 
 
 @dataclass
@@ -261,6 +297,233 @@ class _WallSim:
         self._handles.clear()
 
 
+class StatusProber:
+    """Per-node status probing with per-attempt timeouts and retries.
+
+    The old scrape sent one probe per node and waited a single blanket
+    timeout: one partitioned or dead node stalled the whole scrape for the
+    full timeout, and a single lost datagram (10 % loss is a *configured*
+    regime now) silently blanked that node's sample.  Here every node is
+    probed concurrently on its own retry schedule — ``attempts`` probes,
+    each waiting ``timeout / attempts`` — so responsive nodes resolve on
+    their first reply, lossy paths get retried, and an unreachable node
+    costs only its own bounded budget, never anyone else's.
+    """
+
+    def __init__(self) -> None:
+        self._waiters: Dict[Tuple[NodeId, int], asyncio.Future] = {}
+        self._seq = 0
+
+    def on_reply(self, message: Any, _addr: Address) -> None:
+        """Transport handler: resolve the waiter a reply belongs to."""
+        if not isinstance(message, StatusReply):
+            return
+        waiter = self._waiters.pop((message.node, message.probe), None)
+        if waiter is not None and not waiter.done():
+            waiter.set_result(message)
+
+    async def probe(
+        self,
+        transport,
+        entries: Sequence[Tuple[NodeId, str, int]],
+        *,
+        timeout: float = 1.0,
+        attempts: int = 3,
+    ) -> Dict[NodeId, StatusReply]:
+        """One status sweep of *entries*; missing nodes are simply absent."""
+        if not entries:
+            return {}
+        attempts = max(1, attempts)
+        per_attempt = max(timeout / attempts, 1e-3)
+        loop = asyncio.get_running_loop()
+
+        async def probe_one(node: NodeId, host: str, port: int):
+            # One shared future across every attempt: a retry adds another
+            # outstanding probe id, it never abandons the earlier ones, so
+            # a reply that takes longer than one attempt window (a
+            # high-latency fault plan, a loaded host) still resolves the
+            # node — the retries only add datagrams, never shrink the
+            # listening window below the full timeout.
+            future: asyncio.Future = loop.create_future()
+            probe_ids = []
+            try:
+                for _ in range(attempts):
+                    self._seq += 1
+                    probe_id = self._seq
+                    probe_ids.append(probe_id)
+                    self._waiters[(node, probe_id)] = future
+                    transport.send_to(
+                        (host, port), StatusRequest(probe=probe_id)
+                    )
+                    try:
+                        # shield: wait_for must not cancel the shared
+                        # future on a per-attempt timeout.
+                        return node, await asyncio.wait_for(
+                            asyncio.shield(future), per_attempt
+                        )
+                    except asyncio.TimeoutError:
+                        continue
+                return node, None
+            finally:
+                for probe_id in probe_ids:
+                    self._waiters.pop((node, probe_id), None)
+
+        results = await asyncio.gather(
+            *(probe_one(node, host, port) for node, host, port in entries)
+        )
+        return {node: reply for node, reply in results if reply is not None}
+
+
+# ----------------------------------------------------------------------
+# Shared oracle + summary construction (used by the process supervisor and
+# the in-memory harness alike — one audit, two fabrics)
+# ----------------------------------------------------------------------
+
+
+def pair_coverage(
+    condition: ConsistencyCondition, statuses: Mapping[NodeId, StatusReply]
+) -> Tuple[int, int, int]:
+    """(discovered, expected, violations) over the scraped population.
+
+    Expected: every ordered pair ``(monitor, target)`` of *scraped* nodes
+    satisfying the consistency condition.  Discovered: the pair's target
+    reports the monitor in its PS.  Violations: reported PS/TS entries
+    that fail the condition — the scheme's verifiability means any party
+    can run this audit.
+    """
+    population = sorted(statuses)
+    expected = 0
+    discovered = 0
+    violations = 0
+    holds = condition.holds
+    for target in population:
+        reported = {m for m, _t in statuses[target].ps}
+        for monitor in population:
+            if monitor == target:
+                continue
+            if holds(monitor, target):
+                expected += 1
+                if monitor in reported:
+                    discovered += 1
+        violations += sum(1 for m in reported if not holds(m, target))
+        violations += sum(
+            1 for t in statuses[target].ts if not holds(target, t)
+        )
+    return discovered, expected, violations
+
+
+def victim_recovery_ratio(
+    condition: ConsistencyCondition,
+    statuses: Mapping[NodeId, StatusReply],
+    victims,
+) -> Optional[float]:
+    """Coverage of pairs involving crash victims, post-recovery."""
+    victims = set(victims)
+    if not victims:
+        return None
+    holds = condition.holds
+    expected = 0
+    discovered = 0
+    for target, status in statuses.items():
+        reported = {m for m, _t in status.ps}
+        for monitor in statuses:
+            if monitor == target:
+                continue
+            if not (monitor in victims or target in victims):
+                continue
+            if holds(monitor, target):
+                expected += 1
+                if monitor in reported:
+                    discovered += 1
+    if expected == 0:
+        return None
+    return discovered / expected
+
+
+def summarize_statuses(
+    config: LiveConfig,
+    statuses: Mapping[NodeId, StatusReply],
+    *,
+    join_times: Mapping[NodeId, float],
+    life_seconds: Callable[[NodeId], float],
+    memory_series: Mapping[NodeId, List[float]],
+    n_longterm: int,
+    final_alive: int,
+) -> SimulationSummary:
+    """Fold scraped node states into the standard summary shape.
+
+    Nodes absent from *join_times* are skipped: they answered a probe but
+    were not deployed by this harness (an operator hand-ran them), so
+    there is no spawn/uptime bookkeeping to rate their counters with.
+    """
+    monitor_delays: Dict[int, List[float]] = {}
+    undiscovered = 0
+    comp_rates: List[float] = []
+    memory: List[float] = []
+    bandwidth: List[float] = []
+    useless: List[float] = []
+    datagrams = 0
+    for node in sorted(statuses):
+        status = statuses[node]
+        if node not in join_times:
+            continue
+        join_time = join_times[node]
+        delays = sorted(max(0.0, t - join_time) for _m, t in status.ps)
+        if not delays:
+            undiscovered += 1
+        for rank, delay in enumerate(delays, start=1):
+            monitor_delays.setdefault(rank, []).append(delay)
+        life_s = max(life_seconds(node), 1e-9)
+        comp_rates.append(status.computations / life_s)
+        series = memory_series.get(node, [])
+        memory.append(
+            stats.mean(series) if series else float(status.memory_entries)
+        )
+        bandwidth.append(status.bytes_sent / life_s)
+        useless.append(status.useless_pings / (life_s / 60.0))
+        datagrams += status.datagrams_received
+    return SimulationSummary(
+        model="LIVE",
+        n=config.nodes,
+        seed=config.seed,
+        label=config.label,
+        params={
+            "duration": config.duration,
+            "warmup": 0.0,
+            "control_fraction": 1.0,
+            "churn_per_hour": config.churn_per_hour,
+            "birth_death_per_day": config.birth_death_per_day,
+            "overreport_fraction": 0.0,
+            "sample_interval": config.sample_interval,
+        },
+        avmon={
+            "n_expected": float(config.nodes),
+            "k": float(config.resolved_k()),
+            "cvs": float(config.resolved_cvs()),
+            "protocol_period": config.protocol_period,
+            "monitoring_period": config.monitoring_period,
+            "expected_memory_entries": (
+                config.resolved_cvs() + 2.0 * config.resolved_k()
+            ),
+            "enable_forgetful": config.enable_forgetful,
+            "enable_pr2": config.enable_pr2,
+        },
+        monitor_delays=monitor_delays,
+        control_count=len(memory),
+        undiscovered_count=undiscovered,
+        computation_rates_control=comp_rates,
+        computation_rates_all=list(comp_rates),
+        memory_control=memory,
+        memory_all=list(memory),
+        bandwidth=bandwidth,
+        useless_pings=useless,
+        n_longterm=n_longterm,
+        final_alive=final_alive,
+        events_processed=datagrams,
+        window_seconds=config.duration,
+    )
+
+
 @dataclass
 class LiveReport:
     """Everything one live run measured, plus the persisted summary."""
@@ -299,6 +562,57 @@ class LiveReport:
         }
 
 
+def build_live_report(
+    config: LiveConfig,
+    condition: ConsistencyCondition,
+    statuses: Mapping[NodeId, StatusReply],
+    *,
+    crash_victims: Sequence[NodeId],
+    final_alive: int,
+    elapsed: float,
+    join_times: Mapping[NodeId, float],
+    life_seconds: Callable[[NodeId], float],
+    memory_series: Mapping[NodeId, List[float]],
+    n_longterm: int,
+) -> LiveReport:
+    """Audit + summarise one overlay run (any fabric) into a report."""
+    discovered, expected, violations = pair_coverage(condition, statuses)
+    if expected:
+        ratio = discovered / expected
+    elif len(statuses) >= 2:
+        # A real scraped population that genuinely has no expected
+        # pairs (tiny N/K can hash that way): vacuously complete.
+        ratio = 1.0
+    else:
+        # Nothing (or one node) answered the final scrape: report zero,
+        # not a vacuous 100% — the --expect-discovery gate exists to
+        # catch exactly this kind of dead overlay.
+        ratio = 0.0
+    summary = summarize_statuses(
+        config,
+        statuses,
+        join_times=join_times,
+        life_seconds=life_seconds,
+        memory_series=memory_series,
+        n_longterm=n_longterm,
+        final_alive=final_alive,
+    )
+    return LiveReport(
+        config=config,
+        summary=summary,
+        discovery_ratio=ratio,
+        discovered_pairs=discovered,
+        expected_pairs=expected,
+        violations=violations,
+        crashes=len(crash_victims),
+        crash_victims=tuple(crash_victims),
+        victim_recovery=victim_recovery_ratio(condition, statuses, crash_victims),
+        final_alive=final_alive,
+        elapsed=elapsed,
+        statuses=dict(statuses),
+    )
+
+
 class LiveSupervisor:
     """Owns one overlay's lifecycle; also the live ``ChurnDriver``."""
 
@@ -325,8 +639,17 @@ class LiveSupervisor:
         self._own_state_dir = False
         self._scraper: Optional[UdpTransport] = None
         self._control: Optional[UdpTransport] = None
-        self._probe_seq = 0
-        self._probe_waiters: Dict[Tuple[NodeId, int], asyncio.Future] = {}
+        self._prober = StatusProber()
+        plan = config.resolved_fault_plan()
+        #: JSON fault plan every (re)spawned node boots with; "" = perfect.
+        self._fault_json = "" if plan.is_null() else plan.to_json()
+        #: True once an operator replaced the plan at runtime (enables the
+        #: per-scrape re-broadcast that converges nodes that missed it).
+        self._fault_pushed = False
+        #: Last known address of every node ever registered: a plan that
+        #: severs node->introducer traffic empties the directory, and the
+        #: heal must still reach those nodes.
+        self._known_addresses: Dict[NodeId, Address] = {}
         self._crash_victims: List[NodeId] = []
         self._memory_series: Dict[NodeId, List[float]] = {}
         self._last_statuses: Dict[NodeId, StatusReply] = {}
@@ -355,7 +678,7 @@ class LiveSupervisor:
                     f"cannot use state dir {self._state_dir}: {error}"
                 ) from error
             self._scraper = await UdpTransport.create(
-                self._on_scrape_reply, host=config.host, port=0
+                self._prober.on_reply, host=config.host, port=0
             )
             if config.control_port >= 0:
                 try:
@@ -447,6 +770,7 @@ class LiveSupervisor:
                 pass
             if time.monotonic() >= next_sample:
                 next_sample = time.monotonic() + self.config.sample_interval
+                self._rebroadcast_fault_plan()
                 statuses = await self.scrape(
                     timeout=max(0.5, self.config.ping_timeout * 4)
                 )
@@ -495,6 +819,7 @@ class LiveSupervisor:
             introducer_addr,
             epoch=self.introducer.epoch,
             state_file=str(self._state_dir / f"node-{node}.json"),
+            fault=self._fault_json,
         )
         handle = _NodeHandle(node=node, spec=spec)
         self._handles[node] = handle
@@ -503,6 +828,9 @@ class LiveSupervisor:
         return node
 
     def _start_process(self, handle: _NodeHandle) -> None:
+        # A respawn boots with the *current* fault plan: `avmon live chaos
+        # --loss` may have replaced the one this spec was created with.
+        handle.spec.fault = self._fault_json
         src_root = pathlib.Path(__file__).resolve().parents[2]
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
@@ -605,6 +933,8 @@ class LiveSupervisor:
             return
         self._stop_process(handle, sig=signal.SIGKILL)
         handle.dead = True
+        # Death is permanent: stop re-broadcasting fault plans at it.
+        self._known_addresses.pop(node, None)
         # Death is final: the paper grants persistent storage to rejoining
         # nodes only, so a dead node's store goes with it.
         try:
@@ -655,38 +985,99 @@ class LiveSupervisor:
     # Scraping
     # ------------------------------------------------------------------
 
-    def _on_scrape_reply(self, message, addr: Address) -> None:
-        if not isinstance(message, StatusReply):
-            return
-        waiter = self._probe_waiters.pop((message.node, message.probe), None)
-        if waiter is not None and not waiter.done():
-            waiter.set_result(message)
+    async def scrape(
+        self, timeout: float = 1.0, *, attempts: int = 3
+    ) -> Dict[NodeId, StatusReply]:
+        """One status sweep of every currently-registered node.
 
-    async def scrape(self, timeout: float = 1.0) -> Dict[NodeId, StatusReply]:
-        """One status probe of every currently-registered node."""
-        entries = self.introducer.alive_entries()
-        if not entries:
-            return {}
-        self._probe_seq += 1
-        probe = self._probe_seq
-        loop = asyncio.get_running_loop()
-        waiters = {}
-        for node, host, port in entries:
-            future = loop.create_future()
-            self._probe_waiters[(node, probe)] = future
-            waiters[node] = future
-            self._scraper.send_to((host, port), StatusRequest(probe=probe))
-        done, _pending = await asyncio.wait(
-            waiters.values(), timeout=timeout
+        Delegates to :class:`StatusProber`: concurrent per-node retry
+        schedules, so one partitioned or dead node never stalls the other
+        nodes' results and a lost probe datagram is retried rather than
+        blanking the sample.
+        """
+        return await self._prober.probe(
+            self._scraper,
+            self.introducer.alive_entries(),
+            timeout=timeout,
+            attempts=attempts,
         )
-        statuses: Dict[NodeId, StatusReply] = {}
-        for node, future in waiters.items():
-            if future.done():
-                statuses[node] = future.result()
-            else:
-                future.cancel()
-                self._probe_waiters.pop((node, probe), None)
-        return statuses
+
+    # ------------------------------------------------------------------
+    # Runtime fault injection
+    # ------------------------------------------------------------------
+
+    def push_fault_plan(self, plan_json: str, *, merge: bool = False) -> int:
+        """Replace (or update) the overlay-wide fault plan.
+
+        Broadcasts a :class:`FaultUpdate` to every known node and
+        remembers the plan so respawned processes boot with it.  With
+        *merge*, *plan_json* is a sparse dict of plan fields laid over
+        the current plan — pushing a partition onto a ``--fault WAN``
+        overlay keeps the WAN loss/latency.  A malformed plan is
+        rejected (returns -1) without touching state; returns the number
+        of nodes the update was sent to.
+        """
+        try:
+            if merge:
+                base = (
+                    FaultPlan.from_json(self._fault_json).to_dict()
+                    if self._fault_json
+                    else FaultPlan().to_dict()
+                )
+                overrides = json.loads(plan_json) if plan_json else {}
+                if not isinstance(overrides, dict):
+                    return -1
+                base.update(overrides)
+                plan = FaultPlan.from_dict(base)
+                # Collapse to "" only for a fully-default plan: is_null()
+                # ignores the seed (deliberately, for cache-key
+                # compatibility), but a pushed --fault-seed must survive
+                # here or later merges would re-base from seed 0.
+                plan_json = "" if plan == FaultPlan() else plan.to_json()
+            elif plan_json:
+                FaultPlan.from_json(plan_json)
+        except (ValueError, TypeError):
+            return -1
+        self._fault_json = plan_json
+        self._fault_pushed = True
+        return self._broadcast_fault_plan()
+
+    def _fault_targets(self) -> Dict[NodeId, Address]:
+        """Every node a plan push should reach.
+
+        The live directory, topped up with the last known address of
+        every node that ever registered: a plan that severs
+        node->introducer traffic (loss 1.0, an introducer partition)
+        empties ``alive_entries()`` within one TTL, and the subsequent
+        *heal* must still reach those nodes or the overlay stays faulted
+        forever.  Permanently-dead nodes are dropped (``request_death``
+        prunes them; re-registrations refresh stale ports), so the map is
+        bounded by the overlay's living membership.
+        """
+        for node, host, port in self.introducer.alive_entries():
+            self._known_addresses[node] = (host, port)
+        return dict(self._known_addresses)
+
+    def _broadcast_fault_plan(self) -> int:
+        update = FaultUpdate(plan=self._fault_json)
+        targets = self._fault_targets()
+        for address in targets.values():
+            self._scraper.send_to(address, update)
+        return len(targets)
+
+    def _rebroadcast_fault_plan(self) -> None:
+        """Re-send the current plan ahead of each scrape sample.
+
+        A push is one unacked datagram per node, and under the very loss
+        regimes plans configure, a node can miss it (or drop off the
+        directory past the TTL and re-register later with the stale
+        plan).  Nodes treat a repeat of their current plan as a no-op, so
+        this periodic re-send converges stragglers without resetting
+        anyone's decision streams.
+        """
+        if not self._fault_pushed:
+            return  # boot-time plans travel in the spec; nothing changed
+        self._broadcast_fault_plan()
 
     # ------------------------------------------------------------------
     # Operator control plane (avmon live status/chaos/down)
@@ -698,7 +1089,9 @@ class LiveSupervisor:
 
     def _on_control(self, message, addr: Address) -> None:
         if isinstance(message, OverlayStatusRequest):
-            discovered, expected, _ = self._pair_coverage(self._last_statuses)
+            discovered, expected, _ = pair_coverage(
+                self.condition, self._last_statuses
+            )
             self._control.send_to(
                 addr,
                 OverlayStatusReply(
@@ -723,6 +1116,13 @@ class LiveSupervisor:
                     break
                 victims.append(victim)
             self._control.send_to(addr, ChaosReply(victims=tuple(victims)))
+        elif isinstance(message, FaultRequest):
+            applied = self.push_fault_plan(
+                message.plan, merge=message.merge
+            )
+            self._control.send_to(
+                addr, FaultReply(probe=message.probe, applied=applied)
+            )
         elif isinstance(message, DownRequest):
             self._control.send_to(addr, DownAck(probe=message.probe))
             self._stop_early.set()
@@ -731,173 +1131,26 @@ class LiveSupervisor:
     # Reporting
     # ------------------------------------------------------------------
 
-    def _pair_coverage(
-        self, statuses: Dict[NodeId, StatusReply]
-    ) -> Tuple[int, int, int]:
-        """(discovered, expected, violations) over the scraped population.
-
-        Expected: every ordered pair ``(monitor, target)`` of *scraped*
-        nodes satisfying the consistency condition.  Discovered: the pair's
-        target reports the monitor in its PS.  Violations: reported PS/TS
-        entries that fail the condition — the scheme's verifiability means
-        any party can run this audit.
-        """
-        population = sorted(statuses)
-        expected = 0
-        discovered = 0
-        violations = 0
-        holds = self.condition.holds
-        for target in population:
-            reported = {m for m, _t in statuses[target].ps}
-            for monitor in population:
-                if monitor == target:
-                    continue
-                if holds(monitor, target):
-                    expected += 1
-                    if monitor in reported:
-                        discovered += 1
-            violations += sum(1 for m in reported if not holds(m, target))
-            violations += sum(
-                1 for t in statuses[target].ts if not holds(target, t)
-            )
-        return discovered, expected, violations
-
-    def _victim_recovery(
-        self, statuses: Dict[NodeId, StatusReply]
-    ) -> Optional[float]:
-        """Coverage of pairs involving crash victims, post-recovery."""
-        victims = set(self._crash_victims)
-        if not victims:
-            return None
-        holds = self.condition.holds
-        expected = 0
-        discovered = 0
-        for target, status in statuses.items():
-            reported = {m for m, _t in status.ps}
-            for monitor in statuses:
-                if monitor == target:
-                    continue
-                if not (monitor in victims or target in victims):
-                    continue
-                if holds(monitor, target):
-                    expected += 1
-                    if monitor in reported:
-                        discovered += 1
-        if expected == 0:
-            return None
-        return discovered / expected
-
     def _build_report(
         self,
         statuses: Dict[NodeId, StatusReply],
         final_alive: int,
         elapsed: float,
     ) -> LiveReport:
-        config = self.config
-        discovered, expected, violations = self._pair_coverage(statuses)
-        if expected:
-            ratio = discovered / expected
-        elif len(statuses) >= 2:
-            # A real scraped population that genuinely has no expected
-            # pairs (tiny N/K can hash that way): vacuously complete.
-            ratio = 1.0
-        else:
-            # Nothing (or one node) answered the final scrape: report zero,
-            # not a vacuous 100% — the --expect-discovery gate exists to
-            # catch exactly this kind of dead overlay.
-            ratio = 0.0
-        summary = self._summarize(statuses, final_alive)
-        return LiveReport(
-            config=config,
-            summary=summary,
-            discovery_ratio=ratio,
-            discovered_pairs=discovered,
-            expected_pairs=expected,
-            violations=violations,
-            crashes=len(self._crash_victims),
-            crash_victims=tuple(self._crash_victims),
-            victim_recovery=self._victim_recovery(statuses),
+        return build_live_report(
+            self.config,
+            self.condition,
+            statuses,
+            crash_victims=self._crash_victims,
             final_alive=final_alive,
             elapsed=elapsed,
-            statuses=dict(statuses),
-        )
-
-    def _summarize(
-        self, statuses: Dict[NodeId, StatusReply], final_alive: int
-    ) -> SimulationSummary:
-        """Fold scraped node states into the standard summary shape."""
-        config = self.config
-        monitor_delays: Dict[int, List[float]] = {}
-        undiscovered = 0
-        comp_rates: List[float] = []
-        memory: List[float] = []
-        bandwidth: List[float] = []
-        useless: List[float] = []
-        datagrams = 0
-        for node in sorted(statuses):
-            status = statuses[node]
-            handle = self._handles.get(node)
-            if handle is None:
-                # Not ours: an operator hand-ran a node against this
-                # overlay's introducer.  It counts for pair coverage, but
-                # we have no spawn/uptime bookkeeping to rate its counters.
-                continue
-            join_time = handle.first_spawn
-            delays = sorted(
-                max(0.0, t - join_time) for _m, t in status.ps
-            )
-            if not delays:
-                undiscovered += 1
-            for rank, delay in enumerate(delays, start=1):
-                monitor_delays.setdefault(rank, []).append(delay)
-            life_s = max(self.life_seconds(node), 1e-9)
-            comp_rates.append(status.computations / life_s)
-            series = self._memory_series.get(node, [])
-            memory.append(
-                stats.mean(series) if series else float(status.memory_entries)
-            )
-            bandwidth.append(status.bytes_sent / life_s)
-            useless.append(status.useless_pings / (life_s / 60.0))
-            datagrams += status.datagrams_received
-        return SimulationSummary(
-            model="LIVE",
-            n=config.nodes,
-            seed=config.seed,
-            label=config.label,
-            params={
-                "duration": config.duration,
-                "warmup": 0.0,
-                "control_fraction": 1.0,
-                "churn_per_hour": config.churn_per_hour,
-                "birth_death_per_day": config.birth_death_per_day,
-                "overreport_fraction": 0.0,
-                "sample_interval": config.sample_interval,
+            join_times={
+                node: handle.first_spawn
+                for node, handle in self._handles.items()
             },
-            avmon={
-                "n_expected": float(config.nodes),
-                "k": float(config.resolved_k()),
-                "cvs": float(config.resolved_cvs()),
-                "protocol_period": config.protocol_period,
-                "monitoring_period": config.monitoring_period,
-                "expected_memory_entries": (
-                    config.resolved_cvs() + 2.0 * config.resolved_k()
-                ),
-                "enable_forgetful": config.enable_forgetful,
-                "enable_pr2": config.enable_pr2,
-            },
-            monitor_delays=monitor_delays,
-            control_count=len(memory),
-            undiscovered_count=undiscovered,
-            computation_rates_control=comp_rates,
-            computation_rates_all=list(comp_rates),
-            memory_control=memory,
-            memory_all=list(memory),
-            bandwidth=bandwidth,
-            useless_pings=useless,
+            life_seconds=self.life_seconds,
+            memory_series=self._memory_series,
             n_longterm=self._next_id,
-            final_alive=final_alive,
-            events_processed=datagrams,
-            window_seconds=config.duration,
         )
 
 

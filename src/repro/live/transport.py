@@ -8,6 +8,14 @@ surface, so nothing a peer can put on the wire may crash the process.
 Handler exceptions are likewise contained and counted: a bug triggered by
 one datagram must not take the node down with it.
 
+The receive path lives in :class:`DatagramEndpoint`, which the in-process
+:class:`~repro.live.memory_transport.MemoryTransport` shares — one codec,
+one tolerance policy, two fabrics.  The send path optionally routes
+through a :class:`~repro.live.faults.FaultInjector` (see
+:meth:`DatagramEndpoint.configure_faults`): dropped datagrams still count
+as sent (the node transmitted; the network lost them) plus a
+``fault_dropped`` tally, delayed copies go out via ``loop.call_later``.
+
 :class:`PeerTable` is the id -> UDP address map a node routes by.  It is
 fed from two directions: introducer directory refreshes (authoritative)
 and passive learning from incoming datagrams (a peer that can reach us is
@@ -24,8 +32,15 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..core.hashing import NodeId
 from .codec import CodecError, decode, encode
+from .faults import FaultInjector, FaultPlan, Label
 
-__all__ = ["Address", "WireStats", "PeerTable", "UdpTransport"]
+__all__ = [
+    "Address",
+    "WireStats",
+    "PeerTable",
+    "DatagramEndpoint",
+    "UdpTransport",
+]
 
 #: A UDP endpoint address.
 Address = Tuple[str, int]
@@ -44,6 +59,8 @@ class WireStats:
     malformed: int = 0
     handler_errors: int = 0
     unroutable: int = 0
+    #: Datagrams the configured fault injector decided to lose.
+    fault_dropped: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -54,17 +71,28 @@ class PeerTable:
     """Mutable id -> address map with alive-set bookkeeping."""
 
     _addresses: Dict[NodeId, Address] = field(default_factory=dict)
+    _by_address: Dict[Address, NodeId] = field(default_factory=dict)
     _alive: set = field(default_factory=set)
 
     def learn(self, node: NodeId, address: Address) -> None:
+        previous = self._addresses.get(node)
+        if previous is not None and previous != address:
+            self._by_address.pop(previous, None)
         self._addresses[node] = address
+        self._by_address[address] = node
 
     def forget(self, node: NodeId) -> None:
-        self._addresses.pop(node, None)
+        address = self._addresses.pop(node, None)
+        if address is not None and self._by_address.get(address) == node:
+            self._by_address.pop(address, None)
         self._alive.discard(node)
 
     def address_of(self, node: NodeId) -> Optional[Address]:
         return self._addresses.get(node)
+
+    def id_at(self, address: Address) -> Optional[NodeId]:
+        """Reverse lookup: the node known to live at *address* (or None)."""
+        return self._by_address.get(address)
 
     def set_alive(self, nodes) -> None:
         """Replace the alive set (one directory refresh)."""
@@ -83,6 +111,94 @@ class PeerTable:
         return node in self._addresses
 
 
+class DatagramEndpoint:
+    """Codec-speaking endpoint: shared receive path + fault-injection hooks.
+
+    Subclasses implement the actual fabric (:class:`UdpTransport` over a
+    socket, :class:`~repro.live.memory_transport.MemoryTransport` over an
+    in-process hub) and call :meth:`_on_datagram` for every arriving
+    payload.
+    """
+
+    def __init__(self, handler: Callable[[Any, Address], None]) -> None:
+        self._handler = handler
+        self.stats = WireStats()
+        self._closed = False
+        #: Send-side fault injection; None means a perfect network.
+        self.fault: Optional[FaultInjector] = None
+        self._fault_label: Optional[Label] = None
+        self._fault_resolve: Optional[Callable[[Address], Optional[Label]]] = None
+        self._fault_clock: Optional[Callable[[], float]] = None
+
+    # -- fault injection ---------------------------------------------------
+
+    def configure_faults(
+        self,
+        fault: Optional[FaultInjector],
+        *,
+        label: Optional[Label] = None,
+        resolve: Optional[Callable[[Address], Optional[Label]]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Attach (or detach, with ``None``) a send-side fault injector.
+
+        *label* identifies this endpoint in link rules and partition
+        groups; *resolve* maps a destination address to its label (an
+        unresolvable address matches only the plan's global parameters);
+        *clock* supplies "now" for timed partitions (defaults to the
+        running loop's clock).
+        """
+        self.fault = fault
+        self._fault_label = label
+        self._fault_resolve = resolve
+        self._fault_clock = clock
+
+    def set_fault_plan(self, plan: FaultPlan) -> None:
+        """Swap the active plan (creating an injector if none is attached)."""
+        if self.fault is None:
+            self.fault = FaultInjector(plan)
+        else:
+            self.fault.set_plan(plan)
+
+    def _fault_now(self) -> float:
+        if self._fault_clock is not None:
+            return self._fault_clock()
+        try:
+            return asyncio.get_running_loop().time()
+        except RuntimeError:
+            return 0.0
+
+    def _plan_deliveries(self, address: Address) -> Tuple[float, ...]:
+        """The fault injector's verdict for one outgoing datagram."""
+        if self.fault is None:
+            return (0.0,)
+        destination = (
+            self._fault_resolve(address)
+            if self._fault_resolve is not None
+            else None
+        )
+        return self.fault.plan_delivery(
+            self._fault_label, destination, self._fault_now()
+        )
+
+    # -- receive path ------------------------------------------------------
+
+    def _on_datagram(self, data: bytes, addr: Address) -> None:
+        self.stats.datagrams_received += 1
+        self.stats.bytes_received += len(data)
+        try:
+            message = decode(data)
+        except CodecError as error:
+            self.stats.malformed += 1
+            logger.debug("dropped malformed datagram from %s: %s", addr, error)
+            return
+        try:
+            self._handler(message, addr)
+        except Exception:  # noqa: BLE001 — one bad datagram must not kill us
+            self.stats.handler_errors += 1
+            logger.exception("handler failed for %s from %s", type(message).__name__, addr)
+
+
 class _Protocol(asyncio.DatagramProtocol):
     """Glue between the asyncio datagram API and :class:`UdpTransport`."""
 
@@ -97,7 +213,7 @@ class _Protocol(asyncio.DatagramProtocol):
         logger.debug("transport error: %s", exc)
 
 
-class UdpTransport:
+class UdpTransport(DatagramEndpoint):
     """One bound UDP socket sending and receiving codec messages.
 
     Build with :meth:`create`; the *handler* receives
@@ -109,10 +225,9 @@ class UdpTransport:
         transport: asyncio.DatagramTransport,
         handler: Callable[[Any, Address], None],
     ) -> None:
+        super().__init__(handler)
         self._transport = transport
-        self._handler = handler
-        self.stats = WireStats()
-        self._closed = False
+        self._loop = asyncio.get_running_loop()
 
     @classmethod
     async def create(
@@ -139,36 +254,36 @@ class UdpTransport:
         return (host, port)
 
     def send_to(self, address: Address, message: Any) -> int:
-        """Encode and transmit one message; returns the payload size."""
+        """Encode and transmit one message; returns the payload size.
+
+        With a fault injector attached the datagram may be lost (counted
+        in ``stats.fault_dropped``), delayed or duplicated — but it always
+        counts as sent: loss happens *after* the node paid to transmit.
+        """
         if self._closed:
             return 0
         data = encode(message)
-        self._transport.sendto(data, address)
         self.stats.datagrams_sent += 1
         self.stats.bytes_sent += len(data)
+        deliveries = self._plan_deliveries(address)
+        if not deliveries:
+            self.stats.fault_dropped += 1
+            return len(data)
+        for delay in deliveries:
+            if delay <= 0.0:
+                self._transport.sendto(data, address)
+            else:
+                self._loop.call_later(delay, self._sendto_later, data, address)
         return len(data)
+
+    def _sendto_later(self, data: bytes, address: Address) -> None:
+        if not self._closed:
+            self._transport.sendto(data, address)
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
             self._transport.close()
-
-    # -- receive path ------------------------------------------------------
-
-    def _on_datagram(self, data: bytes, addr: Address) -> None:
-        self.stats.datagrams_received += 1
-        self.stats.bytes_received += len(data)
-        try:
-            message = decode(data)
-        except CodecError as error:
-            self.stats.malformed += 1
-            logger.debug("dropped malformed datagram from %s: %s", addr, error)
-            return
-        try:
-            self._handler(message, addr)
-        except Exception:  # noqa: BLE001 — one bad datagram must not kill us
-            self.stats.handler_errors += 1
-            logger.exception("handler failed for %s from %s", type(message).__name__, addr)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else f"bound={self.local_address}"

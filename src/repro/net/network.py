@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.hashing import NodeId
 from ..core.messages import Message
+from ..live.faults import FaultInjector
 from ..sim.engine import Simulator
 from ..sim.process import PeriodicProcess
 from .accounting import BandwidthAccountant
@@ -30,7 +31,14 @@ __all__ = ["Network", "SimHost"]
 
 
 class Network:
-    """Latency-delayed, aliveness-gated message fabric with accounting."""
+    """Latency-delayed, aliveness-gated message fabric with accounting.
+
+    With a :class:`~repro.live.faults.FaultInjector` attached, every
+    message additionally runs through the same loss/duplication/delay/
+    partition decisions the live transports make — the sim half of the
+    sim-vs-live fault conformance matrix.  Without one, behaviour (and the
+    RNG stream, hence every cache key's payload) is exactly as before.
+    """
 
     def __init__(
         self,
@@ -38,17 +46,21 @@ class Network:
         latency: Optional[LatencyModel] = None,
         rng: Optional[random.Random] = None,
         entry_bytes: int = 8,
+        fault: Optional[FaultInjector] = None,
     ) -> None:
         self.sim = sim
         self.latency = latency if latency is not None else UniformLatency()
         self.rng = rng if rng is not None else random.Random(0)
         self.entry_bytes = entry_bytes
+        self.fault = fault
         self.accountant = BandwidthAccountant()
         self._hosts: Dict[NodeId, "SimHost"] = {}
         self._alive_list: List[NodeId] = []
         self._alive_pos: Dict[NodeId, int] = {}
         #: Messages whose destination was down at delivery time.
         self.dropped_messages = 0
+        #: Messages the fault injector decided to lose.
+        self.fault_dropped = 0
         #: Total messages handed to the network.
         self.sent_messages = 0
 
@@ -108,11 +120,25 @@ class Network:
     # -- transport ----------------------------------------------------------
 
     def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
-        """Charge *src* for the bytes and deliver to *dst* after a delay."""
+        """Charge *src* for the bytes and deliver to *dst* after a delay.
+
+        Bytes are charged before fault injection: loss happens in the
+        network, after the sender paid to transmit.
+        """
         self.sent_messages += 1
         self.accountant.charge(src, message.size_bytes(self.entry_bytes))
         delay = self.latency.sample(self.rng)
-        self.sim.schedule(delay, lambda: self._deliver(dst, message))
+        if self.fault is None:
+            self.sim.schedule(delay, lambda: self._deliver(dst, message))
+            return
+        deliveries = self.fault.plan_delivery(src, dst, self.sim.now)
+        if not deliveries:
+            self.fault_dropped += 1
+            return
+        for extra in deliveries:
+            self.sim.schedule(
+                delay + extra, lambda: self._deliver(dst, message)
+            )
 
     def _deliver(self, dst: NodeId, message: Message) -> None:
         host = self._hosts.get(dst)

@@ -1,9 +1,10 @@
 """Pluggable component registry: named factories for every swappable part.
 
 The simulator is assembled from interchangeable components — churn models,
-latency models, trace generators, baseline overlays, experiments.  Each kind
-is a namespace of named factories; registration happens at import time via
-the :func:`register` decorator::
+latency models, trace generators, baseline overlays, experiments, and
+network fault plans (kind ``fault``, see :mod:`repro.live.faults`).  Each
+kind is a namespace of named factories; registration happens at import time
+via the :func:`register` decorator::
 
     from repro.registry import register
 

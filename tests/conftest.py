@@ -16,6 +16,14 @@ settings.register_profile(
 settings.load_profile("default")
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "udp: opens real UDP sockets (deselected in the socket-free "
+        "in-memory CI job with -m 'not udp')",
+    )
+
+
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(12345)

@@ -198,3 +198,81 @@ def test_all_protocol_messages_registered():
     registered = set(codec.wire_types())
     for cls in ALL_TYPES:
         assert cls in registered
+
+
+# -- damaged real datagrams (ISSUE satellite) --------------------------------
+#
+# The fault layer injects loss, duplication and delay deliberately, but a
+# real network also *damages* payloads.  Whatever arrives — a truncated
+# prefix, two datagrams concatenated by a buggy relay, a bit flip — must
+# come out of decode() as either a well-formed message or a CodecError
+# (i.e. a counted drop at the transport), never any other exception.
+
+
+@given(any_message, st.data())
+def test_truncated_datagrams_are_codec_errors(message, data):
+    payload = codec.encode(message)
+    cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+    # Every strict prefix is unbalanced JSON: always a clean rejection.
+    with pytest.raises(codec.CodecError):
+        codec.decode(payload[:cut])
+
+
+@given(any_message)
+def test_duplicated_payload_in_one_datagram_is_a_codec_error(message):
+    payload = codec.encode(message)
+    # Two messages fused into one datagram (relay bug, buffer reuse): the
+    # concatenation is not valid JSON and must be a counted drop.
+    with pytest.raises(codec.CodecError):
+        codec.decode(payload + payload)
+    # A *re-delivered* identical datagram, by contrast, simply decodes
+    # again — duplication is the fault injector's job to produce and the
+    # protocol's job to tolerate.
+    assert codec.decode(payload) == codec.decode(payload)
+
+
+@given(any_message, st.data())
+def test_bit_flipped_datagrams_never_raise_anything_else(message, data):
+    payload = bytearray(codec.encode(message))
+    index = data.draw(
+        st.integers(min_value=0, max_value=len(payload) - 1), label="byte"
+    )
+    bit = data.draw(st.integers(min_value=0, max_value=7), label="bit")
+    payload[index] ^= 1 << bit
+    try:
+        decoded = codec.decode(bytes(payload))
+    except codec.CodecError:
+        return  # counted drop: the common case
+    # A flip inside a value (e.g. one digit of an int) can still be a
+    # well-formed payload; that must decode to a registered message, not
+    # anything half-built.
+    assert type(decoded) in codec.wire_types()
+
+
+@given(any_message, st.data())
+def test_damaged_datagrams_are_counted_drops_at_the_transport(message, data):
+    """End to end: damage through DatagramEndpoint is malformed += 1."""
+    from repro.live.transport import DatagramEndpoint
+
+    payload = bytearray(codec.encode(message))
+    mode = data.draw(st.sampled_from(["truncate", "duplicate", "bitflip"]))
+    if mode == "truncate":
+        cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        damaged = bytes(payload[:cut])
+    elif mode == "duplicate":
+        damaged = bytes(payload) * 2
+    else:
+        index = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        payload[index] ^= 1 << data.draw(st.integers(min_value=0, max_value=7))
+        damaged = bytes(payload)
+    received = []
+    endpoint = DatagramEndpoint(lambda m, addr: received.append(m))
+    endpoint._on_datagram(damaged, ("127.0.0.1", 1))
+    assert endpoint.stats.datagrams_received == 1
+    assert endpoint.stats.handler_errors == 0
+    if endpoint.stats.malformed:
+        assert received == []  # dropped, silently and exactly once
+    else:
+        # Damage that still parses must have delivered a real message.
+        assert len(received) == 1
+        assert type(received[0]) in codec.wire_types()
