@@ -23,9 +23,14 @@ def test_hash_pair_splitmix(benchmark):
     benchmark(lambda: hash_pair(12345, 67890, "splitmix64"))
 
 
-def test_condition_memoised_check(benchmark):
+def test_condition_check_md5(benchmark):
+    # No memo anymore: every check is one integer-domain hash + compare.
     condition = ConsistencyCondition(k=20, n=2000)
-    condition.holds(1, 2)  # warm the memo
+    benchmark(lambda: condition.holds(1, 2))
+
+
+def test_condition_check_splitmix(benchmark):
+    condition = ConsistencyCondition(k=20, n=2000, hash_algorithm="splitmix64")
     benchmark(lambda: condition.holds(1, 2))
 
 
@@ -63,3 +68,39 @@ def test_engine_schedule_run(benchmark):
         sim.run_until(60.0)
 
     benchmark(run_thousand_events)
+
+
+def test_engine_schedule_call_run(benchmark):
+    """Throughput of the no-handle fast path (message-delivery lane)."""
+
+    def noop():
+        return None
+
+    def run_thousand_events():
+        sim = Simulator()
+        for index in range(1000):
+            sim.schedule_call(float(index % 60), noop)
+        sim.run_until(60.0)
+        return sim.processed_events
+
+    assert benchmark(run_thousand_events) == 1000
+
+
+def test_relation_warm_scan_n10000(benchmark):
+    """Materialise TS sets over a 10,000-id universe (chunked scan kernels).
+
+    This is the scale regime the integer-domain rewrite targets: the
+    pre-rewrite per-pair memo needed O(N²) dict entries and could not hold
+    N=10,000 in memory at all.
+    """
+    def setup():
+        condition = ConsistencyCondition(k=13, n=10_000)
+        relation = MonitorRelation(condition)
+        relation.add_nodes(range(10_000))
+        return (relation,), {}
+
+    def scan_twenty_probes(relation):
+        for probe in range(20):
+            relation.targets_of(probe)
+
+    benchmark.pedantic(scan_twenty_probes, setup=setup, rounds=3)

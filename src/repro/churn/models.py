@@ -88,7 +88,7 @@ class SynthModel(ChurnModel):
             previous.cancel()
         delay = self.rng.expovariate(1.0 / self.mean_session)
         self._transitions[node] = self.driver.sim.schedule(
-            delay, lambda: self._fire(node, action)
+            delay, self._fire, node, action
         )
 
     def _fire(self, node: NodeId, action) -> None:
@@ -135,11 +135,11 @@ class SynthBdModel(SynthModel):
 
     def _schedule_birth(self) -> None:
         delay = self.rng.expovariate(self.event_rate)
-        self.driver.sim.schedule(delay, self._birth)
+        self.driver.sim.schedule_call(delay, self._birth)
 
     def _schedule_death(self) -> None:
         delay = self.rng.expovariate(self.event_rate)
-        self.driver.sim.schedule(delay, self._death)
+        self.driver.sim.schedule_call(delay, self._death)
 
     def _birth(self) -> None:
         self.driver.request_birth()

@@ -62,14 +62,12 @@ class TraceReplayModel(ChurnModel):
                     time = self.rng.uniform(
                         0.0, min(self.bootstrap_window, session_end / 2.0)
                     )
-                self.driver.sim.schedule_at(
-                    time, lambda n=event.node_id: self._join(n)
-                )
+                self.driver.sim.schedule_call_at(time, self._join, event.node_id)
             elif event.time < self.trace.duration:
                 # A session clamped at the trace's end means "still up when
                 # the measurement stopped", not a departure.
-                self.driver.sim.schedule_at(
-                    event.time, lambda n=event.node_id: self._leave(n)
+                self.driver.sim.schedule_call_at(
+                    event.time, self._leave, event.node_id
                 )
 
     def _join(self, trace_node: int) -> None:

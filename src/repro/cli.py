@@ -143,6 +143,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_dir_argument(sweep_parser)
 
+    bench_parser = commands.add_parser(
+        "bench",
+        help="measure hot paths and the serial sweep; append the results "
+        "to the BENCH_micro.json / BENCH_sweep.json trajectory files",
+    )
+    bench_parser.add_argument(
+        "which",
+        nargs="?",
+        choices=("micro", "sweep", "all"),
+        default="all",
+        help="which bench suite to run (default: all)",
+    )
+    bench_parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="bench",
+        help="bench sizing (default: bench; use test for a CI smoke)",
+    )
+    bench_parser.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the BENCH_*.json files (default: current dir)",
+    )
+    bench_parser.add_argument(
+        "--label", default="", help="entry label recorded in the trajectory"
+    )
+    bench_parser.add_argument(
+        "--no-scale-out",
+        action="store_true",
+        help="skip the STAT N=10,000 scale-out cell of the sweep bench",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true", help="also print the results as JSON"
+    )
+
     _build_live_parser(commands)
     _build_cache_parser(commands)
     return parser
@@ -722,6 +758,47 @@ def _cmd_live_up(args, out, LiveConfig, run_live) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args, out) -> int:
+    from .experiments.bench import run_bench
+
+    try:
+        results = run_bench(
+            args.which,
+            scale=args.scale,
+            out_dir=args.out_dir,
+            label=args.label,
+            scale_out=False if args.no_scale_out else None,
+            out=sys.stderr,
+        )
+    except OSError as error:
+        print(f"error: cannot write bench output: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True), file=out)
+    else:
+        for suite, payload in results.items():
+            print(f"== {suite} ==", file=out)
+            if suite == "micro":
+                for metric, values in payload.items():
+                    rate = next(
+                        (f"{values[k]:,}/s" for k in ("per_sec", "events_per_sec",
+                                                      "pairs_per_sec", "messages_per_sec")
+                         if k in values),
+                        "",
+                    )
+                    print(f"{metric:<32} {values['wall_s']:>9.4f}s  {rate}", file=out)
+            else:
+                for cell in payload["cells"]:
+                    print(
+                        f"{cell['label']:<20} {cell['wall_s']:>8.3f}s  "
+                        f"events={cell['events_processed']:,} "
+                        f"hashes={cell['hash_evaluations']:,}",
+                        file=out,
+                    )
+                print(f"total serial wall: {payload['total_wall_s']}s", file=out)
+    return 0
+
+
 def _cmd_cache(args, out) -> int:
     if not args.cache_dir:
         print(
@@ -814,6 +891,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_sweep(args, out)
         if args.command == "live":
             return _cmd_live(args, out)
+        if args.command == "bench":
+            return _cmd_bench(args, out)
         if args.command == "cache":
             return _cmd_cache(args, out)
         return _cmd_run(args, out)

@@ -12,24 +12,34 @@ recompute it), and *random* (``H`` behaves uniformly).
 :class:`ConsistencyCondition` is the object every component shares: protocol
 nodes use it to re-check NOTIFY messages, third parties use it to audit
 reported monitors, and the discovery relation (:mod:`repro.core.relation`)
-builds its indexes on top of it.  Evaluations are memoised — the condition
-for a fixed pair never changes, so caching is sound — and the number of
-distinct hash evaluations is tracked for cost accounting.
+builds its indexes on top of it.
+
+Evaluation is integer-domain: every pair hash derives from a 64-bit integer
+``u`` via ``u / 2**64``, so ``H(u, v) <= K/N`` is decided by comparing the
+raw integer against :attr:`ConsistencyCondition.bound` — the exact integer
+boundary of the float comparison (:func:`repro.core.hashing.
+unit_threshold_bound`) — with no float division on the hot path.  The result
+is bit-for-bit identical to comparing ``hash_pair(u, v) <= threshold``; the
+property suite proves the equivalence exhaustively.
+
+Earlier versions memoised each ordered pair's verdict in a dict.  That memo
+was O(population²) memory — the reason N=10,000 runs died — and a dict probe
+plus tuple allocation costs about as much as recomputing a non-cryptographic
+hash, so evaluations are now always computed.  The number of hash
+evaluations performed is still tracked for cost accounting.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
-from .hashing import NodeId, PairHasher
+from .hashing import NodeId, PairHasher, unit_threshold_bound
 
 __all__ = ["ConsistencyCondition"]
 
 
 class ConsistencyCondition:
-    """Evaluates and memoises ``H(u, v) <= K/N`` for ordered node pairs."""
+    """Evaluates ``H(u, v) <= K/N`` for ordered node pairs."""
 
-    __slots__ = ("k", "n", "threshold", "_hasher", "_cache")
+    __slots__ = ("k", "n", "threshold", "bound", "_hasher")
 
     def __init__(self, k: int, n: int, hash_algorithm: str = "md5") -> None:
         if k <= 0:
@@ -42,8 +52,10 @@ class ConsistencyCondition:
         self.n = n
         #: The probability that an ordered pair is in the monitoring relation.
         self.threshold = k / n
+        #: Largest raw 64-bit hash value satisfying the condition; comparing
+        #: against it is exactly equivalent to the float comparison.
+        self.bound = unit_threshold_bound(self.threshold)
         self._hasher = PairHasher(hash_algorithm)
-        self._cache: Dict[Tuple[NodeId, NodeId], bool] = {}
 
     @property
     def hash_algorithm(self) -> str:
@@ -52,11 +64,11 @@ class ConsistencyCondition:
 
     @property
     def hash_evaluations(self) -> int:
-        """Number of distinct pair hashes actually computed so far."""
+        """Number of pair hashes computed so far (single-pair and scans)."""
         return self._hasher.evaluations
 
     def hash_value(self, monitor: NodeId, target: NodeId) -> float:
-        """Raw ``H(monitor, target)`` value (not memoised)."""
+        """Raw ``H(monitor, target)`` value in ``[0, 1)``."""
         return self._hasher(monitor, target)
 
     def holds(self, monitor: NodeId, target: NodeId) -> bool:
@@ -69,12 +81,22 @@ class ConsistencyCondition:
             # A node never monitors itself; self-reporting is exactly what
             # the scheme is designed to rule out (Section 1, goal 3a).
             return False
-        key = (monitor, target)
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = self._hasher(monitor, target) <= self.threshold
-            self._cache[key] = cached
-        return cached
+        return self._hasher.pair_u64(monitor, target) <= self.bound
+
+    # -- batch evaluation ---------------------------------------------------
+
+    def scan_targets(self, monitor, ids, packed, start, stop, emit) -> None:
+        """Emit every id in ``ids[start:stop]`` that *monitor* would watch.
+
+        Tight-loop equivalent of ``holds(monitor, v)`` over a universe
+        slice; ``packed`` carries the ids' preconverted endpoints (see
+        :meth:`repro.core.hashing.PairHasher.scan_targets`).
+        """
+        self._hasher.scan_targets(monitor, ids, packed, start, stop, self.bound, emit)
+
+    def scan_monitors(self, target, ids, packed, start, stop, emit) -> None:
+        """Emit every id in ``ids[start:stop]`` that would watch *target*."""
+        self._hasher.scan_monitors(target, ids, packed, start, stop, self.bound, emit)
 
     # The two directed views of the same relation, named for readability at
     # call sites that think in terms of pinging sets and target sets.
@@ -101,10 +123,6 @@ class ConsistencyCondition:
     def expected_ps_size(self) -> float:
         """Expected ``|PS(x)|`` over a population of exactly ``N`` nodes."""
         return self.threshold * (self.n - 1)
-
-    def cache_size(self) -> int:
-        """Number of memoised ordered pairs (diagnostics/tests)."""
-        return len(self._cache)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

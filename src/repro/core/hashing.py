@@ -26,6 +26,8 @@ __all__ = [
     "pack_endpoint",
     "unpack_endpoint",
     "hash_pair",
+    "hash_pair_u64",
+    "unit_threshold_bound",
     "PairHasher",
     "available_algorithms",
 ]
@@ -109,6 +111,187 @@ _ALGORITHMS: Dict[str, Callable[[NodeId, NodeId], float]] = {
 }
 
 
+# -- integer-domain evaluation ----------------------------------------------
+#
+# The float functions above all take the form ``u / 2**64`` for a 64-bit
+# integer ``u`` derived from the pair.  Comparing against a threshold is
+# therefore a pure integer comparison once the threshold is converted to the
+# exact integer boundary of the float comparison (unit_threshold_bound), so
+# the consistency condition's hot path needs no float division at all while
+# remaining bit-for-bit equivalent to ``hash_pair(a, b) <= threshold``.
+
+#: Salt mixed into the SplitMix64 pair derivation (see _splitmix_pair).
+_SM64_PAIR_SALT = 0xA5A5A5A5A5A5A5A5
+
+
+def _md5_pair_u64(a: NodeId, b: NodeId) -> int:
+    digest = hashlib.md5(pack_endpoint(a) + pack_endpoint(b)).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _sha1_pair_u64(a: NodeId, b: NodeId) -> int:
+    digest = hashlib.sha1(pack_endpoint(a) + pack_endpoint(b)).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _blake2b_pair_u64(a: NodeId, b: NodeId) -> int:
+    digest = hashlib.blake2b(
+        pack_endpoint(a) + pack_endpoint(b), digest_size=8
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _splitmix_pair_u64(a: NodeId, b: NodeId) -> int:
+    return _splitmix64(_splitmix64(a) ^ ((b << 1) & _MASK64) ^ _SM64_PAIR_SALT)
+
+
+_ALGORITHMS_U64: Dict[str, Callable[[NodeId, NodeId], int]] = {
+    "md5": _md5_pair_u64,
+    "sha1": _sha1_pair_u64,
+    "blake2b": _blake2b_pair_u64,
+    "splitmix64": _splitmix_pair_u64,
+}
+
+
+def unit_threshold_bound(threshold: float) -> int:
+    """Largest 64-bit ``u`` with ``u / 2**64 <= threshold`` (float compare).
+
+    ``u / 2**64`` is the correctly-rounded double of the real quotient —
+    exactly the value every float pair hash yields — and is monotone
+    non-decreasing in ``u``, so ``hash_pair(a, b) <= threshold`` holds iff
+    ``hash_pair_u64(a, b) <= unit_threshold_bound(threshold)``.  Returns -1
+    (no value satisfies the comparison) for NaN or negative thresholds.
+    """
+    if threshold != threshold or threshold < 0.0:  # NaN or negative
+        return -1
+    if threshold >= 1.0:
+        return _MASK64
+    lo, hi = 0, _MASK64  # invariant: pred(lo) true (0.0 <= t), pred(hi) false
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if mid / 2**64 <= threshold:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def hash_pair_u64(a: NodeId, b: NodeId, algorithm: str = "md5") -> int:
+    """``H(a, b)`` as the raw 64-bit integer the float value derives from.
+
+    ``hash_pair(a, b, alg) == hash_pair_u64(a, b, alg) / 2**64`` exactly.
+    """
+    try:
+        fn = _ALGORITHMS_U64[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown hash algorithm {algorithm!r}; "
+            f"available: {', '.join(available_algorithms())}"
+        ) from None
+    return fn(a, b)
+
+
+# -- chunked scan kernels ---------------------------------------------------
+#
+# One universe scan evaluates the condition for a fixed node against every
+# known id (repro.core.relation).  Doing that through per-pair function
+# calls costs more in interpreter overhead than in hashing, so each
+# algorithm provides two tight-loop kernels — the fixed node as monitor
+# (scan for targets) and as target (scan for monitors) — that walk
+# preconverted id/endpoint arrays in slices of _SCAN_CHUNK and emit matching
+# ids through an ``emit`` callable (typically ``set.add``).  Kernels return
+# the number of pairs hashed so callers can maintain evaluation counters.
+
+_SCAN_CHUNK = 4096
+
+
+def _digest_scan_kernels(new_digest):
+    """Kernels for digest algorithms; *new_digest* maps bytes -> hash object.
+
+    The fixed node's endpoint is packed once; candidates come from the
+    caller's preconverted ``packed`` array, so the inner loop is one digest,
+    one slice and one integer compare per pair.
+    """
+
+    def scan_targets(fixed, ids, packed, start, stop, bound, emit):
+        prefix = pack_endpoint(fixed)
+        from_bytes = int.from_bytes
+        count = 0
+        for base in range(start, stop, _SCAN_CHUNK):
+            limit = min(base + _SCAN_CHUNK, stop)
+            for v, pv in zip(ids[base:limit], packed[base:limit]):
+                if v == fixed:
+                    continue
+                count += 1
+                if from_bytes(new_digest(prefix + pv).digest()[:8], "big") <= bound:
+                    emit(v)
+        return count
+
+    def scan_monitors(fixed, ids, packed, start, stop, bound, emit):
+        suffix = pack_endpoint(fixed)
+        from_bytes = int.from_bytes
+        count = 0
+        for base in range(start, stop, _SCAN_CHUNK):
+            limit = min(base + _SCAN_CHUNK, stop)
+            for v, pv in zip(ids[base:limit], packed[base:limit]):
+                if v == fixed:
+                    continue
+                count += 1
+                if from_bytes(new_digest(pv + suffix).digest()[:8], "big") <= bound:
+                    emit(v)
+        return count
+
+    return scan_targets, scan_monitors
+
+
+def _blake2b_8(data: bytes):
+    return hashlib.blake2b(data, digest_size=8)
+
+
+def _splitmix_scan_targets(fixed, ids, packed, start, stop, bound, emit):
+    mixed_fixed = _splitmix64(fixed) ^ _SM64_PAIR_SALT
+    count = 0
+    for base in range(start, stop, _SCAN_CHUNK):
+        for v in ids[base : min(base + _SCAN_CHUNK, stop)]:
+            if v == fixed:
+                continue
+            count += 1
+            x = ((mixed_fixed ^ ((v << 1) & _MASK64)) + _SM64_GAMMA) & _MASK64
+            x = ((x ^ (x >> 30)) * _SM64_MIX1) & _MASK64
+            x = ((x ^ (x >> 27)) * _SM64_MIX2) & _MASK64
+            if (x ^ (x >> 31)) <= bound:
+                emit(v)
+    return count
+
+
+def _splitmix_scan_monitors(fixed, ids, packed, start, stop, bound, emit):
+    suffix = ((fixed << 1) & _MASK64) ^ _SM64_PAIR_SALT
+    count = 0
+    for base in range(start, stop, _SCAN_CHUNK):
+        for v in ids[base : min(base + _SCAN_CHUNK, stop)]:
+            if v == fixed:
+                continue
+            count += 1
+            x = (v + _SM64_GAMMA) & _MASK64
+            x = ((x ^ (x >> 30)) * _SM64_MIX1) & _MASK64
+            x = ((x ^ (x >> 27)) * _SM64_MIX2) & _MASK64
+            x = (x ^ (x >> 31)) ^ suffix
+            x = (x + _SM64_GAMMA) & _MASK64
+            x = ((x ^ (x >> 30)) * _SM64_MIX1) & _MASK64
+            x = ((x ^ (x >> 27)) * _SM64_MIX2) & _MASK64
+            if (x ^ (x >> 31)) <= bound:
+                emit(v)
+    return count
+
+
+_SCAN_KERNELS = {
+    "md5": _digest_scan_kernels(hashlib.md5),
+    "sha1": _digest_scan_kernels(hashlib.sha1),
+    "blake2b": _digest_scan_kernels(_blake2b_8),
+    "splitmix64": (_splitmix_scan_targets, _splitmix_scan_monitors),
+}
+
+
 def available_algorithms() -> tuple:
     """Names of the registered pair-hash algorithms."""
     return tuple(sorted(_ALGORITHMS))
@@ -136,9 +319,11 @@ class PairHasher:
 
     The counter lets callers measure how many *actual* hash evaluations an
     algorithm performed, which the analysis in Section 4.1 cares about.
+    Both the float view (``hasher(a, b)``) and the integer view
+    (:meth:`pair_u64`, the scan kernels) count into the same total.
     """
 
-    __slots__ = ("algorithm", "_fn", "evaluations")
+    __slots__ = ("algorithm", "_fn", "_fn_u64", "_scan_kernels", "evaluations")
 
     def __init__(self, algorithm: str = "md5") -> None:
         if algorithm not in _ALGORITHMS:
@@ -148,11 +333,35 @@ class PairHasher:
             )
         self.algorithm = algorithm
         self._fn = _ALGORITHMS[algorithm]
+        self._fn_u64 = _ALGORITHMS_U64[algorithm]
+        self._scan_kernels = _SCAN_KERNELS[algorithm]
         self.evaluations = 0
 
     def __call__(self, a: NodeId, b: NodeId) -> float:
         self.evaluations += 1
         return self._fn(a, b)
+
+    def pair_u64(self, a: NodeId, b: NodeId) -> int:
+        """``H(a, b)`` as the raw 64-bit integer (see :func:`hash_pair_u64`)."""
+        self.evaluations += 1
+        return self._fn_u64(a, b)
+
+    def scan_targets(self, fixed, ids, packed, start, stop, bound, emit) -> None:
+        """Emit every ``v`` in ``ids[start:stop]`` with ``H(fixed, v) <= bound``.
+
+        ``packed`` must hold ``pack_endpoint(ids[i])`` at matching indexes
+        (digest algorithms read it; SplitMix64 ignores it).  Self pairs are
+        skipped without hashing, exactly as in single-pair evaluation.
+        """
+        self.evaluations += self._scan_kernels[0](
+            fixed, ids, packed, start, stop, bound, emit
+        )
+
+    def scan_monitors(self, fixed, ids, packed, start, stop, bound, emit) -> None:
+        """Emit every ``v`` in ``ids[start:stop]`` with ``H(v, fixed) <= bound``."""
+        self.evaluations += self._scan_kernels[1](
+            fixed, ids, packed, start, stop, bound, emit
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PairHasher(algorithm={self.algorithm!r}, evaluations={self.evaluations})"

@@ -5,12 +5,24 @@ per-node outgoing bandwidth the way Section 5 does (8 bytes per coarse-view
 entry and per ping message).  Sizes are parameterised on ``entry_bytes`` so
 experiments may model 6-byte entries (Section 4.1's example) or 8-byte
 entries (Section 5.1's).
+
+Messages are immutable by contract: once constructed they are shared across
+deliveries (the simulated network re-delivers the same object to several
+endpoints) and must never be mutated.  The contract is by convention rather
+than ``frozen=True`` — large-N simulations construct millions of messages,
+and the frozen dataclass ``__setattr__`` detour nearly doubles construction
+cost.  ``unsafe_hash`` keeps the field-based hashing/equality a frozen
+dataclass would have had.
+
+``fixed_wire_size`` marks the types whose :meth:`Message.size_bytes` depends
+only on ``entry_bytes``, letting the network memoise the size per type; any
+message carrying a variable-length payload must leave it False.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import ClassVar, Tuple
 
 from .hashing import NodeId
 
@@ -36,9 +48,12 @@ __all__ = [
 _HEADER_BYTES = 4
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class Message:
     """Base class; ``sender`` is the node id the reply should go to."""
+
+    #: True when size_bytes depends only on entry_bytes (memoisable per type).
+    fixed_wire_size: ClassVar[bool] = True
 
     sender: NodeId
 
@@ -47,7 +62,7 @@ class Message:
         return _HEADER_BYTES + entry_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class Join(Message):
     """``JOIN(origin, weight)`` of the joining sub-protocol (Figure 1)."""
 
@@ -59,30 +74,32 @@ class Join(Message):
         return _HEADER_BYTES + entry_bytes + 2
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class CvPing(Message):
     """Liveness probe of a coarse-view entry (first step of Figure 2)."""
 
     seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class CvPong(Message):
     """Reply to :class:`CvPing`."""
 
     seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class CvFetchRequest(Message):
     """Request for the recipient's coarse view (Figure 2)."""
 
     seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class CvFetchReply(Message):
     """The recipient's coarse view; dominates AVMON's bandwidth."""
+
+    fixed_wire_size: ClassVar[bool] = False
 
     seq: int = 0
     view: Tuple[NodeId, ...] = field(default_factory=tuple)
@@ -91,7 +108,7 @@ class CvFetchReply(Message):
         return _HEADER_BYTES + entry_bytes * len(self.view)
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class Notify(Message):
     """``NOTIFY(monitor, target)``: *monitor* ∈ PS(*target*) was discovered."""
 
@@ -103,26 +120,26 @@ class Notify(Message):
         return _HEADER_BYTES + 2 * entry_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class MonitorPing(Message):
     """Availability-measurement ping from a monitor to a TS target."""
 
     seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class MonitorPong(Message):
     """Reply to :class:`MonitorPing`."""
 
     seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class Pr2Refresh(Message):
     """PR2 (Section 5.4): sender forces itself into the recipient's CV."""
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ReportRequest(Message):
     """Ask *subject* to report at least ``min_monitors`` of its PS (§3.3)."""
 
@@ -133,9 +150,11 @@ class ReportRequest(Message):
         return _HEADER_BYTES + entry_bytes + 2
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ReportReply(Message):
     """The subject's (verifiable) list of monitor ids."""
+
+    fixed_wire_size: ClassVar[bool] = False
 
     subject: NodeId = 0
     monitors: Tuple[NodeId, ...] = field(default_factory=tuple)
@@ -144,7 +163,7 @@ class ReportReply(Message):
         return _HEADER_BYTES + entry_bytes * (1 + len(self.monitors))
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class HistoryRequest(Message):
     """Ask a monitor for its measured availability of *subject*."""
 
@@ -154,7 +173,7 @@ class HistoryRequest(Message):
         return _HEADER_BYTES + entry_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class HistoryReply(Message):
     """A monitor's measured availability for *subject* in ``[0, 1]``."""
 

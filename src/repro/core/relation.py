@@ -13,11 +13,18 @@ node ``u`` in the id universe, the *sets*
 built lazily and extended incrementally as new ids are born.  A cross-product
 check then reduces to a handful of small set intersections.
 
+The universe is kept as parallel arrays of ids and preconverted endpoint
+bytes, and each set extension is one chunked tight-loop scan
+(:meth:`~repro.core.condition.ConsistencyCondition.scan_targets` /
+``scan_monitors``) over an array slice rather than a per-pair ``holds()``
+call — at N=10,000 the difference between a scan being hash-bound and being
+interpreter-bound.
+
 Faithful cost accounting: the *protocol-level* number of condition
 evaluations a real node performs in an exchange is computed in closed form by
 :func:`count_cross_pairs` and charged to the node's computation counter, so
 measured computation overhead (Figures 7, 8, 12) reflects the real protocol,
-not the memoisation.
+not the index.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Set
 
 from .condition import ConsistencyCondition
-from .hashing import NodeId
+from .hashing import NodeId, pack_endpoint
 
 __all__ = ["MonitorRelation", "count_cross_pairs"]
 
@@ -52,13 +59,14 @@ class MonitorRelation:
     def __init__(self, condition: ConsistencyCondition) -> None:
         self.condition = condition
         self._universe: List[NodeId] = []
+        #: pack_endpoint(id) for every universe entry, index-aligned.
+        self._packed: List[bytes] = []
         self._known: Set[NodeId] = set()
-        # Per-node index of how far into self._universe the node's scan has
-        # progressed, plus the materialised directed sets.
-        self._ts_scan: Dict[NodeId, int] = {}
-        self._ps_scan: Dict[NodeId, int] = {}
-        self._ts: Dict[NodeId, Set[NodeId]] = {}
-        self._ps: Dict[NodeId, Set[NodeId]] = {}
+        # Per-node ``[materialised set, universe index the scan reached]``
+        # pairs; one dict probe answers both "what is known" and "is it
+        # current".
+        self._ts: Dict[NodeId, list] = {}
+        self._ps: Dict[NodeId, list] = {}
 
     # -- universe management -------------------------------------------------
 
@@ -68,6 +76,7 @@ class MonitorRelation:
             return
         self._known.add(node)
         self._universe.append(node)
+        self._packed.append(pack_endpoint(node))
 
     def add_nodes(self, nodes: Iterable[NodeId]) -> None:
         for node in nodes:
@@ -79,6 +88,12 @@ class MonitorRelation:
     def universe_size(self) -> int:
         return len(self._universe)
 
+    def index_entries(self) -> int:
+        """Total materialised TS/PS set entries (memory diagnostics)."""
+        return sum(len(entry[0]) for entry in self._ts.values()) + sum(
+            len(entry[0]) for entry in self._ps.values()
+        )
+
     # -- directed set queries -------------------------------------------------
 
     def targets_of(self, monitor: NodeId) -> Set[NodeId]:
@@ -87,32 +102,40 @@ class MonitorRelation:
         The returned set is owned by the relation; callers must not mutate
         it.  It grows automatically as the universe grows.
         """
-        self._require_known(monitor)
-        targets = self._ts.setdefault(monitor, set())
-        scanned = self._ts_scan.get(monitor, 0)
+        entry = self._ts.get(monitor)
+        if entry is not None and entry[1] == len(self._universe):
+            return entry[0]
+        return self._extend_targets(monitor, entry)
+
+    def _extend_targets(self, monitor: NodeId, entry) -> Set[NodeId]:
+        if entry is None:
+            self._require_known(monitor)
+            entry = self._ts[monitor] = [set(), 0]
+        targets = entry[0]
         total = len(self._universe)
-        if scanned < total:
-            holds = self.condition.holds
-            for index in range(scanned, total):
-                candidate = self._universe[index]
-                if holds(monitor, candidate):
-                    targets.add(candidate)
-            self._ts_scan[monitor] = total
+        self.condition.scan_targets(
+            monitor, self._universe, self._packed, entry[1], total, targets.add
+        )
+        entry[1] = total
         return targets
 
     def monitors_of(self, target: NodeId) -> Set[NodeId]:
         """``PS_universe(target)``: every known id that would watch *target*."""
-        self._require_known(target)
-        monitors = self._ps.setdefault(target, set())
-        scanned = self._ps_scan.get(target, 0)
+        entry = self._ps.get(target)
+        if entry is not None and entry[1] == len(self._universe):
+            return entry[0]
+        return self._extend_monitors(target, entry)
+
+    def _extend_monitors(self, target: NodeId, entry) -> Set[NodeId]:
+        if entry is None:
+            self._require_known(target)
+            entry = self._ps[target] = [set(), 0]
+        monitors = entry[0]
         total = len(self._universe)
-        if scanned < total:
-            holds = self.condition.holds
-            for index in range(scanned, total):
-                candidate = self._universe[index]
-                if holds(candidate, target):
-                    monitors.add(candidate)
-            self._ps_scan[target] = total
+        self.condition.scan_monitors(
+            target, self._universe, self._packed, entry[1], total, monitors.add
+        )
+        entry[1] = total
         return monitors
 
     def find_matches(self, view_a: Set[NodeId], view_b: Set[NodeId]):
@@ -123,14 +146,27 @@ class MonitorRelation:
         ``NOTIFY(u, v)``.
         """
         matches = set()
+        add = matches.add
+        ts = self._ts
+        extend = self._extend_targets
+        total = len(self._universe)
         for u in view_a:
-            for v in view_b & self.targets_of(u):
-                if u != v:
-                    matches.add((u, v))
+            # Inline warm-path targets_of: one dict probe per view member.
+            entry = ts.get(u)
+            if entry is not None and entry[1] == total:
+                targets = entry[0]
+            else:
+                targets = extend(u, entry)
+            for v in view_b & targets:
+                add((u, v))  # u is never in targets (self pairs skipped)
         for u in view_b:
-            for v in view_a & self.targets_of(u):
-                if u != v:
-                    matches.add((u, v))
+            entry = ts.get(u)
+            if entry is not None and entry[1] == total:
+                targets = entry[0]
+            else:
+                targets = extend(u, entry)
+            for v in view_a & targets:
+                add((u, v))
         return matches
 
     def _require_known(self, node: NodeId) -> None:

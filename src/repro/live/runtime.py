@@ -190,8 +190,12 @@ class LiveRuntime:
             return
         self._transport.send_to(address, message)
 
-    def schedule(self, delay: float, callback) -> TimerHandle:
-        return self._loop.call_later(max(0.0, delay), callback)
+    def schedule(self, delay: float, callback, *args) -> TimerHandle:
+        return self._loop.call_later(max(0.0, delay), callback, *args)
+
+    def schedule_call(self, delay: float, callback, *args) -> None:
+        """Fire-and-forget timer (see NodeRuntime); the handle is dropped."""
+        self._loop.call_later(max(0.0, delay), callback, *args)
 
     # -- environment oracles -----------------------------------------------
 

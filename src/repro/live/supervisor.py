@@ -276,8 +276,8 @@ class _WallSim:
     def now(self) -> float:
         return time.monotonic() - self._t0
 
-    def schedule(self, delay: float, callback) -> asyncio.TimerHandle:
-        handle = self._loop.call_later(max(0.0, delay), callback)
+    def schedule(self, delay: float, callback, *args) -> asyncio.TimerHandle:
+        handle = self._loop.call_later(max(0.0, delay), callback, *args)
         self._handles.append(handle)
         if len(self._handles) > 256:
             # Drop fired/cancelled handles so a churny overlay (thousands
@@ -288,8 +288,16 @@ class _WallSim:
             ]
         return handle
 
-    def schedule_at(self, when: float, callback) -> asyncio.TimerHandle:
-        return self.schedule(when - self.now, callback)
+    def schedule_at(self, when: float, callback, *args) -> asyncio.TimerHandle:
+        return self.schedule(when - self.now, callback, *args)
+
+    # Fire-and-forget variants matching the engine's fast lane; churn
+    # models schedule births/deaths and trace replays through these.
+    def schedule_call(self, delay: float, callback, *args) -> None:
+        self.schedule(delay, callback, *args)
+
+    def schedule_call_at(self, when: float, callback, *args) -> None:
+        self.schedule_at(when, callback, *args)
 
     def cancel_all(self) -> None:
         for handle in self._handles:

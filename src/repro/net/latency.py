@@ -22,6 +22,16 @@ class LatencyModel:
     def sample(self, rng: random.Random) -> float:
         raise NotImplementedError
 
+    def bind(self, rng: random.Random):
+        """Zero-argument sampler bound to *rng* for the per-message hot path.
+
+        Must consume exactly the same randomness as :meth:`sample` so that
+        a run's RNG stream (and therefore its summary) is identical through
+        either entry point.  The default wraps :meth:`sample`; subclasses
+        override with a closure that skips per-call attribute lookups.
+        """
+        return lambda: self.sample(rng)
+
 
 class ConstantLatency(LatencyModel):
     """Every message takes exactly *delay* seconds."""
@@ -33,6 +43,10 @@ class ConstantLatency(LatencyModel):
 
     def sample(self, rng: random.Random) -> float:
         return self.delay
+
+    def bind(self, rng: random.Random):
+        delay = self.delay
+        return lambda: delay
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"ConstantLatency({self.delay})"
@@ -51,6 +65,14 @@ class UniformLatency(LatencyModel):
 
     def sample(self, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
+
+    def bind(self, rng: random.Random):
+        # Same arithmetic as random.Random.uniform (one random() draw, then
+        # ``low + (high - low) * r``), so the float stream is bit-identical.
+        low = self.low
+        span = self.high - self.low
+        random = rng.random
+        return lambda: low + span * random()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"UniformLatency({self.low}, {self.high})"
@@ -74,6 +96,11 @@ class LogNormalLatency(LatencyModel):
 
     def sample(self, rng: random.Random) -> float:
         return min(self.cap, rng.lognormvariate(self.mu, self.sigma))
+
+    def bind(self, rng: random.Random):
+        mu, sigma, cap = self.mu, self.sigma, self.cap
+        lognormvariate = rng.lognormvariate
+        return lambda: min(cap, lognormvariate(mu, sigma))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"LogNormalLatency(mu={self.mu:.3f}, sigma={self.sigma}, cap={self.cap})"

@@ -17,6 +17,7 @@ periodic processes across leaves and rejoins.
 from __future__ import annotations
 
 import random
+from heapq import heappush
 from typing import Callable, Dict, List, Optional
 
 from ..core.hashing import NodeId
@@ -54,6 +55,13 @@ class Network:
         self.entry_bytes = entry_bytes
         self.fault = fault
         self.accountant = BandwidthAccountant()
+        # Per-message hot-path bindings: one latency sampler closure for the
+        # whole run (consumes the identical RNG stream as latency.sample)
+        # and the delivery closure pushed into every heap entry.  Wire sizes
+        # are memoised per message type for the types that declare a fixed
+        # layout.
+        self._sample_latency = self.latency.bind(self.rng)
+        self._size_cache: Dict[type, int] = {}
         self._hosts: Dict[NodeId, "SimHost"] = {}
         self._alive_list: List[NodeId] = []
         self._alive_pos: Dict[NodeId, int] = {}
@@ -61,8 +69,17 @@ class Network:
         self.dropped_messages = 0
         #: Messages the fault injector decided to lose.
         self.fault_dropped = 0
-        #: Total messages handed to the network.
-        self.sent_messages = 0
+        self._deliver_bound = self._make_deliver()
+
+    @property
+    def sent_messages(self) -> int:
+        """Total messages handed to the network (fault losses included).
+
+        Every send is charged to the accountant exactly once before fault
+        injection, so the accountant's message total *is* this counter —
+        derived here instead of paying an extra increment per send.
+        """
+        return self.accountant.total_messages
 
     # -- registry ----------------------------------------------------------
 
@@ -124,28 +141,111 @@ class Network:
 
         Bytes are charged before fault injection: loss happens in the
         network, after the sender paid to transmit.
+
+        This is the reference implementation; node-originated traffic goes
+        through the per-host closure built by :meth:`_make_host_send`, which
+        inlines the same logic (both consume one latency sample and one
+        engine sequence number per delivery, so the two entry points are
+        interchangeable without perturbing the run).
         """
-        self.sent_messages += 1
-        self.accountant.charge(src, message.size_bytes(self.entry_bytes))
-        delay = self.latency.sample(self.rng)
+        size = self._size_cache.get(message.__class__)
+        if size is None:
+            size = message.size_bytes(self.entry_bytes)
+            if message.fixed_wire_size:
+                self._size_cache[message.__class__] = size
+        self.accountant.charge(src, size)
+        delay = self._sample_latency()
         if self.fault is None:
-            self.sim.schedule(delay, lambda: self._deliver(dst, message))
+            self.sim.schedule_call(delay, self._deliver_bound, dst, message)
             return
         deliveries = self.fault.plan_delivery(src, dst, self.sim.now)
         if not deliveries:
             self.fault_dropped += 1
             return
         for extra in deliveries:
-            self.sim.schedule(
-                delay + extra, lambda: self._deliver(dst, message)
-            )
+            self.sim.schedule_call(delay + extra, self._deliver_bound, dst, message)
 
-    def _deliver(self, dst: NodeId, message: Message) -> None:
-        host = self._hosts.get(dst)
-        if host is None or not host.alive:
-            self.dropped_messages += 1
-            return
-        host.deliver(message)
+    def _make_deliver(self):
+        """Delivery closure: every binding it needs is a local or cell var.
+
+        Replaces what was a bound method doing four ``self`` attribute
+        chases per message; ``_hosts``'s identity is stable, so the bound
+        ``get`` stays valid as hosts register.
+        """
+        network = self
+        hosts_get = self._hosts.get
+
+        def deliver(dst: NodeId, message: Message) -> None:
+            host = hosts_get(dst)
+            if host is None or not host.alive:
+                network.dropped_messages += 1
+                return
+            # Inline of SimHost.deliver (the per-message call stack matters
+            # at scale); aliveness was checked above.
+            node = host.node
+            if node is not None:
+                node.handle_message(message)
+
+        return deliver
+
+    def _make_host_send(self, host: "SimHost"):
+        """Build the per-host send closure used as ``SimHost.send``.
+
+        One Python frame per send: the aliveness guard, type-memoised size
+        accounting, latency sampling and the heap push are all inlined with
+        cell-variable bindings.  Mirrors :meth:`send` exactly (same RNG
+        draws, same one-sequence-number-per-delivery contract); the fault
+        injector is consulted per send, so attaching or clearing
+        ``network.fault`` mid-run affects node traffic immediately, and the
+        fault path itself defers to :meth:`send`, keeping that logic in one
+        place.
+        """
+        network = self
+        src = host.id
+        sim = self.sim
+        queue = sim._queue  # identity stable; see the engine module docstring
+        next_seq = sim._counter.__next__
+        deliver = self._deliver_bound
+        size_cache = self._size_cache
+        entry_bytes = self.entry_bytes
+        entries = self.accountant._entries
+        if type(self.latency) is UniformLatency:
+            # Inline the uniform sampler: same arithmetic as
+            # UniformLatency.bind, one rng.random() per message.
+            low = self.latency.low
+            span = self.latency.high - self.latency.low
+            rng_random = self.rng.random
+            sample_inline = True
+        else:
+            sample_latency = self._sample_latency
+            sample_inline = False
+
+        def send(dst: NodeId, message: Message, _heappush=heappush) -> None:
+            if not host.alive:
+                return
+            if network.fault is not None:
+                network.send(src, dst, message)
+                return
+            size = size_cache.get(message.__class__)
+            if size is None:
+                size = message.size_bytes(entry_bytes)
+                if message.fixed_wire_size:
+                    size_cache[message.__class__] = size
+            entry = entries.get(src)
+            if entry is None:
+                entries[src] = [size, 1]
+            else:
+                entry[0] += size
+                entry[1] += 1
+            if sample_inline:
+                delay = low + span * rng_random()  # >= 0 by construction
+            elif (delay := sample_latency()) < 0:
+                # Keep the engine's non-negative-delay invariant even for
+                # custom latency models on the raw-push path.
+                raise ValueError(f"latency sample must be non-negative, got {delay}")
+            _heappush(queue, (sim.now + delay, next_seq(), deliver, (dst, message)))
+
+        return send
 
 
 class SimHost:
@@ -153,6 +253,7 @@ class SimHost:
 
     def __init__(self, network: Network, node_id: NodeId, rng: random.Random) -> None:
         self.network = network
+        self._sim = network.sim
         self.id = node_id
         self.rng = rng
         self.alive = False
@@ -161,6 +262,9 @@ class SimHost:
         self.node = None
         self._processes: List[PeriodicProcess] = []
         network.register(self)
+        #: NodeRuntime.send, as a closure over this host (shadows the class
+        #: method of the same name): one frame per sent message.
+        self.send = network._make_host_send(self)
 
     # -- wiring ----------------------------------------------------------------
 
@@ -179,21 +283,39 @@ class SimHost:
     # -- NodeRuntime interface ----------------------------------------------------
 
     def now(self) -> float:
-        return self.network.sim.now
+        return self._sim.now
 
     def send(self, dst: NodeId, message: Message) -> None:
-        if not self.alive:
-            return
-        self.network.send(self.id, dst, message)
+        # Fallback with the same semantics as the instance-attribute closure
+        # assigned in __init__ (kept for subclasses that skip __init__).
+        if self.alive:
+            self.network.send(self.id, dst, message)
 
-    def schedule(self, delay: float, callback: Callable[[], None]):
-        """Timer that only fires while this host is alive."""
+    def schedule(self, delay: float, callback: Callable[..., None], *args):
+        """Timer that only fires while this host is alive.
 
-        def guarded() -> None:
-            if self.alive:
-                callback()
+        The aliveness guard is a prebound method carrying *callback* and
+        *args* in the heap entry — no per-call closure allocation.
+        """
+        return self._sim.schedule(delay, self._run_guarded, callback, args)
 
-        return self.network.sim.schedule(delay, guarded)
+    def schedule_call(self, delay: float, fn: Callable[..., None], *args) -> None:
+        """Fire-and-forget :meth:`schedule`: aliveness-gated, no handle.
+
+        The heap entry is pushed directly (no engine scheduling frame, no
+        EventHandle); ping timeouts go through here — one per request sent.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        sim = self._sim
+        heappush(
+            sim._queue,
+            (sim.now + delay, sim._counter.__next__(), self._run_guarded, (fn, args)),
+        )
+
+    def _run_guarded(self, callback: Callable[..., None], args: tuple) -> None:
+        if self.alive:
+            callback(*args)
 
     def choose_bootstrap(self, exclude: NodeId) -> Optional[NodeId]:
         return self.network.random_alive(exclude=exclude)

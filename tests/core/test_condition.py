@@ -45,18 +45,22 @@ class TestHolds:
         for node in range(50):
             assert not condition.holds(node, node)
 
-    def test_memoisation_avoids_rehash(self, condition):
+    def test_evaluations_counted_per_hash(self, condition):
+        before = condition.hash_evaluations
         condition.holds(1, 2)
-        evaluations = condition.hash_evaluations
-        for _ in range(10):
-            condition.holds(1, 2)
-        assert condition.hash_evaluations == evaluations
+        condition.holds(2, 1)
+        assert condition.hash_evaluations == before + 2
 
-    def test_cache_size_grows(self, condition):
-        before = condition.cache_size()
-        condition.holds(10, 20)
-        condition.holds(20, 10)
-        assert condition.cache_size() == before + 2
+    def test_self_pair_costs_no_evaluation(self, condition):
+        before = condition.hash_evaluations
+        condition.holds(5, 5)
+        assert condition.hash_evaluations == before
+
+    def test_integer_bound_matches_float_threshold(self, condition):
+        # The integer boundary is exactly the float comparison's boundary:
+        # bound/2**64 passes, (bound+1)/2**64 fails.
+        assert condition.bound / 2**64 <= condition.threshold
+        assert (condition.bound + 1) / 2**64 > condition.threshold
 
     def test_directed_relation(self):
         # Over a large population, u in PS(v) must not imply v in PS(u).

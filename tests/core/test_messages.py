@@ -51,11 +51,23 @@ class TestSizes:
         for message in instances:
             assert message.size_bytes() > 0
 
-    def test_messages_are_immutable(self):
-        ping = m.CvPing(sender=1, seq=9)
-        try:
-            ping.seq = 10
-            raised = False
-        except AttributeError:
-            raised = True
-        assert raised
+    def test_messages_compare_and_hash_by_value(self):
+        # Messages are immutable by contract (shared across deliveries) and
+        # must keep value semantics: equal field values -> equal and
+        # interchangeable in hashed containers.
+        assert m.CvPing(sender=1, seq=9) == m.CvPing(sender=1, seq=9)
+        assert hash(m.CvPing(sender=1, seq=9)) == hash(m.CvPing(sender=1, seq=9))
+        assert m.CvPing(sender=1, seq=9) != m.CvPing(sender=1, seq=10)
+
+    def test_fixed_wire_size_flags(self):
+        # The network memoises sizes per type for flagged classes, so any
+        # type whose size depends on its payload must not be flagged.
+        assert not m.CvFetchReply.fixed_wire_size
+        assert not m.ReportReply.fixed_wire_size
+        assert m.CvFetchReply(sender=1, view=(1, 2, 3)).size_bytes() != (
+            m.CvFetchReply(sender=1, view=()).size_bytes()
+        )
+        for message_type in m.MESSAGE_TYPES:
+            if message_type in (m.CvFetchReply, m.ReportReply):
+                continue
+            assert message_type.fixed_wire_size, message_type

@@ -150,3 +150,63 @@ class TestMonitoringStore:
         record.record_reply(0.0)
         assert store.estimated_availability(5) == 1.0
         assert store.estimated_availability(6) == 0.0
+
+
+class TestInlineFastPathEquivalence:
+    """Pin AvmonNode.monitoring_tick's inlined skip condition to the store.
+
+    The node's hot loop re-implements ``MonitoringStore.should_ping`` as
+    ``skip iff (pings_answered != 0 and _down_since is not None and not
+    record.should_ping(...))`` so the common cases draw no randomness.  If
+    the store method's semantics ever change (e.g. drawing randomness for a
+    responsive target), the inline copy must change with it — this test
+    fails first, before the byte-identity regression does.
+    """
+
+    def _states(self):
+        """Records in every reachable regime, keyed by a descriptive name."""
+        states = {}
+        never_answered = TargetRecord(1)
+        never_answered.record_sent()
+        states["never-answered"] = never_answered
+
+        responsive = TargetRecord(2)
+        responsive.record_reply(10.0)
+        states["responsive"] = responsive
+
+        briefly_down = TargetRecord(3)
+        briefly_down.record_reply(10.0)
+        briefly_down.record_timeout(50.0)
+        states["down-within-tau"] = briefly_down
+
+        long_down = TargetRecord(4)
+        long_down.record_reply(10.0)
+        long_down.record_reply(400.0)
+        long_down.record_timeout(500.0)
+        states["down-beyond-tau-with-session"] = long_down
+
+        never_seen_up_then_down = TargetRecord(5)
+        never_seen_up_then_down.record_reply(10.0)
+        never_seen_up_then_down.record_timeout(11.0)
+        states["down-beyond-tau-zero-session"] = never_seen_up_then_down
+        return states
+
+    def test_inline_condition_matches_store_and_rng_stream(self):
+        now, tau, c = 1000.0, 120.0, 1.0
+        for name, record in self._states().items():
+            store = MonitoringStore()
+            store._records[record.target] = record
+            rng_store = random.Random(99)
+            verdict_store = store.should_ping(record.target, now, tau, c, rng_store)
+
+            # The node's inline equivalent (see AvmonNode.monitoring_tick).
+            rng_inline = random.Random(99)
+            skip = (
+                record.pings_answered != 0
+                and record._down_since is not None
+                and not record.should_ping(now, tau, c, rng_inline)
+            )
+            assert (not skip) == verdict_store, name
+            # Identical randomness consumption is what keeps summaries
+            # byte-identical: both paths must leave the rng in one state.
+            assert rng_store.random() == rng_inline.random(), name

@@ -1,5 +1,6 @@
 """Unit tests for the AVMON node protocol logic, on a fake runtime."""
 
+import dataclasses
 import random
 
 import pytest
@@ -12,9 +13,10 @@ from repro.core.relation import MonitorRelation
 
 
 class FakeTimer:
-    def __init__(self, delay, callback):
+    def __init__(self, delay, callback, args=()):
         self.delay = delay
         self.callback = callback
+        self.args = args
         self.cancelled = False
 
     def cancel(self):
@@ -38,8 +40,8 @@ class FakeRuntime:
     def send(self, dst, message):
         self.sent.append((dst, message))
 
-    def schedule(self, delay, callback):
-        timer = FakeTimer(delay, callback)
+    def schedule(self, delay, callback, *args):
+        timer = FakeTimer(delay, callback, args)
         self.timers.append(timer)
         return timer
 
@@ -55,7 +57,7 @@ class FakeRuntime:
         pending, self.timers = self.timers, []
         for timer in pending:
             if not timer.cancelled:
-                timer.callback()
+                timer.callback(*timer.args)
 
     def sent_of_type(self, message_type):
         return [(dst, msg) for dst, msg in self.sent if isinstance(msg, message_type)]
@@ -450,3 +452,68 @@ class TestMemoryMetric:
         assert 2 in node.ts
         runtime.fire_timers()  # stale timeouts must be harmless
         assert 1 in node.cv
+
+
+class TestInlineDispatchParity:
+    """Pin handle_message's inline fast-path blocks to the _handle_* methods.
+
+    The high-frequency kinds are handled inline in handle_message; exact
+    subclasses of the same kinds reach the standalone _handle_* methods via
+    the dispatch-table fallback instead.  Both routes must leave the node in
+    the same state, so an edit to one copy that is not mirrored in the other
+    fails here before it can make subclassed messages behave differently.
+    """
+
+    CASES = [
+        ("CvPing", lambda node: m.CvPing(7, 31)),
+        ("CvPong", lambda node: _pending_probe(node, "cvping", 7)),
+        ("MonitorPing", lambda node: m.MonitorPing(7, 31)),
+        ("MonitorPong", lambda node: _pending_probe(node, "mping", 7)),
+        ("Notify", lambda node: _matching_notify(node)),
+        ("CvFetchReply", lambda node: _pending_fetch_reply(node, 7)),
+    ]
+
+    def _observable_state(self, node, runtime):
+        return {
+            "sent": list(runtime.sent),
+            "pending": dict(node._pending),
+            "ps": dict(node.ps),
+            "ts": set(node.ts),
+            "cv": sorted(node.cv),
+            "computations": node.computations,
+            "last_ping": node.last_monitor_ping_received,
+            "store_targets": sorted(node.store.targets()),
+        }
+
+    @pytest.mark.parametrize("kind,build", CASES, ids=[c[0] for c in CASES])
+    def test_subclass_route_matches_inline_route(self, kind, build):
+        states = []
+        for as_subclass in (False, True):
+            node, runtime, _ = build_node(seed=3)
+            message = build(node)
+            if as_subclass:
+                base = type(message)
+                subclass = type(f"{base.__name__}Sub", (base,), {})
+                message = subclass(**{
+                    field.name: getattr(message, field.name)
+                    for field in dataclasses.fields(base)
+                })
+            node.handle_message(message)
+            states.append(self._observable_state(node, runtime))
+        assert states[0] == states[1], kind
+
+
+def _pending_probe(node, kind, peer):
+    node._pending[5] = (kind, peer, False)
+    return (m.CvPong if kind == "cvping" else m.MonitorPong)(peer, 5)
+
+
+def _matching_notify(node):
+    condition = node.relation.condition
+    monitor = next(u for u in range(1, 64) if condition.holds(u, node.id))
+    return m.Notify(9, monitor, node.id)
+
+
+def _pending_fetch_reply(node, peer):
+    node._pending[5] = ("fetch", peer, False)
+    return m.CvFetchReply(peer, 5, (1, 2, 3))

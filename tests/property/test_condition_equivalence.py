@@ -1,0 +1,81 @@
+"""Property tests: the integer-domain condition is the float condition.
+
+The tentpole claim of the scale-out rewrite is that evaluating
+``hash_u64 <= bound`` (one integer compare) decides *exactly* the same
+relation as the original ``hash_float <= k/n``: same hash inputs, same
+float-rounding boundary, every algorithm.  These properties are what lets
+the relation's scan kernels replace per-pair float evaluation without
+moving a byte of any summary.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.condition import ConsistencyCondition
+from repro.core.hashing import (
+    available_algorithms,
+    hash_pair,
+    hash_pair_u64,
+    unit_threshold_bound,
+)
+from repro.core.relation import MonitorRelation
+
+node_ids = st.integers(min_value=0, max_value=(1 << 48) - 1)
+algorithms = st.sampled_from(available_algorithms())
+
+
+@given(node_ids, node_ids, algorithms)
+def test_u64_is_exact_preimage_of_float_hash(a, b, algorithm):
+    # int/int true division is correctly rounded, so this equality is exact,
+    # not approximate.
+    assert hash_pair(a, b, algorithm) == hash_pair_u64(a, b, algorithm) / 2**64
+
+
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=1, max_value=500),
+    node_ids,
+    node_ids,
+    algorithms,
+)
+def test_integer_condition_agrees_with_float_condition(k, n, a, b, algorithm):
+    if k > n:
+        k, n = n, k
+    condition = ConsistencyCondition(k=k, n=n, hash_algorithm=algorithm)
+    float_verdict = a != b and hash_pair(a, b, algorithm) <= k / n
+    assert condition.holds(a, b) == float_verdict
+
+
+@given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_unit_threshold_bound_is_the_exact_boundary(threshold):
+    bound = unit_threshold_bound(threshold)
+    mask = (1 << 64) - 1
+    if bound >= 0:
+        assert bound / 2**64 <= threshold
+    if bound < mask:
+        assert (bound + 1) / 2**64 > threshold
+
+
+@given(
+    st.sets(node_ids, min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=20),
+    algorithms,
+)
+@settings(max_examples=40)
+def test_scan_kernels_agree_with_holds(ids, k, algorithm):
+    condition = ConsistencyCondition(k=k, n=40, hash_algorithm=algorithm)
+    relation = MonitorRelation(condition)
+    relation.add_nodes(ids)
+    reference = ConsistencyCondition(k=k, n=40, hash_algorithm=algorithm)
+    for fixed in list(ids)[:5]:
+        expected_ts = {v for v in ids if reference.holds(fixed, v)}
+        expected_ps = {v for v in ids if reference.holds(v, fixed)}
+        assert relation.targets_of(fixed) == expected_ts
+        assert relation.monitors_of(fixed) == expected_ps
+
+
+@given(node_ids, algorithms)
+def test_self_pairs_never_hold(node, algorithm):
+    condition = ConsistencyCondition(k=10, n=10, hash_algorithm=algorithm)
+    # Even with threshold 1.0 (every non-self pair holds), self pairs don't.
+    assert not condition.holds(node, node)
+    assert condition.bound == (1 << 64) - 1

@@ -94,6 +94,95 @@ class TestCancellation:
         assert seen == [1]
 
 
+class TestScheduleCall:
+    def test_runs_with_args(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_call(1.0, seen.append, "a")
+        sim.schedule_call_at(2.0, seen.append, "b")
+        sim.run_until(5.0)
+        assert seen == ["a", "b"]
+
+    def test_interleaves_fifo_with_handles(self):
+        # Fast-path and cancellable entries share one sequence counter, so
+        # simultaneous events still fire in scheduling order.
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "handle-1")
+        sim.schedule_call(1.0, order.append, "call-2")
+        sim.schedule(1.0, order.append, "handle-3")
+        sim.schedule_call(1.0, order.append, "call-4")
+        sim.run_until(2.0)
+        assert order == ["handle-1", "call-2", "handle-3", "call-4"]
+
+    def test_counts_processed_events(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule_call(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.processed_events == 3
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_call(-1.0, lambda: None)
+
+    def test_schedule_call_at_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_call_at(4.0, lambda: None)
+
+    def test_schedule_passes_args(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda *a: seen.append(a), 1, 2)
+        sim.run_until(2.0)
+        assert seen == [(1, 2)]
+
+
+class TestCompaction:
+    def test_cancelled_entries_are_reaped(self):
+        # A long-running sim whose cancels outpace its pops must not grow
+        # the heap without bound: once dead entries exceed half the queue
+        # (and the small-queue floor), the heap is compacted in place.
+        sim = Simulator()
+        queue_before = sim._queue
+        live = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        dead = [sim.schedule(2000.0 + i, lambda: None) for i in range(500)]
+        for handle in dead:
+            handle.cancel()
+        assert sim.pending_events() < 100, "compaction should have reaped corpses"
+        assert sim.cancelled_pending() < sim.pending_events()
+        assert sim._queue is queue_before, "compaction must preserve queue identity"
+        sim.run_until(5000.0)
+        assert sim.processed_events == len(live)
+
+    def test_small_queues_are_not_compacted(self):
+        sim = Simulator()
+        handles = [sim.schedule(10.0, lambda: None) for _ in range(20)]
+        for handle in handles[:15]:
+            handle.cancel()
+        # Below the floor the corpses simply wait for their pop.
+        assert sim.pending_events() == 20
+        sim.run_until(20.0)
+        assert sim.processed_events == 5
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handles = [sim.schedule(10.0, lambda: None) for _ in range(8)]
+        for handle in handles[:4]:
+            handle.cancel()
+            handle.cancel()
+        assert sim.cancelled_pending() == 4
+
+    def test_cancel_after_fire_does_not_count(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        handle.cancel()
+        assert sim.cancelled_pending() == 0
+
+
 class TestRunHelpers:
     def test_run_duration(self):
         sim = Simulator()
