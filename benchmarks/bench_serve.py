@@ -1,0 +1,37 @@
+"""Benchmark: the availability serving surface under sustained load.
+
+Boots a complete in-memory overlay per cell (real introducer, real
+``LiveNode`` instances, WAN fault plan), attaches the query service, and
+drives the seeded request schedule from :mod:`repro.serve.bench` through
+the genuine HTTP parse path — measuring sustained requests/s against the
+overlay size, plus the overload phase where the rate limiter must shed
+the excess as 429s with zero 5xx.
+"""
+
+from conftest import bench_scale
+
+from repro.serve.bench import SERVE_SIZES, run_serve_bench
+
+
+def test_serve_load(benchmark, record_report):
+    scale = bench_scale()
+    results = benchmark.pedantic(
+        lambda: run_serve_bench(scale), rounds=1, iterations=1
+    )
+    lines = []
+    for cell in results["cells"]:
+        sustained = cell["sustained"]
+        lines.append(
+            f"n={cell['n']}: {sustained['wall_rps']} req/s sustained "
+            f"(hit ratio {sustained['counters']['hit_ratio']}), "
+            f"overload shed "
+            f"{cell['overload']['counters']['totals']['rate_limited']}"
+            f"/{cell['overload']['offered']}"
+        )
+    record_report(
+        "serve_load",
+        f"serve bench ({scale}, sizes {SERVE_SIZES[scale]}): "
+        f"{results['requests_total']} requests, "
+        f"{results['server_errors_total']} server errors; "
+        + "; ".join(lines),
+    )

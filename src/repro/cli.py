@@ -11,9 +11,14 @@ Examples::
     avmon sweep --n 100,200 --seeds 3 --cache-dir ~/.avmon-cache   # resumable
     avmon live up --nodes 20 --duration 30    # a real overlay over UDP
     avmon live up --nodes 20 --duration 30 --crash-after 12   # + chaos
+    avmon live up --nodes 20 --duration 60 --serve 8080  # + HTTP query API
     avmon live status                 # probe a running overlay
+    avmon live query 3 --l 2          # one-shot verified availability query
     avmon live chaos --kill 2         # crash two random nodes
     avmon live down                   # tear a running overlay down
+    avmon serve --port 8080           # attach an HTTP front end to a
+                                      # running overlay's control port
+    avmon bench serve --scale test    # serving load -> BENCH_serve.json
     avmon cache ls                    # inspect the summary store
     avmon cache stat
     avmon cache clear
@@ -145,15 +150,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = commands.add_parser(
         "bench",
-        help="measure hot paths and the serial sweep; append the results "
-        "to the BENCH_micro.json / BENCH_sweep.json trajectory files",
+        help="measure hot paths, the serial sweep and the serving surface; "
+        "append the results to the BENCH_*.json trajectory files",
     )
     bench_parser.add_argument(
         "which",
         nargs="?",
-        choices=("micro", "sweep", "all"),
+        choices=("micro", "sweep", "serve", "all"),
         default="all",
-        help="which bench suite to run (default: all)",
+        help="which bench suite to run (default: all = micro+sweep; "
+        "'serve' runs the serving-load bench separately)",
+    )
+    bench_parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="shorthand for the 'serve' suite (sustained requests/s vs "
+        "overlay size through the HTTP surface, appended to "
+        "BENCH_serve.json)",
     )
     bench_parser.add_argument(
         "--scale",
@@ -180,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     _build_live_parser(commands)
+    _build_serve_parser(commands)
     _build_cache_parser(commands)
     return parser
 
@@ -287,6 +301,14 @@ def _build_live_parser(commands) -> None:
         help=f"operator control port; -1 disables (default: {DEFAULT_CONTROL_PORT})",
     )
     up.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve the HTTP availability API on PORT for the run's "
+        "duration (0 binds an ephemeral port; default: no serving)",
+    )
+    up.add_argument(
         "--state-dir",
         default="",
         metavar="DIR",
@@ -312,6 +334,29 @@ def _build_live_parser(commands) -> None:
     status = live_commands.add_parser("status", help="probe a running overlay")
     _add_control_arguments(status)
     status.add_argument("--json", action="store_true", help="JSON output")
+
+    query = live_commands.add_parser(
+        "query",
+        help="one-shot verified availability query (§3.3) against a "
+        "running overlay",
+    )
+    query.add_argument("target", type=int, help="node id to query")
+    query.add_argument(
+        "--l",
+        type=int,
+        default=1,
+        dest="l",
+        help="monitors the answer must be verified by (default: 1)",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=3.0,
+        help="query deadline in seconds; a partial result is reported, "
+        "not an error (default: 3.0)",
+    )
+    query.add_argument("--json", action="store_true", help="JSON output")
+    _add_control_arguments(query)
 
     chaos = live_commands.add_parser(
         "chaos",
@@ -361,6 +406,71 @@ def _build_live_parser(commands) -> None:
 
     down = live_commands.add_parser("down", help="tear a running overlay down")
     _add_control_arguments(down)
+
+
+def _build_serve_parser(commands) -> None:
+    serve_parser = commands.add_parser(
+        "serve",
+        help="attach an HTTP availability front end to a running live "
+        "overlay (discovered via its control port)",
+    )
+    _add_control_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="HTTP port to serve on (0 binds an ephemeral port; "
+        "default: 8080)",
+    )
+    serve_parser.add_argument(
+        "--bind",
+        default="127.0.0.1",
+        help="address to bind the HTTP server and query transport to "
+        "(default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=2.0,
+        help="query-result cache TTL in seconds; 0 disables (default: 2.0)",
+    )
+    serve_parser.add_argument(
+        "--global-rate",
+        type=float,
+        default=500.0,
+        help="global sustained requests/s budget (default: 500)",
+    )
+    serve_parser.add_argument(
+        "--global-burst",
+        type=float,
+        default=1000.0,
+        help="global burst headroom in tokens (default: 1000)",
+    )
+    serve_parser.add_argument(
+        "--client-rate",
+        type=float,
+        default=100.0,
+        help="per-client sustained requests/s budget (default: 100)",
+    )
+    serve_parser.add_argument(
+        "--client-burst",
+        type=float,
+        default=200.0,
+        help="per-client burst headroom in tokens (default: 200)",
+    )
+    serve_parser.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=64,
+        help="in-flight overlay queries admitted before shedding with "
+        "429 (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--query-timeout",
+        type=float,
+        default=2.0,
+        help="per-query overlay deadline in seconds (default: 2.0)",
+    )
 
 
 def _build_cache_parser(commands) -> None:
@@ -538,6 +648,7 @@ def _cmd_live(args, out) -> int:
         DownRequest,
         FaultRequest,
         OverlayStatusRequest,
+        ServeStatusRequest,
     )
     from .live.faults import FaultPlan, parse_partition_groups
     from .live.supervisor import LiveConfig, control_call, run_live
@@ -546,6 +657,8 @@ def _cmd_live(args, out) -> int:
         return _cmd_live_up(args, out, LiveConfig, run_live)
     address = (args.host, args.control_port)
     try:
+        if args.live_command == "query":
+            return _cmd_live_query(args, out, address)
         if args.live_command == "status":
             reply = control_call(address, OverlayStatusRequest())
             payload = {
@@ -556,6 +669,26 @@ def _cmd_live(args, out) -> int:
                 "expected_pairs": reply.expected_pairs,
                 "crashes": reply.crashes,
             }
+            try:
+                # Answered only when a serving front end is attached; the
+                # short timeout is the "no serving surface" signal.
+                serve = control_call(
+                    address, ServeStatusRequest(), timeout=0.5
+                )
+                payload["serve"] = {
+                    "requests": serve.requests,
+                    "ok": serve.ok,
+                    "client_errors": serve.client_errors,
+                    "server_errors": serve.server_errors,
+                    "rate_limited": serve.rate_limited,
+                    "cache_hits": serve.cache_hits,
+                    "cache_misses": serve.cache_misses,
+                    "monitors_verified": serve.monitors_verified,
+                    "monitors_rejected": serve.monitors_rejected,
+                    "queries_timed_out": serve.queries_timed_out,
+                }
+            except (TimeoutError, asyncio.TimeoutError):
+                pass
             if args.json:
                 print(json.dumps(payload, indent=2, sort_keys=True), file=out)
             else:
@@ -680,6 +813,7 @@ def _cmd_live_up(args, out, LiveConfig, run_live) -> int:
             crash_after=args.crash_after,
             crash_downtime=args.crash_downtime,
             control_port=args.control_port,
+            serve_port=args.serve,
             state_dir=args.state_dir,
             fault=args.fault,
             fault_params=fault_params,
@@ -758,12 +892,124 @@ def _cmd_live_up(args, out, LiveConfig, run_live) -> int:
     return 1 if failures else 0
 
 
+def _observer_backend(info, *, host: str, query_timeout: float):
+    """An :class:`~repro.serve.backend.OverlayBackend` for the overlay an
+    :class:`~repro.live.control.OverlayInfoReply` describes."""
+    from .core.condition import ConsistencyCondition
+    from .serve.backend import OverlayBackend
+
+    condition = ConsistencyCondition(info.k, info.nodes, info.hash_algorithm)
+    return OverlayBackend(
+        condition,
+        (info.introducer_host, info.introducer_port),
+        host=host,
+        query_timeout=query_timeout,
+    )
+
+
+def _cmd_live_query(args, out, address) -> int:
+    from .live.control import OverlayInfoRequest
+    from .live.supervisor import control_call
+    from .serve.service import result_json
+
+    info = control_call(address, OverlayInfoRequest())
+    # The query transport binds loopback for a local overlay; for a remote
+    # control host it must accept replies on any interface.
+    bind = "127.0.0.1" if args.host in ("127.0.0.1", "localhost") else "0.0.0.0"
+
+    async def run_query():
+        backend = _observer_backend(
+            info, host=bind, query_timeout=args.timeout
+        )
+        await backend.start()
+        try:
+            return await backend.query(args.target, l=args.l)
+        finally:
+            await backend.close()
+
+    result = asyncio.run(run_query())
+    payload = result_json(result)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        flags = []
+        if result.timed_out:
+            flags.append("timed out")
+        if not result.policy_satisfied:
+            flags.append(f"policy unsatisfied (wanted l={args.l})")
+        note = f"  [{', '.join(flags)}]" if flags else ""
+        print(
+            f"node {result.subject}: availability "
+            f"{result.availability:.4f}{note}",
+            file=out,
+        )
+        print(
+            f"monitors: verified={sorted(result.verified_monitors)} "
+            f"rejected={sorted(result.rejected_monitors)} "
+            f"answered={result.monitors_answered}/{result.monitors_queried}",
+            file=out,
+        )
+        for monitor, value in sorted(result.reports.items()):
+            print(f"  monitor {monitor}: {value:.4f}", file=out)
+    return 0 if result.policy_satisfied else 1
+
+
+def _cmd_serve(args, out) -> int:
+    from .live.control import OverlayInfoRequest
+    from .live.supervisor import control_call
+    from .serve.http import serve_http
+    from .serve.service import AvailabilityService, ServeConfig
+
+    address = (args.host, args.control_port)
+    try:
+        info = control_call(address, OverlayInfoRequest())
+    except (TimeoutError, asyncio.TimeoutError, OSError):
+        print(
+            f"error: no overlay answered at {address[0]}:{address[1]} "
+            f"(is `avmon live up` running with this control port?)",
+            file=sys.stderr,
+        )
+        return 1
+    config = ServeConfig(
+        cache_ttl=args.cache_ttl,
+        global_rate=args.global_rate,
+        global_burst=args.global_burst,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        max_concurrency=args.max_concurrency,
+        query_timeout=args.query_timeout,
+    )
+
+    async def serve_forever() -> None:
+        backend = _observer_backend(
+            info, host=args.bind, query_timeout=args.query_timeout
+        )
+        await backend.start()
+        service = AvailabilityService(backend, config)
+        server = await serve_http(service, args.bind, args.port)
+        port = server.sockets[0].getsockname()[1]
+        print(
+            f"serving availability for the {info.nodes}-node overlay on "
+            f"http://{args.bind}:{port} (Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await backend.close()
+
+    asyncio.run(serve_forever())
+    return 0
+
+
 def _cmd_bench(args, out) -> int:
     from .experiments.bench import run_bench
 
     try:
         results = run_bench(
-            args.which,
+            "serve" if args.serve else args.which,
             scale=args.scale,
             out_dir=args.out_dir,
             label=args.label,
@@ -787,6 +1033,24 @@ def _cmd_bench(args, out) -> int:
                         "",
                     )
                     print(f"{metric:<32} {values['wall_s']:>9.4f}s  {rate}", file=out)
+            elif suite == "serve":
+                for cell in payload["cells"]:
+                    sustained = cell["sustained"]
+                    overload = cell["overload"]
+                    shed = overload["counters"]["totals"]["rate_limited"]
+                    print(
+                        f"n={cell['n']:<4} {sustained['wall_rps']:>7,} req/s "
+                        f"sustained  hit_ratio="
+                        f"{sustained['counters']['hit_ratio']}  "
+                        f"overload shed {shed}/{overload['offered']}",
+                        file=out,
+                    )
+                print(
+                    f"{payload['requests_total']} requests, "
+                    f"{payload['server_errors_total']} server errors, "
+                    f"total wall: {payload['total_wall_s']}s",
+                    file=out,
+                )
             else:
                 for cell in payload["cells"]:
                     print(
@@ -891,6 +1155,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_sweep(args, out)
         if args.command == "live":
             return _cmd_live(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
         if args.command == "bench":
             return _cmd_bench(args, out)
         if args.command == "cache":

@@ -37,6 +37,7 @@ from ..sim.engine import Simulator
 __all__ = [
     "MICRO_FILENAME",
     "SWEEP_FILENAME",
+    "SERVE_FILENAME",
     "run_micro_bench",
     "run_sweep_bench",
     "append_entry",
@@ -45,6 +46,7 @@ __all__ = [
 
 MICRO_FILENAME = "BENCH_micro.json"
 SWEEP_FILENAME = "BENCH_sweep.json"
+SERVE_FILENAME = "BENCH_serve.json"
 BENCH_SCHEMA = 1
 
 #: Micro-bench sizing per scale: (hash calls, condition checks, relation
@@ -321,6 +323,20 @@ def run_bench(
         print(
             f"bench: sweep ({sweep_results['total_wall_s']}s serial) -> "
             f"{root / SWEEP_FILENAME}",
+            file=out,
+        )
+    # The serving-load bench is deliberately NOT part of "all": the CI
+    # perf-smoke determinism gate runs `bench all` twice and its contract
+    # stays micro+sweep; serve has its own gate in the serve-smoke job.
+    if which == "serve":
+        from ..serve.bench import run_serve_bench
+
+        serve_results = run_serve_bench(scale)
+        append_entry(root / SERVE_FILENAME, _entry(label, scale, serve_results))
+        produced["serve"] = serve_results
+        print(
+            f"bench: serve ({serve_results['requests_total']} requests, "
+            f"{serve_results['total_wall_s']}s) -> {root / SERVE_FILENAME}",
             file=out,
         )
     return produced

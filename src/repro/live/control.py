@@ -39,6 +39,10 @@ __all__ = [
     "FaultUpdate",
     "DownRequest",
     "DownAck",
+    "OverlayInfoRequest",
+    "OverlayInfoReply",
+    "ServeStatusRequest",
+    "ServeStatusReply",
     "CONTROL_TYPES",
 ]
 
@@ -125,6 +129,11 @@ class StatusReply:
     tick_errors: int = 0
     handler_errors: int = 0
     joins_throttled: int = 0
+    #: §3.3 query traffic this node served (see the serving surface in
+    #: :mod:`repro.serve`): monitor-set reports about itself, and
+    #: availability histories about its pinging targets.
+    reports_served: int = 0
+    histories_served: int = 0
 
 
 @dataclass(frozen=True)
@@ -198,6 +207,62 @@ class FaultUpdate:
 
 
 @dataclass(frozen=True)
+class OverlayInfoRequest:
+    """Client discovery: ask the supervisor how to join as an observer.
+
+    ``avmon live query`` and ``avmon serve`` need the introducer address
+    plus the overlay's consistency parameters to run verified queries;
+    this fetches them from the control port instead of making the
+    operator repeat ``--nodes/--k/--cvs`` on every invocation.
+    """
+
+    probe: int = 0
+
+
+@dataclass(frozen=True)
+class OverlayInfoReply:
+    """Everything an observer client needs to query the overlay."""
+
+    probe: int = 0
+    nodes: int = 0
+    k: int = 0
+    cvs: int = 0
+    hash_algorithm: str = "sha1"
+    introducer_host: str = ""
+    introducer_port: int = 0
+    epoch: float = 0.0
+
+
+@dataclass(frozen=True)
+class ServeStatusRequest:
+    """Operator probe of an attached serving front end."""
+
+    probe: int = 0
+
+
+@dataclass(frozen=True)
+class ServeStatusReply:
+    """Serving-surface counters, scraped over the control plane.
+
+    A flat projection of the service's ``/metrics`` totals — enough for
+    ``avmon live status`` to show whether the front end is healthy and
+    shedding correctly without speaking HTTP.
+    """
+
+    probe: int = 0
+    requests: int = 0
+    ok: int = 0
+    client_errors: int = 0
+    server_errors: int = 0
+    rate_limited: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    monitors_verified: int = 0
+    monitors_rejected: int = 0
+    queries_timed_out: int = 0
+
+
+@dataclass(frozen=True)
 class DownRequest:
     """Operator teardown (``avmon live down``)."""
 
@@ -228,6 +293,10 @@ CONTROL_TYPES = (
     FaultRequest,
     FaultReply,
     FaultUpdate,
+    OverlayInfoRequest,
+    OverlayInfoReply,
+    ServeStatusRequest,
+    ServeStatusReply,
     DownRequest,
     DownAck,
 )

@@ -66,6 +66,12 @@ SUPERVISOR = "supervisor"
 #: The introducer's endpoint label.
 INTRODUCER = "introducer"
 
+#: The serving front end's observer-client endpoint label (see
+#: :mod:`repro.serve`): partitioning it from the overlay exercises the
+#: query path's timeout/partial-result handling without touching the
+#: protocol traffic between nodes.
+SERVE = "serve"
+
 
 def _check_probability(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
@@ -408,7 +414,7 @@ def _label_token(label: Optional[Label]) -> str:
 
 
 #: String labels a partition spec may name besides integer node ids.
-_KNOWN_LABELS = (SUPERVISOR, INTRODUCER)
+_KNOWN_LABELS = (SUPERVISOR, INTRODUCER, SERVE)
 
 
 def parse_partition_groups(text: str) -> Tuple[Tuple[Label, ...], ...]:

@@ -308,10 +308,19 @@ class MemoryOverlay:
         *,
         plan: Optional[FaultPlan] = None,
         store: Optional[SummaryStore] = None,
+        workload: Optional[Callable[["MemoryOverlay"], Any]] = None,
     ) -> None:
         self.config = config
         self.plan = plan if plan is not None else config.resolved_fault_plan()
         self.store = store
+        #: Optional async ``workload(overlay)`` started once every node is
+        #: booted and awaited before the final scrape — how the serving
+        #: surface (and its load bench) runs against this fabric: the hook
+        #: can build a :func:`repro.serve.memory_backend`, drive requests
+        #: on the virtual clock, and leave its findings in
+        #: :attr:`workload_result`.
+        self._workload = workload
+        self.workload_result: Any = None
         self.condition = ConsistencyCondition(
             config.resolved_k(), config.nodes, config.hash_algorithm
         )
@@ -428,6 +437,7 @@ class MemoryOverlay:
         self._own_state_dir = not config.state_dir
         self._state_dir.mkdir(parents=True, exist_ok=True)
         chaos_task: Optional[asyncio.Task] = None
+        workload_task: Optional[asyncio.Task] = None
         try:
             for node_id in range(config.nodes):
                 await self._boot_node(node_id, introducer_addr)
@@ -435,6 +445,8 @@ class MemoryOverlay:
                 chaos_task = asyncio.create_task(
                     self._crash_and_respawn(introducer_addr)
                 )
+            if self._workload is not None:
+                workload_task = asyncio.create_task(self._workload(self))
             deadline = loop.time() + config.duration
             next_sample = loop.time() + config.sample_interval
             scrape_timeout = max(0.5, config.ping_timeout * 4)
@@ -454,6 +466,12 @@ class MemoryOverlay:
                 # respawn that is mid-boot finish so teardown is orderly.
                 await chaos_task
                 chaos_task = None
+            if workload_task is not None:
+                # A workload still in flight at the deadline runs to
+                # completion (virtual time: effectively free) — a half
+                # -driven request schedule would be nondeterministic.
+                self.workload_result = await workload_task
+                workload_task = None
             # The final scrape feeds the audit: retry harder, so a lossy
             # regime degrades the *measured* discovery ratio, not the
             # measurement itself (6 probe losses in a row at 20% loss is
@@ -463,12 +481,13 @@ class MemoryOverlay:
             )
             final_alive = self.introducer.alive_count()
         finally:
-            if chaos_task is not None:
-                chaos_task.cancel()
-                try:
-                    await chaos_task
-                except (asyncio.CancelledError, Exception):  # noqa: BLE001
-                    pass
+            for task in (chaos_task, workload_task):
+                if task is not None:
+                    task.cancel()
+                    try:
+                        await task
+                    except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                        pass
             for node in self.nodes.values():
                 await node.stop(graceful=False)
             scraper.close()

@@ -32,7 +32,7 @@ from typing import Any, Callable, List, Optional, Tuple
 from ..core.condition import ConsistencyCondition
 from ..core.config import AvmonConfig
 from ..core.hashing import NodeId
-from ..core.messages import Join, Message
+from ..core.messages import HistoryRequest, Join, Message, ReportRequest
 from ..core.node import AvmonNode, MetricsSink, TimerHandle
 from ..core.relation import MonitorRelation
 from ..ioutils import atomic_write_text
@@ -252,6 +252,11 @@ class LiveNode:
         self.tick_errors = 0
         #: JOIN datagrams dropped by the per-origin admission budget.
         self.joins_throttled = 0
+        #: §3.3 query traffic served: monitor-set reports about *this*
+        #: node, and availability histories this node reported about its
+        #: pinging targets (the serving surface's demand, seen node-side).
+        self.reports_served = 0
+        self.histories_served = 0
         #: JSON of the fault plan currently applied ("" = perfect network).
         self._fault_plan_json = ""
         self._join_window_start = 0.0
@@ -431,6 +436,10 @@ class LiveNode:
         if isinstance(message, Message):
             if isinstance(message, Join) and not self._admit_join(message.origin):
                 return
+            if isinstance(message, ReportRequest):
+                self.reports_served += 1
+            elif isinstance(message, HistoryRequest):
+                self.histories_served += 1
             for node_id in referenced_ids(message):
                 self.relation.add_node(node_id)
             # Passive address learning: the peer is reachable where the
@@ -584,6 +593,8 @@ class LiveNode:
             tick_errors=self.tick_errors,
             handler_errors=stats.handler_errors,
             joins_throttled=self.joins_throttled,
+            reports_served=self.reports_served,
+            histories_served=self.histories_served,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

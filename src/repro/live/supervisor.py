@@ -60,8 +60,11 @@ from .control import (
     FaultReply,
     FaultRequest,
     FaultUpdate,
+    OverlayInfoReply,
+    OverlayInfoRequest,
     OverlayStatusReply,
     OverlayStatusRequest,
+    ServeStatusRequest,
     StatusReply,
     StatusRequest,
 )
@@ -120,6 +123,9 @@ class LiveConfig:
     host: str = "127.0.0.1"
     #: Operator control endpoint; 0 binds an ephemeral port, -1 disables.
     control_port: int = 0
+    #: HTTP availability-serving port; 0 binds an ephemeral port, None
+    #: (the default) runs the overlay without a serving front end.
+    serve_port: Optional[int] = None
     sample_interval: float = 2.0
     heartbeat_interval: float = 0.5
     introducer_ttl: float = 2.5
@@ -661,6 +667,11 @@ class LiveSupervisor:
         self._crash_victims: List[NodeId] = []
         self._memory_series: Dict[NodeId, List[float]] = {}
         self._last_statuses: Dict[NodeId, StatusReply] = {}
+        #: Attached serving front end (``--serve``): the HTTP server, its
+        #: service (for control-plane status projection) and its backend.
+        self._serve_server = None
+        self._serve_service = None
+        self._serve_backend = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -713,6 +724,8 @@ class LiveSupervisor:
             for _ in range(config.nodes):
                 self._spawn_new(introducer_addr)
             await self._await_boot()
+            if config.serve_port is not None and config.serve_port >= 0:
+                await self._start_serve(introducer_addr)
             self._bind_churn()
             if config.crash_after is not None:
                 self.sim.schedule(config.crash_after, self._inject_crash)
@@ -788,8 +801,52 @@ class LiveSupervisor:
                         float(status.memory_entries)
                     )
 
+    async def _start_serve(self, introducer_addr: Address) -> None:
+        """Attach the HTTP availability front end to this overlay.
+
+        Imported lazily: the supervisor must stay importable (and the
+        overlay bootable) even if the serve layer is absent or broken.
+        """
+        from ..serve.backend import OverlayBackend
+        from ..serve.http import serve_http
+        from ..serve.service import AvailabilityService, ServeConfig
+
+        backend = OverlayBackend(
+            self.condition,
+            introducer_addr,
+            host=self.config.host,
+            query_timeout=max(2.0, self.config.ping_timeout * 8),
+        )
+        await backend.start()
+        service = AvailabilityService(backend, ServeConfig())
+        server = await serve_http(
+            service, self.config.host, self.config.serve_port
+        )
+        self._serve_backend = backend
+        self._serve_service = service
+        self._serve_server = server
+        port = server.sockets[0].getsockname()[1]
+        print(
+            f"live: serving availability on "
+            f"http://{self.config.host}:{port}",
+            file=sys.stderr,
+        )
+
+    async def _stop_serve(self) -> None:
+        if self._serve_server is not None:
+            self._serve_server.close()
+            try:
+                await self._serve_server.wait_closed()
+            except Exception:  # noqa: BLE001 — teardown is best-effort
+                pass
+            self._serve_server = None
+        if self._serve_backend is not None:
+            await self._serve_backend.close()
+            self._serve_backend = None
+
     async def _teardown(self) -> None:
         self._running = False
+        await self._stop_serve()
         if self.sim is not None:
             self.sim.cancel_all()
         for handle in self._handles.values():
@@ -1124,6 +1181,28 @@ class LiveSupervisor:
                     break
                 victims.append(victim)
             self._control.send_to(addr, ChaosReply(victims=tuple(victims)))
+        elif isinstance(message, OverlayInfoRequest):
+            self._control.send_to(
+                addr,
+                OverlayInfoReply(
+                    probe=message.probe,
+                    nodes=self.config.nodes,
+                    k=self.config.resolved_k(),
+                    cvs=self.config.resolved_cvs(),
+                    hash_algorithm=self.config.hash_algorithm,
+                    introducer_host=self.introducer.address[0],
+                    introducer_port=self.introducer.address[1],
+                    epoch=self.introducer.epoch,
+                ),
+            )
+        elif isinstance(message, ServeStatusRequest):
+            # Only answered when a serving front end is attached: the
+            # client's timeout is the "no serving surface" signal.
+            if self._serve_service is not None:
+                self._control.send_to(
+                    addr,
+                    self._serve_service.serve_status_reply(message.probe),
+                )
         elif isinstance(message, FaultRequest):
             applied = self.push_fault_plan(
                 message.plan, merge=message.merge

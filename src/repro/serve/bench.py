@@ -1,0 +1,262 @@
+"""Serving-surface load bench: sustained requests/s vs overlay size.
+
+Each cell boots a complete in-memory overlay (real introducer, real
+``LiveNode`` instances, WAN-flavoured fault plan so latencies are
+non-trivial), attaches the serving stack through the overlay's
+``workload`` hook, and drives a seeded request schedule through the
+actual HTTP parse path (:class:`~repro.serve.http.MemoryHttpClient`) in
+two phases:
+
+* **sustained** — paced batches under a generous rate budget: measures
+  wall requests/s (the machine-dependent number) plus the deterministic
+  counters (request totals, cache hits, verification outcomes,
+  virtual-clock latency percentiles) CI gates on;
+* **overload** — a burst far beyond a deliberately tight budget against
+  a second service instance: proves the limiter sheds with 429s and
+  **zero** 5xx when offered load exceeds the budget.
+
+Results append to repo-root ``BENCH_serve.json`` under the trajectory
+conventions of :mod:`repro.experiments.bench`: the ``counters`` sections
+are byte-stable per seed; ``wall_*`` numbers are for humans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Dict, List
+
+from ..live.memory_transport import MemoryOverlay
+from ..live.supervisor import LiveConfig
+from .backend import memory_backend
+from .http import MemoryHttpClient
+from .service import AvailabilityService, ServeConfig
+
+__all__ = ["SERVE_SIZES", "run_serve_bench"]
+
+#: Overlay sizes per scale.  ``test`` keeps CI quick while still pushing
+#: >=1k requests through the HTTP surface across the run.
+SERVE_SIZES = {
+    "paper": (25, 100, 400),
+    "bench": (25, 100, 400),
+    "test": (10, 25),
+}
+
+#: Sustained-phase requests per cell, by scale.
+_SUSTAINED_REQUESTS = {"paper": 1600, "bench": 1600, "test": 640}
+
+#: Overload-phase burst size per cell, by scale.
+_OVERLOAD_BURST = {"paper": 320, "bench": 320, "test": 160}
+
+#: Seconds the overlay runs before the first request (monitor discovery).
+_SETTLE_SECONDS = 12.0
+
+
+def _schedule(rng: random.Random, nodes: int, count: int) -> List[dict]:
+    """A deterministic request mix with a popular head for cache hits."""
+    head = max(1, nodes // 5)
+    requests: List[dict] = []
+    for _ in range(count):
+        draw = rng.random()
+        if draw < 0.05:
+            requests.append({"path": "/nodes"})
+        elif draw < 0.12:
+            subject = rng.randrange(nodes)
+            requests.append({"path": f"/monitors/{subject}"})
+        else:
+            if rng.random() < 0.7:
+                subject = rng.randrange(head)  # hot key
+            else:
+                subject = rng.randrange(nodes)
+            l = 2 if rng.random() < 0.2 else 1
+            requests.append({"path": f"/availability/{subject}?l={l}"})
+    return requests
+
+
+async def _drive(
+    http: MemoryHttpClient,
+    requests: List[dict],
+    *,
+    concurrency: int,
+    pace: float,
+    client_pool: int,
+) -> Dict[str, int]:
+    """Issue *requests* in paced batches; returns a status-code tally."""
+    tally: Dict[str, int] = {}
+    for start in range(0, len(requests), concurrency):
+        batch = requests[start : start + concurrency]
+        results = await asyncio.gather(
+            *[
+                http.request(
+                    "GET",
+                    item["path"],
+                    headers={
+                        "X-Client-Id": f"bench-{(start + i) % client_pool}"
+                    },
+                )
+                for i, item in enumerate(batch)
+            ]
+        )
+        for status, _, _ in results:
+            key = str(status)
+            tally[key] = tally.get(key, 0) + 1
+        # Advance the virtual clock between batches: TTLs age, token
+        # buckets refill, latency timers fire — all deterministically.
+        await asyncio.sleep(pace)
+    return dict(sorted(tally.items()))
+
+
+def _counters(service: AvailabilityService) -> dict:
+    """The deterministic (CI-gated) slice of a service's metrics."""
+    metrics = service.metrics.to_dict(
+        cache_stats=service.cache.stats.to_dict()
+    )
+    return {
+        "totals": metrics["totals"],
+        "cache": metrics["cache"],
+        "hit_ratio": round(service.cache.stats.hit_ratio, 4),
+        "query": metrics["query"],
+        "shed_overload": metrics["shed_overload"],
+        "availability_latency": metrics["endpoints"].get(
+            "/availability", {"p50_ms": 0.0}
+        ),
+    }
+
+
+def _bench_cell(n: int, scale: str, seed: int) -> dict:
+    """Run one overlay size end to end; returns the cell's results."""
+    sustained_n = _SUSTAINED_REQUESTS[scale]
+    burst_n = _OVERLOAD_BURST[scale]
+    rng = random.Random(seed * 10_007 + n)
+    sustained_schedule = _schedule(rng, n, sustained_n)
+    wall: Dict[str, float] = {}
+
+    async def workload(overlay: MemoryOverlay) -> dict:
+        await asyncio.sleep(_SETTLE_SECONDS)
+        backend = memory_backend(overlay)
+        await backend.start()
+        loop = asyncio.get_running_loop()
+        serve_config = ServeConfig(
+            cache_ttl=2.0,
+            global_rate=100_000.0,
+            global_burst=100_000.0,
+            client_rate=50_000.0,
+            client_burst=50_000.0,
+            max_concurrency=256,
+            query_timeout=1.0,
+        )
+        service = AvailabilityService(backend, serve_config, clock=loop.time)
+        http = MemoryHttpClient(service)
+        try:
+            started = time.perf_counter()
+            virtual_start = loop.time()
+            sustained_tally = await _drive(
+                http,
+                sustained_schedule,
+                concurrency=16,
+                pace=0.05,
+                client_pool=8,
+            )
+            wall["sustained_s"] = time.perf_counter() - started
+            virtual_elapsed = loop.time() - virtual_start
+
+            # Overload: a fresh service with a tight budget over the same
+            # backend; the burst far exceeds it, so the limiter must shed
+            # with 429s while the admitted slice still succeeds.
+            shed_config = ServeConfig(
+                cache_ttl=2.0,
+                global_rate=50.0,
+                global_burst=32.0,
+                client_rate=50_000.0,
+                client_burst=50_000.0,
+                max_concurrency=256,
+                query_timeout=1.0,
+            )
+            shed_service = AvailabilityService(
+                backend, shed_config, clock=loop.time
+            )
+            shed_http = MemoryHttpClient(shed_service)
+            overload_schedule = _schedule(rng, n, burst_n)
+            overload_tally = await _drive(
+                shed_http,
+                overload_schedule,
+                concurrency=64,
+                pace=0.01,
+                client_pool=8,
+            )
+            return {
+                "sustained_tally": sustained_tally,
+                "sustained_virtual_s": round(virtual_elapsed, 3),
+                "sustained_counters": _counters(service),
+                "overload_tally": overload_tally,
+                "overload_counters": _counters(shed_service),
+            }
+        finally:
+            await backend.close()
+
+    config = LiveConfig(
+        nodes=n,
+        duration=_SETTLE_SECONDS + 2.0,
+        seed=seed,
+        fault="WAN",
+        label=f"serve-bench-n{n}",
+    )
+    overlay = MemoryOverlay(config, workload=workload)
+    cell_start = time.perf_counter()
+    overlay.run()
+    cell_wall = time.perf_counter() - cell_start
+    out = overlay.workload_result
+    sustained_wall = wall.get("sustained_s", 0.0)
+    return {
+        "n": n,
+        "seed": seed,
+        "wall_s": round(cell_wall, 3),
+        "sustained": {
+            "requests": sustained_n,
+            "wall_s": round(sustained_wall, 3),
+            "wall_rps": round(sustained_n / sustained_wall)
+            if sustained_wall > 0
+            else 0,
+            "virtual_s": out["sustained_virtual_s"],
+            "tally": out["sustained_tally"],
+            "counters": out["sustained_counters"],
+        },
+        "overload": {
+            "offered": burst_n,
+            "tally": out["overload_tally"],
+            "counters": out["overload_counters"],
+        },
+    }
+
+
+def run_serve_bench(scale: str = "bench", *, seed: int = 1) -> dict:
+    """The full serving-load trajectory entry: one cell per overlay size."""
+    try:
+        sizes = SERVE_SIZES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench scale {scale!r}; expected one of "
+            f"{sorted(SERVE_SIZES)}"
+        ) from None
+    cells = [_bench_cell(n, scale, seed) for n in sizes]
+    total_requests = sum(
+        cell["sustained"]["requests"] + cell["overload"]["offered"]
+        for cell in cells
+    )
+    shed_total = sum(
+        cell["overload"]["counters"]["totals"]["rate_limited"]
+        for cell in cells
+    )
+    error_total = sum(
+        cell["sustained"]["counters"]["totals"]["server_errors"]
+        + cell["overload"]["counters"]["totals"]["server_errors"]
+        for cell in cells
+    )
+    return {
+        "cells": cells,
+        "requests_total": total_requests,
+        "rate_limited_total": shed_total,
+        "server_errors_total": error_total,
+        "total_wall_s": round(sum(cell["wall_s"] for cell in cells), 2),
+    }

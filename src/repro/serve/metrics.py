@@ -1,0 +1,152 @@
+"""Per-endpoint serving metrics: counters and latency percentiles.
+
+Everything here is deterministic given a deterministic request schedule:
+counters are plain integers, and latency percentiles come from a bounded
+ring of the most recent samples (no randomized reservoir), measured on an
+injectable clock — the virtual clock on the memory fabric.  That is what
+lets CI assert byte-identical ``/metrics`` counters across two identical
+seeded runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyTracker", "EndpointMetrics", "ServeMetrics"]
+
+
+class LatencyTracker:
+    """Latency percentiles over a bounded window of recent samples."""
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._samples: List[float] = []
+        self._next = 0  # ring cursor once the window is full
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if len(self._samples) < self.window:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._next] = seconds
+            self._next = (self._next + 1) % self.window
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (q in [0, 100]) over the window."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "p50_ms": round(self.percentile(50) * 1000.0, 3),
+            "p95_ms": round(self.percentile(95) * 1000.0, 3),
+            "p99_ms": round(self.percentile(99) * 1000.0, 3),
+            "mean_ms": round(
+                (self.total / self.count) * 1000.0 if self.count else 0.0, 3
+            ),
+        }
+
+
+@dataclass
+class EndpointMetrics:
+    """Counters for one endpoint (one instance per route)."""
+
+    requests: int = 0
+    ok: int = 0
+    client_errors: int = 0  # 4xx
+    server_errors: int = 0  # 5xx
+    rate_limited: int = 0  # 429 subset of client_errors
+    latency: LatencyTracker = field(default_factory=LatencyTracker)
+
+    def record(self, status: int, seconds: float) -> None:
+        self.requests += 1
+        if status >= 500:
+            self.server_errors += 1
+        elif status == 429:
+            self.rate_limited += 1
+            self.client_errors += 1
+        elif status >= 400:
+            self.client_errors += 1
+        else:
+            self.ok += 1
+        self.latency.observe(seconds)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "requests": self.requests,
+            "ok": self.ok,
+            "client_errors": self.client_errors,
+            "server_errors": self.server_errors,
+            "rate_limited": self.rate_limited,
+        }
+        out.update(self.latency.summary())
+        return out
+
+
+class ServeMetrics:
+    """The service's whole metrics surface (rendered by ``/metrics``)."""
+
+    def __init__(self) -> None:
+        self._endpoints: Dict[str, EndpointMetrics] = {}
+        #: §3.3 verification outcomes across all served queries.
+        self.monitors_verified = 0
+        self.monitors_rejected = 0
+        #: Queries whose overlay deadline fired with answers missing.
+        self.queries_timed_out = 0
+        #: Requests rejected by admission control (concurrency bound).
+        self.shed_overload = 0
+
+    def endpoint(self, route: str) -> EndpointMetrics:
+        metrics = self._endpoints.get(route)
+        if metrics is None:
+            metrics = self._endpoints[route] = EndpointMetrics()
+        return metrics
+
+    def record_query_result(self, result) -> None:
+        """Fold one QueryResult's verification outcome into the counters."""
+        self.monitors_verified += len(result.verified_monitors)
+        self.monitors_rejected += len(result.rejected_monitors)
+        if result.timed_out:
+            self.queries_timed_out += 1
+
+    def totals(self) -> Dict[str, int]:
+        return {
+            "requests": sum(m.requests for m in self._endpoints.values()),
+            "ok": sum(m.ok for m in self._endpoints.values()),
+            "client_errors": sum(
+                m.client_errors for m in self._endpoints.values()
+            ),
+            "server_errors": sum(
+                m.server_errors for m in self._endpoints.values()
+            ),
+            "rate_limited": sum(
+                m.rate_limited for m in self._endpoints.values()
+            ),
+        }
+
+    def to_dict(self, *, cache_stats: Optional[Dict[str, int]] = None) -> Dict:
+        body: Dict[str, object] = {
+            "totals": self.totals(),
+            "endpoints": {
+                route: self._endpoints[route].to_dict()
+                for route in sorted(self._endpoints)
+            },
+            "query": {
+                "monitors_verified": self.monitors_verified,
+                "monitors_rejected": self.monitors_rejected,
+                "timed_out": self.queries_timed_out,
+            },
+            "shed_overload": self.shed_overload,
+        }
+        if cache_stats is not None:
+            body["cache"] = cache_stats
+        return body

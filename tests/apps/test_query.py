@@ -92,3 +92,127 @@ class TestQueryFlow:
             QueryClient(1, condition, host, min_monitors=0)
         with pytest.raises(ValueError):
             QueryClient(1, condition, host, timeout=0.0)
+        with pytest.raises(ValueError):
+            QueryClient(1, condition, host, report_retries=-1)
+        client = QueryClient(1, condition, host)
+        with pytest.raises(ValueError):
+            client.query(5, lambda _: None, min_monitors=0)
+        with pytest.raises(ValueError):
+            client.query(5, lambda _: None, timeout=-1.0)
+
+
+class TestDeadlinesAndPartialResults:
+    def _alive_subject(self, system, min_ps=1):
+        result, client = system
+        return next(
+            node.id
+            for node in result.cluster.nodes.values()
+            if len(node.ps) >= min_ps
+            and result.network.is_alive(node.id)
+            and node.id not in client.pending_subjects()
+        )
+
+    def test_per_request_min_monitors_override(self, system):
+        subject = self._alive_subject(system, min_ps=2)
+        query_result = run_query(system, subject, min_monitors=2)
+        # Whether or not the policy is satisfiable with l=2, the request
+        # must carry the override: either >=2 verified monitors, or the
+        # policy honestly reported unsatisfied.
+        if query_result.policy_satisfied:
+            assert len(query_result.verified_monitors) >= 2
+
+    def test_down_subject_marks_timeout(self, system):
+        result, client = system
+        sim = result.cluster.sim
+        victim = self._alive_subject(system)
+        result.cluster.take_down(victim)
+        outcome = []
+        client.query(victim, outcome.append, timeout=5.0)
+        sim.run_until(sim.now + 6.0)
+        assert len(outcome) == 1
+        assert outcome[0].timed_out
+        assert outcome[0].monitors_queried == 0
+        assert outcome[0].monitors_answered == 0
+        result.cluster.bring_up(victim)
+
+    def test_partial_result_when_monitors_die_mid_query(self, system):
+        result, client = system
+        sim = result.cluster.sim
+        subject_node = next(
+            node
+            for node in result.cluster.nodes.values()
+            if len(node.ps) >= 2
+            and result.network.is_alive(node.id)
+            and node.id not in client.pending_subjects()
+        )
+        # Take the subject's whole monitor set down: the report phase
+        # still verifies (the subject itself answers), but no history
+        # reply can arrive — the query must finish at the deadline with
+        # an honest partial (here: empty) aggregate, not stall forever.
+        casualties = [
+            monitor
+            for monitor in subject_node.ps
+            if result.network.is_alive(monitor)
+        ]
+        assert casualties, "test premise: subject has alive monitors"
+        for monitor in casualties:
+            result.cluster.take_down(monitor)
+        try:
+            outcome = []
+            client.query(
+                subject_node.id, outcome.append, min_monitors=2, timeout=5.0
+            )
+            sim.run_until(sim.now + 6.0)
+            assert len(outcome) == 1
+            partial = outcome[0]
+            assert partial.timed_out
+            assert not partial.complete
+            assert partial.verified_monitors
+            assert partial.monitors_queried == len(partial.verified_monitors)
+            assert partial.monitors_answered < partial.monitors_queried
+        finally:
+            for monitor in casualties:
+                result.cluster.bring_up(monitor)
+
+    def test_fetch_monitors_skips_history_phase(self, system):
+        subject = self._alive_subject(system)
+        result, client = system
+        sim = result.cluster.sim
+        outcome = []
+        client.fetch_monitors(subject, outcome.append)
+        sim.run_until(sim.now + 30.0)
+        assert len(outcome) == 1
+        fetched = outcome[0]
+        assert fetched.verified_monitors
+        assert fetched.reports == {}
+        assert fetched.monitors_queried == 0
+        assert not fetched.timed_out
+
+    def test_report_retry_recovers_lost_request(self, system):
+        result, client = system
+        sim = result.cluster.sim
+        subject = self._alive_subject(system)
+        # Swallow the first ReportRequest; the in-deadline retry must
+        # still complete the query.
+        real_send = client.runtime.send
+        dropped = []
+
+        def lossy_send(target, message):
+            from repro.core.messages import ReportRequest
+
+            if isinstance(message, ReportRequest) and not dropped:
+                dropped.append(message)
+                return
+            real_send(target, message)
+
+        client.runtime.send = lossy_send
+        try:
+            outcome = []
+            client.query(subject, outcome.append, timeout=8.0)
+            sim.run_until(sim.now + 10.0)
+        finally:
+            client.runtime.send = real_send
+        assert dropped, "test premise: first request was dropped"
+        assert len(outcome) == 1
+        assert outcome[0].policy_satisfied
+        assert not outcome[0].timed_out

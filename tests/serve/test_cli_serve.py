@@ -1,0 +1,113 @@
+"""CLI coverage for ``avmon serve``, ``avmon live query`` and the serve
+bench wiring (``avmon bench serve`` -> BENCH_serve.json)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.control_port == 7711
+        assert args.port == 8080
+        assert args.bind == "127.0.0.1"
+        assert args.cache_ttl == 2.0
+        assert args.global_rate == 500.0
+        assert args.max_concurrency == 64
+
+    def test_live_up_serve_port(self):
+        args = build_parser().parse_args(["live", "up", "--serve", "8080"])
+        assert args.serve == 8080
+        assert build_parser().parse_args(["live", "up"]).serve is None
+
+    def test_live_query_arguments(self):
+        args = build_parser().parse_args(
+            ["live", "query", "3", "--l", "2", "--timeout", "5", "--json"]
+        )
+        assert args.live_command == "query"
+        assert args.target == 3
+        assert args.l == 2
+        assert args.timeout == 5.0
+        assert args.json
+        assert args.control_port == 7711
+
+    def test_bench_serve_suite(self):
+        assert build_parser().parse_args(["bench", "serve"]).which == "serve"
+        assert build_parser().parse_args(["bench", "--serve"]).serve
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "nonsense"])
+
+
+class TestMissingOverlay:
+    def test_serve_reports_missing_overlay(self):
+        out = io.StringIO()
+        assert main(["serve", "--control-port", "29998"], out=out) == 1
+
+    def test_live_query_reports_missing_overlay(self):
+        out = io.StringIO()
+        code = main(
+            ["live", "query", "3", "--control-port", "29998"], out=out
+        )
+        assert code == 1
+
+
+class TestBenchServe:
+    def test_bench_serve_appends_trajectory(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "bench", "serve", "--scale", "test",
+                "--out-dir", str(tmp_path), "--label", "cli-test", "--json",
+            ],
+            out=out,
+        )
+        assert code == 0
+        results = json.loads(out.getvalue())["serve"]
+        # >=1k requests through the HTTP surface, zero 5xx, and the
+        # limiter provably shed the overload phase's excess as 429s.
+        assert results["requests_total"] >= 1000
+        assert results["server_errors_total"] == 0
+        assert results["rate_limited_total"] > 0
+        for cell in results["cells"]:
+            assert cell["sustained"]["tally"].get("200", 0) > 0
+            assert cell["overload"]["tally"].get("429", 0) > 0
+            assert cell["sustained"]["counters"]["cache"]["hits"] > 0
+
+        trajectory = json.loads((tmp_path / "BENCH_serve.json").read_text())
+        assert trajectory["schema"] == 1
+        entry = trajectory["entries"][-1]
+        assert entry["label"] == "cli-test"
+        assert entry["scale"] == "test"
+        assert entry["results"]["cells"][0]["n"] == 10
+
+    def test_bench_all_excludes_serve(self, tmp_path, monkeypatch):
+        """The CI perf-smoke contract: `bench all` stays micro+sweep."""
+        import repro.experiments.bench as bench_mod
+
+        called = []
+        monkeypatch.setattr(
+            bench_mod, "run_micro_bench", lambda scale: called.append("micro") or {}
+        )
+        monkeypatch.setattr(
+            bench_mod,
+            "run_sweep_bench",
+            lambda scale, scale_out=None: called.append("sweep")
+            or {"cells": [], "total_wall_s": 0.0},
+        )
+        out = io.StringIO()
+        assert (
+            main(
+                ["bench", "all", "--scale", "test", "--out-dir", str(tmp_path)],
+                out=out,
+            )
+            == 0
+        )
+        assert called == ["micro", "sweep"]
+        assert not (tmp_path / "BENCH_serve.json").exists()

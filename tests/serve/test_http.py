@@ -1,0 +1,203 @@
+"""HTTP-layer unit tests: parsing, framing, keep-alive, error taxonomy.
+
+These run against a stub service (no overlay), so they pin down the
+protocol layer in isolation: every malformed input must produce a clean
+HTTP error response — never an exception, never a silent drop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_REQUEST_BYTES,
+    MemoryHttpClient,
+    handle_connection,
+)
+
+
+class StubService:
+    """Echoes routing information back; records what it was asked."""
+
+    def __init__(self):
+        self.calls = []
+
+    async def handle(self, method, target, body, client):
+        self.calls.append((method, target, body, client))
+        if target == "/boom":
+            raise RuntimeError("service bug")
+        return 200, {"method": method, "target": target, "client": client}, {}
+
+
+def drive(raw: bytes, service=None) -> bytes:
+    """Feed raw bytes through handle_connection; return response bytes."""
+
+    class Writer:
+        def __init__(self):
+            self.buffer = bytearray()
+
+        def write(self, data):
+            self.buffer.extend(data)
+
+        async def drain(self):
+            pass
+
+        def close(self):
+            pass
+
+        async def wait_closed(self):
+            pass
+
+        def get_extra_info(self, name, default=None):
+            return ("203.0.113.9", 55555) if name == "peername" else default
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        writer = Writer()
+        await handle_connection(
+            service if service is not None else StubService(), reader, writer
+        )
+        return bytes(writer.buffer)
+
+    return asyncio.run(scenario())
+
+
+def parse_all(raw: bytes):
+    """Split a byte stream of HTTP responses into (status, body) pairs."""
+    out = []
+    rest = raw
+    while rest:
+        head, _, tail = rest.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        status = int(lines[0].split()[1])
+        length = 0
+        for line in lines[1:]:
+            if line.lower().startswith("content-length:"):
+                length = int(line.split(":")[1])
+        body = json.loads(tail[:length]) if length else {}
+        out.append((status, body))
+        rest = tail[length:]
+    return out
+
+
+class TestParsing:
+    def test_simple_get(self):
+        service = StubService()
+        raw = b"GET /nodes HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        responses = parse_all(drive(raw, service))
+        assert responses == [
+            (200, {"method": "GET", "target": "/nodes", "client": "203.0.113.9"})
+        ]
+
+    def test_x_client_id_overrides_peer_address(self):
+        service = StubService()
+        raw = (
+            b"GET / HTTP/1.1\r\nX-Client-Id: tenant-7\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        drive(raw, service)
+        assert service.calls[0][3] == "tenant-7"
+
+    def test_post_body_parsed_as_json(self):
+        service = StubService()
+        body = json.dumps({"k": 1}).encode()
+        raw = (
+            b"POST /predict HTTP/1.1\r\nContent-Length: %d\r\n"
+            b"Connection: close\r\n\r\n%b" % (len(body), body)
+        )
+        drive(raw, service)
+        assert service.calls[0][2] == {"k": 1}
+
+    def test_invalid_json_body_becomes_none(self):
+        service = StubService()
+        raw = (
+            b"POST /predict HTTP/1.1\r\nContent-Length: 9\r\n"
+            b"Connection: close\r\n\r\nnot json!"
+        )
+        responses = parse_all(drive(raw, service))
+        assert responses[0][0] == 200  # the stub accepts body=None
+        assert service.calls[0][2] is None
+
+    def test_keep_alive_serves_multiple_requests(self):
+        service = StubService()
+        raw = (
+            b"GET /a HTTP/1.1\r\n\r\n"
+            b"GET /b HTTP/1.1\r\n\r\n"
+            b"GET /c HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        responses = parse_all(drive(raw, service))
+        assert [b["target"] for _, b in responses] == ["/a", "/b", "/c"]
+        assert len(service.calls) == 3
+
+    def test_eof_without_request_is_silent(self):
+        assert drive(b"") == b""
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize(
+        "raw, expected_status",
+        [
+            (b"GARBAGE\r\n\r\n", 400),  # malformed request line
+            (b"GET /x SPDY/9\r\n\r\n", 400),  # unsupported protocol
+            (b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+                400,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: %d\r\n\r\n"
+                % (MAX_REQUEST_BYTES + 1),
+                413,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+                400,  # body truncated at EOF
+            ),
+        ],
+        ids=[
+            "bad-request-line",
+            "bad-protocol",
+            "bad-header",
+            "bad-content-length",
+            "oversized-body",
+            "truncated-body",
+        ],
+    )
+    def test_malformed_requests_get_clean_errors(self, raw, expected_status):
+        responses = parse_all(drive(raw))
+        assert len(responses) == 1
+        status, body = responses[0]
+        assert status == expected_status
+        assert "error" in body
+
+    def test_service_exception_is_a_500_not_a_dropped_connection(self):
+        raw = b"GET /boom HTTP/1.1\r\nConnection: close\r\n\r\n"
+        responses = parse_all(drive(raw))
+        assert responses == [(500, {"error": "internal"})]
+
+    def test_request_line_too_long(self):
+        raw = b"GET /" + b"x" * 9000 + b" HTTP/1.1\r\n\r\n"
+        responses = parse_all(drive(raw))
+        assert responses[0][0] == 400
+
+
+class TestMemoryHttpClient:
+    def test_round_trip_through_real_parse_path(self):
+        async def scenario():
+            service = StubService()
+            client = MemoryHttpClient(service, client="test-client")
+            status, body, headers = await client.get("/availability/7?l=2")
+            assert status == 200
+            assert body["target"] == "/availability/7?l=2"
+            assert body["client"] == "test-client"
+            assert headers["content-type"] == "application/json"
+            status, body, _ = await client.post("/predict", body={"x": 1})
+            assert service.calls[-1][2] == {"x": 1}
+            return True
+
+        assert asyncio.run(scenario())

@@ -1,0 +1,133 @@
+"""Unit tests: token-bucket refill and two-layer rate limiting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.ratelimit import RateLimiter, TokenBucket
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_refill_is_proportional_to_elapsed_time(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=2.0, burst=10, clock=clock)
+        for _ in range(10):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.now = 1.0  # 2 tokens refilled
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=100.0, burst=5, clock=clock)
+        clock.now = 1000.0
+        assert bucket.tokens == pytest.approx(5.0)
+
+    def test_retry_after(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.retry_after() == 0.0
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.5)
+        clock.now = 0.25
+        assert bucket.retry_after() == pytest.approx(0.25)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestRateLimiter:
+    def test_per_client_bucket_isolates_chatty_client(self):
+        clock = ManualClock()
+        limiter = RateLimiter(
+            global_rate=1000.0,
+            global_burst=1000.0,
+            client_rate=1.0,
+            client_burst=2,
+            clock=clock,
+        )
+        assert limiter.check("greedy").allowed
+        assert limiter.check("greedy").allowed
+        decision = limiter.check("greedy")
+        assert not decision.allowed
+        assert decision.limited_by == "client"
+        assert decision.retry_after > 0.0
+        # Another client is unaffected.
+        assert limiter.check("polite").allowed
+
+    def test_global_bucket_bounds_aggregate_load(self):
+        clock = ManualClock()
+        limiter = RateLimiter(
+            global_rate=1.0,
+            global_burst=3,
+            client_rate=100.0,
+            client_burst=100,
+            clock=clock,
+        )
+        verdicts = [limiter.check(f"c{i}").allowed for i in range(5)]
+        assert verdicts == [True, True, True, False, False]
+        rejected = limiter.check("c9")
+        assert rejected.limited_by == "global"
+        # Global rejection refunded the client token: once the global
+        # bucket refills, the same client is admitted immediately.
+        clock.now = 2.0
+        assert limiter.check("c9").allowed
+
+    def test_refill_readmits_after_wait(self):
+        clock = ManualClock()
+        limiter = RateLimiter(
+            global_rate=1000.0,
+            global_burst=1000.0,
+            client_rate=2.0,
+            client_burst=1,
+            clock=clock,
+        )
+        assert limiter.check("c").allowed
+        blocked = limiter.check("c")
+        assert not blocked.allowed
+        clock.now = blocked.retry_after
+        assert limiter.check("c").allowed
+
+    def test_counters(self):
+        clock = ManualClock()
+        limiter = RateLimiter(
+            global_rate=1000.0,
+            global_burst=1000.0,
+            client_rate=1.0,
+            client_burst=1,
+            clock=clock,
+        )
+        limiter.check("a")
+        limiter.check("a")
+        assert limiter.allowed == 1
+        assert limiter.limited == 1
+
+    def test_client_tracking_is_bounded(self):
+        clock = ManualClock()
+        limiter = RateLimiter(max_clients=10, clock=clock)
+        for i in range(25):
+            limiter.check(f"client-{i}")
+        assert limiter.tracked_clients() <= 10

@@ -1,0 +1,368 @@
+"""End-to-end serving tests over the in-memory fabric (virtual clock).
+
+Each test boots a real overlay (`MemoryOverlay`: real introducer, real
+``LiveNode`` instances, bytes through the codec), attaches the serving
+surface via its ``workload`` hook, and drives requests through the actual
+HTTP parse path with :class:`~repro.serve.http.MemoryHttpClient` — no
+sockets, deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.live.memory_transport import MemoryOverlay
+from repro.live.supervisor import LiveConfig
+from repro.serve.backend import memory_backend
+from repro.serve.http import MemoryHttpClient
+from repro.serve.service import AvailabilityService, ServeConfig
+
+
+def run_serve(body, *, nodes=12, duration=20.0, seed=7, settle=10.0,
+              serve_config=None, prepare=None):
+    """Boot an overlay, attach a service, run *body(overlay, service, http)*.
+
+    *prepare(overlay)* runs after the settle sleep, before the backend
+    starts — the hook tests use to sabotage a node.
+    """
+
+    async def workload(overlay):
+        await asyncio.sleep(settle)  # let monitors discover their targets
+        if prepare is not None:
+            prepare(overlay)
+        backend = memory_backend(overlay)
+        await backend.start()
+        service = AvailabilityService(
+            backend,
+            serve_config if serve_config is not None else ServeConfig(),
+            clock=asyncio.get_running_loop().time,
+        )
+        http = MemoryHttpClient(service)
+        try:
+            return await body(overlay, service, http)
+        finally:
+            await backend.close()
+
+    overlay = MemoryOverlay(
+        LiveConfig(nodes=nodes, duration=duration, seed=seed),
+        workload=workload,
+    )
+    overlay.run()
+    return overlay.workload_result
+
+
+class TestVerifiedFlow:
+    def test_availability_end_to_end(self):
+        async def body(overlay, service, http):
+            status, payload, _ = await http.get("/availability/3?l=1")
+            return overlay.condition, status, payload
+
+        condition, status, payload = run_serve(body)
+        assert status == 200
+        assert payload["policy_satisfied"]
+        assert payload["complete"]
+        assert not payload["timed_out"]
+        assert payload["verified_monitors"]
+        assert payload["monitors_answered"] == payload["monitors_queried"]
+        assert 0.0 < payload["availability"] <= 1.0
+        # Every reporting monitor genuinely satisfies H(m, x) <= K/N.
+        for monitor in payload["reports"]:
+            assert condition.holds(int(monitor), 3)
+
+    def test_monitors_endpoint_skips_history(self):
+        async def body(overlay, service, http):
+            status, payload, _ = await http.get("/monitors/5")
+            return status, payload
+
+        status, payload = run_serve(body)
+        assert status == 200
+        assert payload["policy_satisfied"]
+        assert payload["verified_monitors"]
+        assert "availability" not in payload
+        assert "reports" not in payload
+
+    def test_nodes_and_healthz(self):
+        async def body(overlay, service, http):
+            s1, nodes_payload, _ = await http.get("/nodes")
+            s2, health, _ = await http.get("/healthz")
+            return s1, nodes_payload, s2, health
+
+        s1, nodes_payload, s2, health = run_serve(body)
+        assert s1 == 200
+        assert nodes_payload["nodes"] == list(range(12))
+        assert s2 == 200
+        assert health["status"] == "ok"
+        assert health["overlay_nodes"] == 12
+
+    def test_replicate_prefers_high_availability(self):
+        async def body(overlay, service, http):
+            status, payload, _ = await http.post(
+                "/replicate", body={"nodes": [0, 1, 2, 3], "count": 2}
+            )
+            return status, payload
+
+        status, payload = run_serve(body)
+        assert status == 200
+        assert len(payload["replicas"]) == 2
+        assert payload["policy"] == "highest-availability"
+        assert 0.0 <= payload["placement_availability"] <= 1.0
+        chosen = {payload["availability"][str(r)] for r in payload["replicas"]}
+        others = {
+            a
+            for n, a in payload["availability"].items()
+            if int(n) not in payload["replicas"]
+        }
+        if others:
+            assert min(chosen) >= max(others) - 1e-9
+
+
+class TestColluderRejection:
+    def test_colluder_named_monitors_are_rejected(self):
+        subject = 3
+
+        def sabotage(overlay):
+            node = overlay.nodes[subject].node
+            condition = overlay.condition
+            # Ids the subject could plausibly invent that do NOT satisfy
+            # the consistency condition for it: classic colluder report.
+            colluders = [
+                c
+                for c in range(200, 400)
+                if not condition.holds(c, subject)
+            ][:3]
+            assert len(colluders) == 3
+            genuine = node.report_monitors
+
+            def lying_report(min_monitors):
+                return tuple(genuine(min_monitors)) + tuple(colluders)
+
+            node.report_monitors = lying_report
+
+        async def body(overlay, service, http):
+            status, payload, _ = await http.get(f"/availability/{subject}")
+            _, metrics, _ = await http.get("/metrics")
+            return status, payload, metrics
+
+        status, payload, metrics = run_serve(body, prepare=sabotage)
+        assert status == 200
+        assert len(payload["rejected_monitors"]) == 3
+        # The colluders were never asked for history: only verified
+        # monitors contribute to the aggregate.
+        for rejected in payload["rejected_monitors"]:
+            assert str(rejected) not in payload["reports"]
+        assert metrics["query"]["monitors_rejected"] == 3
+
+
+class TestTimeoutPaths:
+    def test_unknown_subject_times_out_partial(self):
+        async def body(overlay, service, http):
+            status, payload, _ = await http.get("/availability/999999")
+            _, metrics, _ = await http.get("/metrics")
+            return status, payload, metrics
+
+        status, payload, metrics = run_serve(body)
+        # An unreachable subject is an honest answer, not an error.
+        assert status == 200
+        assert payload["timed_out"]
+        assert not payload["policy_satisfied"]
+        assert payload["availability"] == 0.0
+        assert payload["monitors_answered"] == 0
+        assert metrics["query"]["timed_out"] == 1
+
+    def test_replicate_reports_incomplete_targets(self):
+        async def body(overlay, service, http):
+            status, payload, _ = await http.post(
+                "/replicate", body={"nodes": [0, 1, 999999], "count": 2}
+            )
+            return status, payload
+
+        status, payload = run_serve(body)
+        assert status == 200
+        assert payload["incomplete"] == [999999]
+        assert 999999 not in payload["replicas"]
+
+
+class TestPolicyLayers:
+    def test_cache_hits_and_ttl_expiry_on_virtual_clock(self):
+        async def body(overlay, service, http):
+            await http.get("/availability/2")  # miss
+            await http.get("/availability/2")  # hit
+            await http.get("/availability/2?l=2")  # different key: miss
+            await asyncio.sleep(service.config.cache_ttl + 0.5)
+            await http.get("/availability/2")  # expired: miss again
+            return service.cache.stats
+
+        stats = run_serve(body)
+        assert stats.hits == 1
+        assert stats.misses == 3
+        assert stats.expirations == 1
+
+    def test_rate_limiter_sheds_with_429_and_zero_5xx(self):
+        config = ServeConfig(
+            global_rate=5.0,
+            global_burst=5.0,
+            client_rate=1000.0,
+            client_burst=1000.0,
+        )
+
+        async def body(overlay, service, http):
+            statuses = []
+            for _ in range(30):
+                status, payload, headers = await http.get("/availability/1")
+                statuses.append((status, headers.get("retry-after")))
+            _, metrics, _ = await http.get("/metrics")
+            return statuses, metrics
+
+        statuses, metrics = run_serve(body, serve_config=config)
+        codes = [s for s, _ in statuses]
+        assert codes.count(200) >= 5
+        assert codes.count(429) >= 20
+        assert all(code in (200, 429) for code in codes)
+        # Every 429 carried a Retry-After.
+        assert all(ra is not None for s, ra in statuses if s == 429)
+        assert metrics["totals"]["server_errors"] == 0
+        assert metrics["totals"]["rate_limited"] == codes.count(429)
+
+    def test_per_client_buckets_isolate_clients(self):
+        config = ServeConfig(
+            global_rate=1000.0,
+            global_burst=1000.0,
+            client_rate=1.0,
+            client_burst=2.0,
+        )
+
+        async def body(overlay, service, http):
+            greedy = []
+            for _ in range(5):
+                status, payload, _ = await http.get(
+                    "/availability/1", headers={"X-Client-Id": "greedy"}
+                )
+                greedy.append(status)
+            polite, _, _ = await http.get(
+                "/availability/1", headers={"X-Client-Id": "polite"}
+            )
+            return greedy, polite
+
+        greedy, polite = run_serve(body, serve_config=config)
+        assert greedy[:2] == [200, 200]
+        assert set(greedy[2:]) == {429}
+        assert polite == 200
+
+    def test_admission_control_sheds_concurrent_overload(self):
+        config = ServeConfig(max_concurrency=2, cache_ttl=0.0)
+
+        async def body(overlay, service, http):
+            # Fire concurrent *distinct* queries (no cache/coalesce help):
+            # beyond 2 in flight, the rest must shed as 429 "overloaded".
+            tasks = [
+                asyncio.ensure_future(http.get(f"/availability/{n}"))
+                for n in range(8)
+            ]
+            results = await asyncio.gather(*tasks)
+            return [status for status, _, _ in results], service.metrics
+
+        codes, metrics = run_serve(body, serve_config=config)
+        assert codes.count(429) >= 1
+        assert all(code in (200, 429) for code in codes)
+        assert metrics.shed_overload == codes.count(429)
+
+    def test_serve_status_reply_projects_metrics(self):
+        async def body(overlay, service, http):
+            await http.get("/availability/1")
+            await http.get("/availability/1")
+            await http.get("/availability/bogus")
+            return service.serve_status_reply(probe=42)
+
+        reply = run_serve(body)
+        assert reply.probe == 42
+        assert reply.requests == 3
+        assert reply.ok == 2
+        assert reply.client_errors == 1
+        assert reply.cache_hits == 1
+        assert reply.cache_misses == 1
+        assert reply.monitors_verified >= 1
+
+
+class TestDeterminism:
+    def test_metrics_byte_identical_across_identical_runs(self):
+        """The CI serve-smoke gate, in miniature: same seed, same request
+        schedule => byte-identical /metrics JSON (latencies included —
+        they are virtual-clock measurements)."""
+
+        async def body(overlay, service, http):
+            for n in (1, 2, 1, 3, 999999, 2):
+                await http.get(f"/availability/{n}")
+            await http.get("/monitors/4")
+            await http.post(
+                "/replicate", body={"nodes": [0, 1, 2], "count": 2}
+            )
+            _, metrics, _ = await http.get("/metrics")
+            return json.dumps(metrics, sort_keys=True)
+
+        first = run_serve(body, seed=11)
+        second = run_serve(body, seed=11)
+        assert first == second
+
+
+class TestRequestValidation:
+    def test_bad_inputs_are_4xx_never_5xx(self):
+        async def body(overlay, service, http):
+            results = {}
+            results["bad_id"] = await http.get("/availability/abc")
+            results["bad_l"] = await http.get("/availability/1?l=zero")
+            results["big_l"] = await http.get("/availability/1?l=9999")
+            results["unknown"] = await http.get("/no/such/route")
+            results["post_get"] = await http.get("/predict")
+            results["no_body"] = await http.post("/predict")
+            results["bad_samples"] = await http.post(
+                "/predict", body={"predictor": "counter", "samples": []}
+            )
+            results["bad_policy"] = await http.post(
+                "/replicate", body={"nodes": [1], "count": 0}
+            )
+            results["bool_nodes"] = await http.post(
+                "/replicate", body={"nodes": [True], "count": 1}
+            )
+            _, metrics, _ = await http.get("/metrics")
+            return results, metrics
+
+        results, metrics = run_serve(body)
+        expectations = {
+            "bad_id": 400,
+            "bad_l": 400,
+            "big_l": 400,
+            "unknown": 404,
+            "post_get": 404,
+            "no_body": 400,
+            "bad_samples": 400,
+            "bad_policy": 400,
+            "bool_nodes": 400,
+        }
+        for name, expected in expectations.items():
+            status, payload, _ = results[name]
+            assert status == expected, (name, status, payload)
+            assert "error" in payload
+        assert metrics["totals"]["server_errors"] == 0
+
+    def test_predict_periodic(self):
+        async def body(overlay, service, http):
+            samples = [[hour * 3600.0, hour < 12] for hour in range(24)] * 3
+            status, payload, _ = await http.post(
+                "/predict",
+                body={
+                    "predictor": "periodic",
+                    "cycle": 86400.0,
+                    "buckets": 24,
+                    "samples": samples,
+                    "at": 6 * 3600.0,
+                },
+            )
+            return status, payload
+
+        status, payload = run_serve(body)
+        assert status == 200
+        assert payload["prediction_up"] is True
+        assert payload["probability_up"] == 1.0
