@@ -50,6 +50,7 @@ from typing import (
 )
 
 from .core.config import AvmonConfig
+from .experiments.backends import ExecutionBackend
 from .experiments.orchestrator import ProgressFn, run_configs
 from .experiments.runner import SimulationConfig, run_simulation
 from .experiments.scenarios import SCALES, scale_window, trace_for
@@ -370,12 +371,19 @@ def sweep(
     jobs: int = 1,
     progress: Optional[ProgressFn] = None,
     store: Optional[SummaryStore] = None,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> "ResultSet":
     """Run a parameter grid × seed replications, optionally in parallel.
 
     Cells fan out over ``jobs`` worker processes through the orchestrator;
     results come back in deterministic cell order regardless of completion
     order, so ``jobs=1`` and ``jobs=N`` produce identical result sets.
+    *backend* picks the execution strategy explicitly — an
+    :class:`~repro.experiments.backends.ExecutionBackend` instance or a
+    registered name (``"serial"``, ``"pool"``, ``"fleet"``); the default
+    derives serial-vs-pool from ``jobs`` exactly as before the seam
+    existed.  Every strategy funnels through the same cell function, so
+    the result set is identical whichever executes it.
 
     With *store* (a :class:`~repro.experiments.store.SummaryStore`), cells
     already on disk are loaded instead of simulated and fresh results are
@@ -385,7 +393,9 @@ def sweep(
     """
     cells = expand_grid(base, grid, seeds=seeds)
     configs = [cell.to_config() for cell in cells]
-    summaries = run_configs(configs, jobs=jobs, progress=progress, store=store)
+    summaries = run_configs(
+        configs, jobs=jobs, progress=progress, store=store, backend=backend
+    )
     return ResultSet(
         [SweepResult(cell, summary) for cell, summary in zip(cells, summaries)]
     )

@@ -19,20 +19,34 @@ Examples::
     avmon serve --port 8080           # attach an HTTP front end to a
                                       # running overlay's control port
     avmon bench serve --scale test    # serving load -> BENCH_serve.json
+    avmon bench fleet --scale test    # backend comparison -> BENCH_sweep.json
+    avmon sweep --n 100,200 --backend fleet --jobs 4   # killable workers
+    avmon store serve --dir ~/.avmon-cache --port 7780  # shared cache daemon
+    avmon store stat http://127.0.0.1:7780
     avmon cache ls                    # inspect the summary store
-    avmon cache stat
+    avmon cache stat --cache-dir http://127.0.0.1:7780   # works remotely too
     avmon cache clear
 
 (`avmon` is `python -m repro.cli`.)  ``sweep`` output is deterministic:
 the aggregated JSON of a ``--jobs 4`` run is byte-identical to the same
-sweep at ``--jobs 1``.
+sweep at ``--jobs 1`` — and to the same sweep on any ``--backend``.
 
-``--cache-dir DIR`` (or the ``AVMON_CACHE_DIR`` environment variable)
-persists every simulation summary as a content-addressed JSON file under
-DIR.  Runs and sweeps consult the directory before simulating, so a killed
-invocation re-run with the same arguments resumes with zero recomputation
-of completed cells, and separate processes share one set of results.  The
-resume tally is printed to stderr as ``cache: hits=H computed=C``.
+``--cache-dir SPEC`` (or the ``AVMON_CACHE_DIR`` environment variable)
+persists every simulation summary as a content-addressed JSON object.
+SPEC is a directory, or the ``http://host:port`` of an ``avmon store
+serve`` daemon — the shared-store case, where every worker process (and
+every machine) resolves and persists cells against one cache.  Runs and
+sweeps consult the store before simulating, so a killed invocation re-run
+with the same arguments resumes with zero recomputation of completed
+cells.  The resume tally is printed to stderr as ``cache: hits=H
+computed=C``.
+
+``--backend NAME`` selects the execution strategy for sweep cells:
+``serial`` (in-process), ``pool`` (a local multiprocessing pool of
+``--jobs`` workers), or ``fleet`` (independent worker processes with
+per-cell lease, heartbeat and retry — SIGKILLing any worker mid-sweep
+costs only its in-flight cell).  ``--backend-param KEY=VALUE`` forwards
+extra constructor parameters, e.g. ``--backend-param max_attempts=5``.
 """
 
 from __future__ import annotations
@@ -46,11 +60,13 @@ import time
 from typing import List, Optional
 
 from .api import Scenario, sweep
+from .experiments.backends import ExecutionBackend, resolve_backend
 from .experiments.cache import SimulationCache
 from .experiments.orchestrator import SweepError
 from .experiments.registry import EXPERIMENTS, run_experiment
 from .experiments.scenarios import SCALES, n_values
 from .experiments.store import SummaryStore
+from .experiments.store_backends import is_url_spec
 from .metrics import stats
 from .registry import REGISTRY, UnknownComponentError
 
@@ -74,9 +90,52 @@ def _add_cache_dir_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
         default=os.environ.get("AVMON_CACHE_DIR") or None,
-        metavar="DIR",
-        help="persist summaries as JSON under DIR and resume from them "
-        "(default: the AVMON_CACHE_DIR environment variable, if set)",
+        metavar="SPEC",
+        help="persist summaries as content-addressed JSON and resume from "
+        "them; SPEC is a directory or the http://host:port of an "
+        "'avmon store serve' daemon (default: the AVMON_CACHE_DIR "
+        "environment variable, if set)",
+    )
+
+
+def _backend_param(text: str):
+    """Parse one ``KEY=VALUE`` backend parameter, coercing the value."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key.strip():
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=VALUE, got {text!r}"
+        )
+    value: object = raw
+    lowered = raw.strip().lower()
+    if lowered in ("true", "false"):
+        value = lowered == "true"
+    else:
+        for parse in (int, float):
+            try:
+                value = parse(raw)
+                break
+            except ValueError:
+                continue
+    return key.strip(), value
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend for sweep cells: serial, pool, or fleet "
+        "(default: serial when --jobs 1, else pool); see 'avmon list "
+        "--json' for the registered set",
+    )
+    parser.add_argument(
+        "--backend-param",
+        type=_backend_param,
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="extra backend constructor parameter (repeatable), e.g. "
+        "--backend-param max_attempts=5",
     )
 
 
@@ -111,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for N-sweep experiments (default: 1)",
     )
+    _add_backend_arguments(run_parser)
     _add_cache_dir_argument(run_parser)
 
     sweep_parser = commands.add_parser(
@@ -146,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--json", action="store_true", help="emit the full result set as JSON"
     )
+    _add_backend_arguments(sweep_parser)
     _add_cache_dir_argument(sweep_parser)
 
     bench_parser = commands.add_parser(
@@ -156,10 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "which",
         nargs="?",
-        choices=("micro", "sweep", "serve", "all"),
+        choices=("micro", "sweep", "serve", "fleet", "all"),
         default="all",
         help="which bench suite to run (default: all = micro+sweep; "
-        "'serve' runs the serving-load bench separately)",
+        "'serve' runs the serving-load bench separately; 'fleet' "
+        "compares execution backends over a shared store)",
     )
     bench_parser.add_argument(
         "--serve",
@@ -194,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     _build_live_parser(commands)
     _build_serve_parser(commands)
+    _build_store_parser(commands)
     _build_cache_parser(commands)
     return parser
 
@@ -473,6 +536,46 @@ def _build_serve_parser(commands) -> None:
     )
 
 
+def _build_store_parser(commands) -> None:
+    store_parser = commands.add_parser(
+        "store",
+        help="run or inspect a shared summary-store daemon (one "
+        "content-addressed cache serving many sweep workers over HTTP)",
+    )
+    store_commands = store_parser.add_subparsers(dest="store_command", required=True)
+
+    serve = store_commands.add_parser(
+        "serve", help="serve a store directory over the HTTP object protocol"
+    )
+    serve.add_argument(
+        "--dir",
+        default=os.environ.get("AVMON_CACHE_DIR") or None,
+        metavar="DIR",
+        help="store directory to serve (default: AVMON_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7780,
+        help="port to serve on (0 binds an ephemeral port; default: 7780)",
+    )
+
+    stat = store_commands.add_parser(
+        "stat", help="totals and request counters of a store daemon"
+    )
+    stat.add_argument(
+        "url",
+        nargs="?",
+        default=os.environ.get("AVMON_CACHE_DIR") or None,
+        help="daemon base URL, e.g. http://127.0.0.1:7780 "
+        "(default: AVMON_CACHE_DIR when it is a URL)",
+    )
+    stat.add_argument("--json", action="store_true", help="JSON output")
+
+
 def _build_cache_parser(commands) -> None:
     cache_parser = commands.add_parser(
         "cache", help="inspect or clear the disk-backed summary store"
@@ -497,11 +600,19 @@ def _store_from(args) -> Optional[SummaryStore]:
     if not args.cache_dir:
         return None
     try:
-        return SummaryStore(args.cache_dir)
-    except OSError as error:
+        return SummaryStore.open(args.cache_dir)
+    except (OSError, ValueError) as error:
         raise CacheDirError(
             f"cannot use cache dir {args.cache_dir!r}: {error}"
         ) from error
+
+
+def _backend_from(args) -> Optional[ExecutionBackend]:
+    """The --backend/--backend-param selection as an instance (or None)."""
+    if getattr(args, "backend", None) is None:
+        return None
+    params = dict(args.backend_param or ())
+    return resolve_backend(args.backend, jobs=args.jobs, **params)
 
 
 def _report_store(store: Optional[SummaryStore]) -> None:
@@ -511,6 +622,12 @@ def _report_store(store: Optional[SummaryStore]) -> None:
             f"cache: dir={store.root} hits={store.hits} computed={store.writes}",
             file=sys.stderr,
         )
+
+
+def _report_backend(backend: Optional[ExecutionBackend]) -> None:
+    """One grep-able stderr line for backends with operational tallies."""
+    if backend is not None and backend.stats_line():
+        print(backend.stats_line(), file=sys.stderr)
 
 
 def _run_one(experiment_id: str, scale: str, cache: SimulationCache, jobs: int, out) -> None:
@@ -544,14 +661,16 @@ def _cmd_list(args, out) -> int:
 def _cmd_run(args, out) -> int:
     try:
         store = _store_from(args)
-    except CacheDirError as error:
+        backend = _backend_from(args)
+    except (CacheDirError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    cache = SimulationCache(store=store)
+    cache = SimulationCache(store=store, backend=backend)
     if args.experiment == "all":
         for experiment_id in EXPERIMENTS:
             _run_one(experiment_id, args.scale, cache, args.jobs, out)
         _report_store(store)
+        _report_backend(backend)
         return 0
     try:
         _run_one(args.experiment, args.scale, cache, args.jobs, out)
@@ -559,6 +678,7 @@ def _cmd_run(args, out) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     _report_store(store)
+    _report_backend(backend)
     return 0
 
 
@@ -600,7 +720,8 @@ def _cmd_sweep(args, out) -> int:
     ns = args.n if args.n is not None else n_values(args.scale)
     try:
         store = _store_from(args)
-    except CacheDirError as error:
+        backend = _backend_from(args)
+    except (CacheDirError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     try:
@@ -612,6 +733,7 @@ def _cmd_sweep(args, out) -> int:
             jobs=args.jobs,
             progress=_progress_printer(sys.stderr),
             store=store,
+            backend=backend,
         )
     except ValueError as error:  # includes UnknownComponentError
         print(f"error: {error}", file=sys.stderr)
@@ -620,6 +742,7 @@ def _cmd_sweep(args, out) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     _report_store(store)
+    _report_backend(backend)
     if args.json:
         print(json.dumps(_sweep_payload(results), indent=2, sort_keys=True), file=out)
         return 0
@@ -1033,6 +1156,20 @@ def _cmd_bench(args, out) -> int:
                         "",
                     )
                     print(f"{metric:<32} {values['wall_s']:>9.4f}s  {rate}", file=out)
+            elif suite == "fleet":
+                for variant in payload["variants"]:
+                    deaths = variant.get("deaths")
+                    note = f"  deaths={deaths}" if deaths is not None else ""
+                    print(
+                        f"{variant['backend']:<20} {variant['wall_s']:>8.3f}s"
+                        f"{note}",
+                        file=out,
+                    )
+                print(
+                    f"{payload['cells']} cells, byte_identical="
+                    f"{payload['byte_identical']}",
+                    file=out,
+                )
             elif suite == "serve":
                 for cell in payload["cells"]:
                     sustained = cell["sustained"]
@@ -1063,6 +1200,52 @@ def _cmd_bench(args, out) -> int:
     return 0
 
 
+def _cmd_store(args, out) -> int:
+    if args.store_command == "serve":
+        if not args.dir:
+            print(
+                "error: no store directory (pass --dir or set AVMON_CACHE_DIR)",
+                file=sys.stderr,
+            )
+            return 2
+        if is_url_spec(args.dir):
+            print(
+                "error: 'store serve' needs a directory to serve, not a URL",
+                file=sys.stderr,
+            )
+            return 2
+        from .experiments.store_server import run_store_server
+
+        try:
+            return run_store_server(args.dir, host=args.host, port=args.port)
+        except OSError as error:
+            print(f"error: cannot serve store: {error}", file=sys.stderr)
+            return 1
+    # stat
+    if not args.url or not is_url_spec(args.url):
+        print(
+            "error: 'store stat' needs a daemon URL (http://host:port)",
+            file=sys.stderr,
+        )
+        return 2
+    from .experiments.store_backends import SharedStoreBackend
+
+    backend = SharedStoreBackend(args.url)
+    try:
+        payload = backend.stat()
+    except OSError as error:
+        print(f"error: no store daemon at {args.url}: {error}", file=sys.stderr)
+        return 1
+    finally:
+        backend.close()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        for key, value in sorted(payload.items()):
+            print(f"{key}: {value}", file=out)
+    return 0
+
+
 def _cmd_cache(args, out) -> int:
     if not args.cache_dir:
         print(
@@ -1070,14 +1253,14 @@ def _cmd_cache(args, out) -> int:
             file=sys.stderr,
         )
         return 2
-    if not os.path.isdir(args.cache_dir):
+    if not is_url_spec(args.cache_dir) and not os.path.isdir(args.cache_dir):
         # Inspection must not create directories as a side effect (a typo'd
         # path would silently become a fresh empty store).
         print(f"error: no such cache dir: {args.cache_dir}", file=sys.stderr)
         return 2
     try:
-        store = SummaryStore(args.cache_dir)
-    except OSError as error:
+        store = SummaryStore.open(args.cache_dir)
+    except (OSError, ValueError) as error:
         print(f"error: cannot open cache dir {args.cache_dir!r}: {error}", file=sys.stderr)
         return 2
     if args.cache_command == "clear":
@@ -1088,24 +1271,32 @@ def _cmd_cache(args, out) -> int:
             return 1
         print(f"removed {removed} entries from {store.root}", file=out)
         return 0
+    # Listing and totals go through the StoreBackend protocol, so the same
+    # subcommands inspect a local directory or a remote store daemon.
     entries = []
     corrupt = 0
-    for path in store.paths():
-        try:
-            size = path.stat().st_size
-        except OSError:
-            continue  # vanished under us (a concurrent `cache clear`)
-        summary = store.read_file(path)
+    try:
+        backend_entries = store.entries()
+    except OSError as error:
+        print(f"error: cannot list cache: {error}", file=sys.stderr)
+        return 1
+    for entry in backend_entries:
+        summary = store.read_entry(entry.name)
         if summary is None:
-            if not path.exists():
-                continue  # deleted between stat and read: not corrupt
+            try:
+                if not store.backend.exists(entry.name):
+                    continue  # vanished under us (a concurrent `cache clear`)
+            except OSError:
+                continue
             corrupt += 1
-            entries.append({"key": path.stem, "bytes": size, "corrupt": True})
+            entries.append(
+                {"key": entry.name.rsplit(".", 1)[0], "bytes": entry.size, "corrupt": True}
+            )
         else:
             entries.append(
                 {
-                    "key": path.stem,
-                    "bytes": size,
+                    "key": entry.name.rsplit(".", 1)[0],
+                    "bytes": entry.size,
                     "model": summary.model,
                     "n": summary.n,
                     "seed": summary.seed,
@@ -1159,6 +1350,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_serve(args, out)
         if args.command == "bench":
             return _cmd_bench(args, out)
+        if args.command == "store":
+            return _cmd_store(args, out)
         if args.command == "cache":
             return _cmd_cache(args, out)
         return _cmd_run(args, out)

@@ -1,0 +1,105 @@
+"""The execution seam: how a batch of sweep cells turns into summaries.
+
+:func:`~repro.experiments.orchestrator.run_configs` owns *what* runs
+(the cell list, the store read-through, result ordering, failure
+collection); an :class:`ExecutionBackend` owns *how* — in-process, over
+a local process pool, or across a killable worker fleet.  The contract
+is a single method::
+
+    backend.execute(payloads, record, store=store)
+
+where ``payloads`` is ``[(index, SimulationConfig), ...]`` and
+``record(index, summary, error, ...)`` is called exactly once per index
+(the orchestrator ignores duplicates, so an at-least-once backend — the
+fleet re-queues cells whose worker died — composes safely with the
+content-addressed store's idempotent cells).
+
+Backends are registered under the ``"backend"`` component kind, so
+``Scenario`` sweeps, ``run_configs`` and the CLI all accept a backend by
+name (``avmon sweep --backend FLEET``) exactly like churn or fault
+components.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import traceback
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..runner import SimulationConfig, run_simulation
+from ..summary import SimulationSummary, summarize
+
+__all__ = ["ExecutionBackend", "RecordFn", "Payload", "execute_cell", "default_jobs"]
+
+#: One dispatchable unit of work: the cell's index in the sweep grid and
+#: its fully-resolved, picklable configuration.
+Payload = Tuple[int, SimulationConfig]
+
+#: The orchestrator's sink.  ``record(index, summary, error, cached=...,
+#: persisted=...)`` — ``cached`` marks a store hit (progress labelling),
+#: ``persisted`` means the backend already wrote the summary to the
+#: store, so the orchestrator must not write it again.
+RecordFn = Callable[..., int]
+
+
+def default_jobs() -> int:
+    """Conservative default worker count: all cores, capped at 8."""
+    return max(1, min(8, multiprocessing.cpu_count()))
+
+
+def execute_cell(
+    payload: Payload,
+) -> Tuple[int, Optional[SimulationSummary], Optional[str]]:
+    """Run one cell; never raises (errors travel back as traceback text).
+
+    The single cell function every backend funnels through — serial,
+    pooled and fleet runs execute byte-identical work.
+    """
+    index, config = payload
+    try:
+        return index, summarize(run_simulation(config)), None
+    except Exception:
+        return index, None, traceback.format_exc()
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy for executing a batch of sweep cells."""
+
+    #: Registry display name (``avmon list --json`` shows the catalogue).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        payloads: Sequence[Payload],
+        record: RecordFn,
+        *,
+        store=None,
+    ) -> None:
+        """Run every payload, reporting each through *record*.
+
+        *store* is the sweep's :class:`~repro.experiments.store.
+        SummaryStore` (or None).  The orchestrator has already resolved
+        store hits before calling; backends that persist results
+        themselves (the fleet's write-through workers) signal it via
+        ``record(..., persisted=True)``.
+        """
+
+    def stats_line(self) -> str:
+        """One optional human line for the CLI's stderr tally ("" = none)."""
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+def split_error(text: str) -> str:
+    """The concise last line of a traceback (``RuntimeError: boom``)."""
+    lines = [line for line in text.strip().splitlines() if line.strip()]
+    return lines[-1].strip() if lines else "unknown error"
+
+
+def sorted_payloads(payloads: Sequence[Payload]) -> List[Payload]:
+    """Payloads in deterministic dispatch order (by cell index)."""
+    return sorted(payloads, key=lambda payload: payload[0])

@@ -1,0 +1,367 @@
+"""Queue-based worker fleet: sweep cells survive SIGKILLed workers.
+
+The fleet treats worker death as a *normal, retryable event* (Duarte et
+al.'s unreliable-failure-detector model), not a sweep-aborting
+exception.  The design:
+
+* **Dispatch = lease.**  Each worker process owns a private task queue
+  and holds at most one cell at a time, so the parent always knows
+  exactly which cell a dead worker was running.  A heartbeat thread in
+  the worker pings the shared result queue while the main thread
+  simulates, so a wedged (but alive) worker is distinguishable from a
+  busy one.
+* **Death is detected, not trusted.**  The parent polls process
+  liveness every loop; a worker that disappears (SIGKILL, OOM, crash)
+  has its in-flight cell re-queued with exponential backoff and a fresh
+  worker spawned in its place.  A worker whose heartbeat stops past the
+  lease timeout is killed and handled the same way.
+* **Re-execution is free-ish.**  Cells are deterministic and the store
+  is content-addressed, so a retried cell first consults the (ideally
+  shared) store — if the killed worker managed to write-through before
+  dying, the retry is a read, not a recompute.  Workers write-through
+  as soon as a summary exists, which also means a worker killed *after*
+  computing but *before* reporting loses nothing.
+* **At-least-once, recorded once.**  A cell can in principle complete
+  twice (lease expired, then the slow worker finished anyway); results
+  are idempotent by construction and the orchestrator ignores duplicate
+  indices.
+
+Cells that raise *deterministically* (a bug in the scenario, not the
+worker) are failed immediately without retry — re-running identical
+code on identical input would raise identically; retries exist for
+infrastructure death, and the failure carries the worker's traceback
+plus attempt count.
+
+Workers attach to the sweep's store by **spec** (a directory path or an
+``avmon store serve`` URL), so the same backend drives a single-host
+fleet over a local directory and a multi-host fleet over one shared
+HTTP cache.
+"""
+
+from __future__ import annotations
+
+import collections
+import heapq
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .base import (
+    ExecutionBackend,
+    Payload,
+    RecordFn,
+    default_jobs,
+    sorted_payloads,
+)
+
+__all__ = ["WorkerFleetBackend"]
+
+
+def _fleet_worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    store_spec: Optional[str],
+    heartbeat_interval: float,
+) -> None:
+    """One fleet worker: lease a cell, heartbeat while computing, report.
+
+    Runs in a child process.  Imports of the heavyweight simulation
+    machinery happen lazily so the module stays importable without side
+    effects in the parent.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from ..runner import run_simulation
+    from ..store import SummaryStore, config_key
+    from ..summary import summarize
+
+    store = SummaryStore.open(store_spec) if store_spec else None
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        index, config, attempt = task
+        stop_beats = threading.Event()
+
+        def pump() -> None:
+            while not stop_beats.wait(heartbeat_interval):
+                try:
+                    result_queue.put(("beat", worker_id, index))
+                except Exception:  # noqa: BLE001 — parent gone; just stop
+                    return
+
+        beats = threading.Thread(target=pump, daemon=True)
+        beats.start()
+        summary, error, persisted = None, None, False
+        try:
+            key = config_key(config) if store is not None else None
+            if store is not None:
+                # Idempotent re-execution: a retried cell whose previous
+                # owner wrote through before dying is a read, not a run.
+                summary = store.load(key)
+                persisted = summary is not None
+            if summary is None:
+                summary = summarize(run_simulation(config))
+                if store is not None and store.save(key, summary) is not None:
+                    persisted = True
+        except Exception:
+            summary, error, persisted = None, traceback.format_exc(), False
+        finally:
+            stop_beats.set()
+        result_queue.put(("done", worker_id, index, attempt, summary, error, persisted))
+
+
+@dataclass
+class _Lease:
+    """One dispatched cell: who runs it, which attempt, and liveness."""
+
+    index: int
+    attempt: int
+    dispatched_at: float
+    last_beat: float
+
+
+@dataclass
+class _Worker:
+    process: multiprocessing.Process
+    task_queue: object
+    lease: Optional[_Lease] = None
+
+
+@dataclass
+class FleetStats:
+    """Deterministic-free operational tallies (reported, never gated on)."""
+
+    workers_spawned: int = 0
+    deaths: int = 0
+    retries: int = 0
+    leases_expired: int = 0
+
+
+class WorkerFleetBackend(ExecutionBackend):
+    """N independent worker processes fed cell-by-cell with lease/retry.
+
+    SIGKILLing any worker mid-sweep costs only the in-flight cell (and
+    with a write-through store, often not even that).
+    """
+
+    name = "FLEET"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        max_attempts: int = 3,
+        retry_backoff: float = 0.25,
+        heartbeat_interval: float = 0.5,
+        lease_timeout: float = 120.0,
+        poll_interval: float = 0.05,
+        chaos_kill_after_starts: Optional[int] = None,
+    ) -> None:
+        self.workers = workers if workers is not None else default_jobs()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if lease_timeout <= heartbeat_interval:
+            raise ValueError("lease_timeout must exceed heartbeat_interval")
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.heartbeat_interval = heartbeat_interval
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+        #: Test/chaos hook: after this many dispatches, SIGKILL one busy
+        #: worker (once).  Results must be unaffected — that is the point.
+        self.chaos_kill_after_starts = chaos_kill_after_starts
+        self.stats = FleetStats()
+
+    # -- orchestration -----------------------------------------------------
+
+    def execute(
+        self, payloads: Sequence[Payload], record: RecordFn, *, store=None
+    ) -> None:
+        payloads = sorted_payloads(payloads)
+        if not payloads:
+            return
+        self.stats = FleetStats()
+        store_spec = store.spec() if store is not None else None
+        ctx = multiprocessing.get_context()
+        result_queue = ctx.Queue()
+        configs = {index: config for index, config in payloads}
+        outstanding = set(configs)
+        pending = collections.deque((index, 1) for index, _ in payloads)
+        retry_heap: List[Tuple[float, int, int]] = []  # (ready, index, attempt)
+        fleet: Dict[int, _Worker] = {}
+        next_worker_id = 0
+        dispatches = 0
+        chaos_armed = self.chaos_kill_after_starts is not None
+
+        def spawn() -> None:
+            nonlocal next_worker_id
+            worker_id = next_worker_id
+            next_worker_id += 1
+            task_queue = ctx.Queue()
+            process = ctx.Process(
+                target=_fleet_worker_main,
+                args=(
+                    worker_id,
+                    task_queue,
+                    result_queue,
+                    store_spec,
+                    self.heartbeat_interval,
+                ),
+                daemon=True,
+            )
+            process.start()
+            fleet[worker_id] = _Worker(process, task_queue)
+            self.stats.workers_spawned += 1
+
+        def dispatch() -> None:
+            nonlocal dispatches
+            for worker in fleet.values():
+                if worker.lease is not None or not pending:
+                    continue
+                index, attempt = pending.popleft()
+                if index not in outstanding:
+                    continue
+                now = time.monotonic()
+                worker.lease = _Lease(index, attempt, now, now)
+                worker.task_queue.put((index, configs[index], attempt))
+                dispatches += 1
+
+        def handle_death(worker_id: int, reason: str) -> None:
+            worker = fleet.pop(worker_id)
+            worker.process.join(timeout=1.0)
+            self.stats.deaths += 1
+            lease = worker.lease
+            if lease is not None and lease.index in outstanding:
+                if lease.attempt >= self.max_attempts:
+                    record(
+                        lease.index,
+                        None,
+                        f"fleet worker {worker_id} {reason} while running the "
+                        f"cell; gave up after {lease.attempt} attempts "
+                        f"(exitcode {worker.process.exitcode})",
+                        attempts=lease.attempt,
+                    )
+                    outstanding.discard(lease.index)
+                else:
+                    delay = self.retry_backoff * (2 ** (lease.attempt - 1))
+                    heapq.heappush(
+                        retry_heap,
+                        (time.monotonic() + delay, lease.index, lease.attempt + 1),
+                    )
+                    self.stats.retries += 1
+            if outstanding:
+                spawn()
+
+        def reap() -> None:
+            now = time.monotonic()
+            for worker_id, worker in list(fleet.items()):
+                if not worker.process.is_alive():
+                    handle_death(worker_id, "died")
+                    continue
+                lease = worker.lease
+                if lease is not None and (
+                    now - max(lease.last_beat, lease.dispatched_at)
+                    > self.lease_timeout
+                ):
+                    # Alive but silent past the lease: treat as failed
+                    # (unreliable failure detector — suspicion is enough;
+                    # a late completion is ignored as a duplicate).
+                    self.stats.leases_expired += 1
+                    _kill(worker.process)
+                    handle_death(worker_id, "lost its lease (no heartbeat)")
+
+        def maybe_chaos() -> None:
+            nonlocal chaos_armed
+            if not chaos_armed or dispatches < self.chaos_kill_after_starts:
+                return
+            for worker in fleet.values():
+                if worker.lease is not None:
+                    _kill(worker.process)
+                    chaos_armed = False
+                    return
+
+        try:
+            for _ in range(min(self.workers, len(payloads))):
+                spawn()
+            while outstanding:
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, index, attempt = heapq.heappop(retry_heap)
+                    pending.append((index, attempt))
+                dispatch()
+                maybe_chaos()
+                try:
+                    message = result_queue.get(timeout=self.poll_interval)
+                except Exception:  # queue.Empty — poll liveness and loop
+                    reap()
+                    continue
+                kind, worker_id = message[0], message[1]
+                worker = fleet.get(worker_id)
+                if kind == "beat":
+                    if worker is not None and worker.lease is not None:
+                        worker.lease.last_beat = time.monotonic()
+                    continue
+                # kind == "done"
+                _, _, index, attempt, summary, error, persisted = message
+                if worker is not None and worker.lease is not None and (
+                    worker.lease.index == index
+                ):
+                    worker.lease = None
+                if index not in outstanding:
+                    continue  # duplicate from an expired-lease straggler
+                outstanding.discard(index)
+                record(index, summary, error, persisted=persisted, attempts=attempt)
+        finally:
+            self._shutdown(fleet)
+
+    @staticmethod
+    def _shutdown(fleet: Dict[int, _Worker]) -> None:
+        for worker in fleet.values():
+            if worker.process.is_alive():
+                try:
+                    worker.task_queue.put_nowait(None)
+                except Exception:  # noqa: BLE001 — full/broken queue: terminate
+                    pass
+        deadline = time.monotonic() + 2.0
+        for worker in fleet.values():
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        for worker in fleet.values():
+            worker.task_queue.close()
+            worker.task_queue.cancel_join_thread()
+        fleet.clear()
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats_line(self) -> str:
+        stats = self.stats
+        return (
+            f"fleet: workers={self.workers} spawned={stats.workers_spawned} "
+            f"deaths={stats.deaths} retries={stats.retries} "
+            f"leases_expired={stats.leases_expired}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkerFleetBackend(workers={self.workers}, "
+            f"max_attempts={self.max_attempts})"
+        )
+
+
+def _kill(process: multiprocessing.Process) -> None:
+    """SIGKILL without ceremony (what chaos and lease expiry both need)."""
+    if process.pid is not None and process.is_alive():
+        try:
+            os.kill(process.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass

@@ -1,0 +1,62 @@
+"""Single-host fan-out over a ``multiprocessing.Pool``.
+
+The extracted body of the original ``run_configs`` parallel branch —
+byte-identical behaviour, including Ctrl-C handling: workers ignore
+SIGINT so an interrupt in the parent terminates the pool cleanly, and
+any escape (a raising progress callback, an unpicklable result)
+terminates workers before ``join()`` so the original error is the one
+that propagates.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+from typing import Optional, Sequence
+
+from .base import ExecutionBackend, Payload, RecordFn, default_jobs, execute_cell
+
+__all__ = ["LocalPoolBackend"]
+
+
+def _init_worker() -> None:
+    """Leave interrupt handling to the parent so Ctrl-C terminates cleanly."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+class LocalPoolBackend(ExecutionBackend):
+    """Fan cells out over a local process pool, unordered completion."""
+
+    name = "POOL"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def execute(
+        self, payloads: Sequence[Payload], record: RecordFn, *, store=None
+    ) -> None:
+        if not payloads:
+            return
+        workers = min(self.jobs, len(payloads))
+        if workers <= 1:
+            for payload in payloads:
+                record(*execute_cell(payload))
+            return
+        pool = multiprocessing.Pool(workers, initializer=_init_worker)
+        try:
+            for outcome in pool.imap_unordered(execute_cell, payloads):
+                record(*outcome)
+            pool.close()
+        except BaseException:
+            # Any escape (Ctrl-C, a raising progress callback, unpicklable
+            # result) must terminate the workers before join(), or join()
+            # itself raises and masks the original error.
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalPoolBackend(jobs={self.jobs})"

@@ -1,0 +1,26 @@
+"""In-process execution: the ``jobs=1`` path, now a named backend."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import ExecutionBackend, Payload, RecordFn, execute_cell
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every cell in this process, in input order.
+
+    Funnels through the same :func:`~repro.experiments.backends.base.
+    execute_cell` the pool and fleet use, so serial and parallel runs
+    produce identical summaries (the equivalence the test suite asserts).
+    """
+
+    name = "SERIAL"
+
+    def execute(
+        self, payloads: Sequence[Payload], record: RecordFn, *, store=None
+    ) -> None:
+        for payload in payloads:
+            record(*execute_cell(payload))

@@ -40,6 +40,7 @@ __all__ = [
     "SERVE_FILENAME",
     "run_micro_bench",
     "run_sweep_bench",
+    "run_backend_bench",
     "append_entry",
     "run_bench",
 ]
@@ -266,6 +267,153 @@ def run_sweep_bench(scale: str = "bench", *, scale_out: Optional[bool] = None) -
     return {"cells": cells, "total_wall_s": round(total_wall, 2)}
 
 
+def run_backend_bench(scale: str = "bench") -> dict:
+    """Execution-backend comparison over one shared store: serial vs pool
+    vs fleet (cold and warm), plus a chaos variant that SIGKILLs a worker.
+
+    All variants run the same SYNTH N-grid × two seeds.  The fleet
+    variants execute against a live ``avmon store serve`` daemon on an
+    ephemeral localhost port, so the measured path is the real one —
+    workers resolving and persisting cells over HTTP.  Besides wall
+    times, the entry records the concatenated summary-JSON SHA-256 of
+    every variant: ``byte_identical`` pins the "same bytes from any
+    backend, even with a worker SIGKILLed mid-sweep" contract into the
+    trajectory file.
+    """
+    import asyncio
+    import tempfile
+    import threading
+
+    from .backends import LocalPoolBackend, WorkerFleetBackend, default_jobs
+    from .orchestrator import run_configs
+    from .scenarios import n_values, scenario
+    from .store import SummaryStore
+    from .store_backends import FilesystemBackend
+    from .store_server import serve_store
+
+    configs = [
+        scenario("SYNTH", n, scale, seed=seed)
+        for n in n_values(scale)
+        for seed in (1, 2)
+    ]
+    # At least two workers even on a one-core box: the point is the
+    # coordination path (leases, retries, shared store), not raw speedup.
+    workers = max(2, default_jobs())
+    variants: List[dict] = []
+    checksums = []
+
+    def record(name: str, wall: float, summaries, extra: dict) -> None:
+        digest = hashlib.sha256(
+            "".join(s.to_json() for s in summaries).encode("utf-8")
+        ).hexdigest()
+        checksums.append(digest)
+        variants.append(
+            {
+                "backend": name,
+                "wall_s": round(wall, 3),
+                "summaries_sha256": digest,
+                **extra,
+            }
+        )
+
+    def timed_run(name: str, extra_of=None, **kwargs) -> None:
+        start = time.perf_counter()
+        summaries = run_configs(configs, **kwargs)
+        wall = time.perf_counter() - start
+        record(name, wall, summaries, extra_of() if extra_of else {})
+
+    timed_run("serial", jobs=1)
+    timed_run("pool", backend=LocalPoolBackend(workers))
+
+    with tempfile.TemporaryDirectory(prefix="avmon-bench-store-") as shared:
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+        state: dict = {}
+
+        async def boot() -> None:
+            server = await serve_store(FilesystemBackend(shared), "127.0.0.1", 0)
+            state["port"] = server.sockets[0].getsockname()[1]
+            started.set()
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        def run_daemon() -> None:
+            state["task"] = loop.create_task(boot())
+            try:
+                loop.run_until_complete(state["task"])
+            finally:
+                loop.close()
+
+        daemon = threading.Thread(target=run_daemon, daemon=True)
+        daemon.start()
+        if not started.wait(5.0):
+            raise OSError("store daemon failed to start for the fleet bench")
+        url = f"http://127.0.0.1:{state['port']}"
+        cold_store = SummaryStore.open(url)
+        warm_store = SummaryStore.open(url)
+        try:
+            fleet = WorkerFleetBackend(workers, heartbeat_interval=0.1)
+            timed_run(
+                "fleet_cold_shared",
+                backend=fleet,
+                store=cold_store,
+                extra_of=lambda: {
+                    "workers": workers,
+                    "deaths": fleet.stats.deaths,
+                },
+            )
+            warm = WorkerFleetBackend(workers, heartbeat_interval=0.1)
+            timed_run(
+                "fleet_warm_shared",
+                backend=warm,
+                store=warm_store,
+                extra_of=lambda: {
+                    "workers": workers,
+                    "store_hits": warm_store.hits,
+                    "cells_computed": warm_store.writes
+                    + warm.stats.workers_spawned,
+                },
+            )
+            chaos_store_dir = Path(shared) / "chaos"
+            chaos = WorkerFleetBackend(
+                workers,
+                heartbeat_interval=0.1,
+                retry_backoff=0.1,
+                chaos_kill_after_starts=1,
+            )
+            timed_run(
+                "fleet_chaos_sigkill",
+                backend=chaos,
+                store=SummaryStore(chaos_store_dir),
+                extra_of=lambda: {
+                    "workers": workers,
+                    "deaths": chaos.stats.deaths,
+                    "retries": chaos.stats.retries,
+                },
+            )
+        finally:
+            # Drop the persistent client connections before stopping the
+            # loop, or their server-side handler tasks outlive it noisily.
+            cold_store.backend.close()
+            warm_store.backend.close()
+            time.sleep(0.05)
+            loop.call_soon_threadsafe(state["task"].cancel)
+            daemon.join(timeout=5.0)
+
+    return {
+        "cells": len(configs),
+        "workers": workers,
+        "variants": variants,
+        "byte_identical": len(set(checksums)) == 1,
+        "summaries_sha256": checksums[0],
+    }
+
+
 def _entry(label: str, scale: str, results: dict) -> dict:
     return {
         "label": label,
@@ -325,9 +473,20 @@ def run_bench(
             f"{root / SWEEP_FILENAME}",
             file=out,
         )
-    # The serving-load bench is deliberately NOT part of "all": the CI
-    # perf-smoke determinism gate runs `bench all` twice and its contract
-    # stays micro+sweep; serve has its own gate in the serve-smoke job.
+    # The serving-load and backend-comparison benches are deliberately NOT
+    # part of "all": the CI perf-smoke determinism gate runs `bench all`
+    # twice and its contract stays micro+sweep; serve and fleet have their
+    # own gates in the serve-smoke and fleet-smoke jobs.
+    if which == "fleet":
+        backend_results = run_backend_bench(scale)
+        append_entry(root / SWEEP_FILENAME, _entry(label, scale, backend_results))
+        produced["fleet"] = backend_results
+        print(
+            f"bench: fleet ({backend_results['cells']} cells x "
+            f"{len(backend_results['variants'])} backends, byte_identical="
+            f"{backend_results['byte_identical']}) -> {root / SWEEP_FILENAME}",
+            file=out,
+        )
     if which == "serve":
         from ..serve.bench import run_serve_bench
 

@@ -24,8 +24,9 @@ only in the process that ran the simulation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from .backends import ExecutionBackend
 from .orchestrator import ProgressFn, run_configs
 from .runner import SimulationConfig, SimulationResult, run_simulation
 from .store import SummaryStore, config_key, latency_key
@@ -42,10 +43,18 @@ class SimulationCache:
     cross-process resume layer the CLI exposes as ``--cache-dir``.
     """
 
-    def __init__(self, store: Optional[SummaryStore] = None) -> None:
+    def __init__(
+        self,
+        store: Optional[SummaryStore] = None,
+        *,
+        backend: Union[None, str, ExecutionBackend] = None,
+    ) -> None:
         self._runs: Dict[Tuple, SimulationResult] = {}
         self._summaries: Dict[Tuple, SimulationSummary] = {}
         self._store = store
+        # Default execution backend for prime(); every figure runner that
+        # fans out through this cache inherits it without new plumbing.
+        self._backend = backend
 
     #: Structural key for a pluggable latency model (public attributes
     #: only — see :func:`repro.experiments.store.latency_key`).
@@ -58,6 +67,10 @@ class SimulationCache:
     @property
     def store(self) -> Optional[SummaryStore]:
         return self._store
+
+    @property
+    def backend(self) -> Union[None, str, ExecutionBackend]:
+        return self._backend
 
     def get(self, config: SimulationConfig) -> SimulationResult:
         key = self.key_of(config)
@@ -97,6 +110,7 @@ class SimulationCache:
         *,
         jobs: int = 1,
         progress: Optional[ProgressFn] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> int:
         """Ensure summaries exist for every config; returns the number
         actually simulated (store hits and memory hits count as zero).
@@ -120,7 +134,11 @@ class SimulationCache:
             return 0
         hits_before = self._store.hits if self._store is not None else 0
         summaries = run_configs(
-            missing, jobs=jobs, progress=progress, store=self._store
+            missing,
+            jobs=jobs,
+            progress=progress,
+            store=self._store,
+            backend=backend if backend is not None else self._backend,
         )
         for config, summary in zip(missing, summaries):
             self._summaries[self.key_of(config)] = summary

@@ -1,41 +1,55 @@
-"""Parallel sweep orchestrator: fan simulation cells out over processes.
+"""Sweep orchestrator: resolve cells against the store, fan out, collect.
 
 One *cell* is a fully-resolved :class:`~repro.experiments.runner.
 SimulationConfig` (picklable: plain dataclasses, traces and latency models
-are inert data).  Each worker runs the simulation and returns only the
-flat :class:`~repro.experiments.summary.SimulationSummary` — the full
-result object, which owns the live cluster/network graph, never crosses
-the process boundary.
+are inert data).  Execution is delegated to an
+:class:`~repro.experiments.backends.ExecutionBackend` — in this process
+(``SERIAL``), over a local ``multiprocessing.Pool`` (``POOL``), or across
+a killable worker fleet (``FLEET``).  Workers return only the flat
+:class:`~repro.experiments.summary.SimulationSummary` — the full result
+object, which owns the live cluster/network graph, never crosses the
+process boundary.
 
 Guarantees:
 
 * **Determinism** — every cell carries its own seed and the simulator's
   randomness derives exclusively from it (BLAKE2b substreams, no global
-  state), so results are identical whatever the process count or
+  state), so results are identical whatever the backend, process count or
   completion order; outputs are re-ordered to match the input sequence.
-* **Graceful interruption** — workers ignore SIGINT; a Ctrl-C in the
-  parent terminates the pool and re-raises ``KeyboardInterrupt``.
+* **Graceful interruption** — pool/fleet workers ignore SIGINT; a Ctrl-C
+  in the parent terminates them and re-raises ``KeyboardInterrupt``.
 * **Failure isolation** — a crashing cell does not take the sweep down;
   failures are collected and reported together in a :class:`SweepError`
-  after the surviving cells finish.
+  after the surviving cells finish, each carrying the worker traceback
+  and the cell's content address in the summary store.
+* **At-most-once recording** — backends may deliver a cell more than
+  once (the fleet re-queues cells whose worker died); the orchestrator
+  keeps the first result per index and ignores the rest, which together
+  with idempotent content-addressed store writes makes at-least-once
+  execution safe.
 
 The fan-out pattern follows Icarus' experiment orchestration (Saino et
-al.): a settings-driven queue of experiments dispatched to a
-``multiprocessing.Pool`` with periodic progress summaries.
+al.): a settings-driven queue of experiments dispatched to workers with
+periodic progress summaries.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import signal
 import time
-import traceback
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Union
 
-from .runner import SimulationConfig, run_simulation
-from .store import SummaryStore, config_key
-from .summary import SimulationSummary, summarize
+from .backends import (
+    ExecutionBackend,
+    LocalPoolBackend,
+    SerialBackend,
+    default_jobs,
+    resolve_backend,
+    split_error,
+)
+from .runner import SimulationConfig
+from .store import SummaryStore, config_key, stable_key_hash
+from .summary import SimulationSummary
 
 __all__ = [
     "CellFailure",
@@ -51,11 +65,26 @@ ProgressFn = Callable[[int, int, str, float], None]
 
 @dataclass(frozen=True)
 class CellFailure:
-    """One cell that raised instead of producing a summary."""
+    """One cell that raised (or whose workers died) instead of summarising.
+
+    ``error`` stays the concise one-liner older callers matched on;
+    ``traceback`` carries the worker's full stack when one exists, and
+    ``store_key`` is the cell's content address — the name its summary
+    would have in the store, so a failed cell can be hunted down in a
+    shared cache.  ``attempts`` counts executions (>1 only for backends
+    that retry, i.e. the fleet after worker deaths).
+    """
 
     index: int
     label: str
     error: str
+    traceback: str = ""
+    store_key: str = ""
+    attempts: int = 1
+
+    def detail(self) -> str:
+        """The longest failure text available (traceback, else error)."""
+        return self.traceback or self.error
 
 
 class SweepError(RuntimeError):
@@ -65,9 +94,10 @@ class SweepError(RuntimeError):
         self.failures = tuple(failures)
         self.total = total
         first = self.failures[0]
+        where = f" [store key {first.store_key}]" if first.store_key else ""
         super().__init__(
             f"{len(self.failures)}/{total} sweep cells failed; "
-            f"first failure ({first.label}):\n{first.error}"
+            f"first failure ({first.label}){where}:\n{first.detail()}"
         )
 
 
@@ -76,50 +106,37 @@ def cell_label(config: SimulationConfig) -> str:
     return f"{config.label} n={config.n} seed={config.seed}"
 
 
-def default_jobs() -> int:
-    """Conservative default worker count: all cores, capped at 8."""
-    return max(1, min(8, multiprocessing.cpu_count()))
-
-
-def _init_worker() -> None:
-    """Leave interrupt handling to the parent so Ctrl-C terminates cleanly."""
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
-
-
-def _execute_cell(
-    payload: Tuple[int, SimulationConfig]
-) -> Tuple[int, Optional[SimulationSummary], Optional[str]]:
-    """Run one cell; never raises (errors travel back as text)."""
-    index, config = payload
-    try:
-        return index, summarize(run_simulation(config)), None
-    except Exception:
-        return index, None, traceback.format_exc()
-
-
 def run_configs(
     configs: Sequence[SimulationConfig],
     *,
     jobs: int = 1,
     progress: Optional[ProgressFn] = None,
     store: Optional[SummaryStore] = None,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> List[SimulationSummary]:
     """Run every config and return summaries in input order.
 
-    ``jobs <= 1`` executes serially in-process through the *same* cell
-    function the pool uses, so serial and parallel runs produce identical
-    summaries (the parallel/serial equivalence the test suite asserts).
+    *backend* selects the execution strategy — an
+    :class:`ExecutionBackend` instance or a registered name (``"serial"``,
+    ``"pool"``, ``"fleet"``).  The default (``None``) preserves the
+    original behaviour bit-for-bit: serial in-process when ``jobs <= 1``
+    or at most one cell remains, else a local pool of ``jobs`` workers.
+    All strategies funnel through the same cell function, so they produce
+    identical summaries (the equivalence the test suite asserts).
 
-    With *store*, cells whose summary is already on disk are loaded instead
-    of simulated (their progress label carries a ``(cached)`` marker), and
-    each freshly computed summary is written back as soon as it arrives —
-    so a sweep killed mid-run resumes from its last completed cell, paying
-    zero recomputation for work already persisted.
+    With *store*, cells whose summary is already persisted are loaded
+    instead of simulated (their progress label carries a ``(cached)``
+    marker), and each freshly computed summary is written back as soon as
+    it arrives — so a sweep killed mid-run resumes from its last
+    completed cell, paying zero recomputation for work already persisted.
+    Backends that write through from their workers (the fleet) mark
+    results ``persisted`` so nothing is double-written.
     """
     payloads = list(enumerate(configs))
     total = len(payloads)
     summaries: List[Optional[SimulationSummary]] = [None] * total
     failures: List[CellFailure] = []
+    recorded: Set[int] = set()
     started = time.perf_counter()
 
     def record(
@@ -127,16 +144,29 @@ def run_configs(
         summary: Optional[SimulationSummary],
         error: Optional[str],
         cached: bool = False,
+        persisted: bool = False,
+        attempts: int = 1,
     ) -> int:
+        if index in recorded:  # duplicate delivery from a retrying backend
+            return len(recorded)
+        recorded.add(index)
         if summary is not None:
             summaries[index] = summary
-            if store is not None and not cached:
+            if store is not None and not cached and not persisted:
                 store.save(config_key(configs[index]), summary)
         else:
+            text = error or "unknown error"
             failures.append(
-                CellFailure(index, cell_label(configs[index]), error or "unknown error")
+                CellFailure(
+                    index,
+                    cell_label(configs[index]),
+                    split_error(text),
+                    traceback=text,
+                    store_key=stable_key_hash(config_key(configs[index])),
+                    attempts=attempts,
+                )
             )
-        done = sum(1 for s in summaries if s is not None) + len(failures)
+        done = len(recorded)
         if progress is not None:
             label = cell_label(configs[index])
             progress(
@@ -158,24 +188,24 @@ def run_configs(
                 pending.append(payload)
         payloads = pending
 
-    if jobs <= 1 or len(payloads) <= 1:
-        for payload in payloads:
-            record(*_execute_cell(payload))
-    else:
-        workers = min(jobs, len(payloads))
-        pool = multiprocessing.Pool(workers, initializer=_init_worker)
-        try:
-            for outcome in pool.imap_unordered(_execute_cell, payloads):
-                record(*outcome)
-            pool.close()
-        except BaseException:
-            # Any escape (Ctrl-C, a raising progress callback, unpicklable
-            # result) must terminate the workers before join(), or join()
-            # itself raises and masks the original error.
-            pool.terminate()
-            raise
-        finally:
-            pool.join()
+    executor = resolve_backend(backend, jobs=jobs)
+    if executor is None:
+        if jobs <= 1 or len(payloads) <= 1:
+            executor = SerialBackend()
+        else:
+            executor = LocalPoolBackend(jobs)
+    executor.execute(payloads, record, store=store)
+
+    missing = [
+        index for index, _ in payloads
+        if index not in recorded
+    ]
+    for index in missing:  # a backend bug, not a cell failure — be loud
+        record(
+            index,
+            None,
+            f"backend {executor.name} returned without executing this cell",
+        )
 
     if failures:
         failures.sort(key=lambda f: f.index)

@@ -41,10 +41,15 @@ import json
 import os
 import pathlib
 import warnings
-from typing import Iterator, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
-from ..ioutils import atomic_write_text
 from .runner import SimulationConfig
+from .store_backends import (
+    FilesystemBackend,
+    StoreBackend,
+    StoreEntry,
+    backend_from_spec,
+)
 from .summary import SimulationSummary
 
 __all__ = [
@@ -184,28 +189,65 @@ def store_filename(config: SimulationConfig) -> str:
 
 
 class SummaryStore:
-    """Content-addressed directory of serialised simulation summaries.
+    """Content-addressed collection of serialised simulation summaries.
 
-    One JSON file per distinct :func:`config_key`; file names are
+    One JSON object per distinct :func:`config_key`; object names are
     :func:`stable_key_hash` digests, so any process pointed at the same
-    directory resolves the same experiments to the same files.  Instances
+    backend resolves the same experiments to the same objects.  Instances
     track ``hits`` / ``misses`` / ``writes`` so orchestration layers can
     report how much of a sweep was resumed versus recomputed.
+
+    The store owns addressing and the summary codec; *where* the bytes
+    live is a pluggable :class:`~repro.experiments.store_backends.
+    StoreBackend`.  ``SummaryStore(directory)`` keeps the original local
+    layout (a :class:`FilesystemBackend`); ``SummaryStore.open(spec)``
+    also accepts an ``http://host:port`` URL and attaches to a shared
+    ``avmon store serve`` daemon, so a worker fleet — and multiple serve
+    front ends — read-through/write-through one cache.
     """
 
-    def __init__(self, root: Union[str, os.PathLike]) -> None:
-        self.root = pathlib.Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(
+        self,
+        root: Union[str, os.PathLike, None] = None,
+        *,
+        backend: Optional[StoreBackend] = None,
+    ) -> None:
+        if backend is None:
+            if root is None:
+                raise ValueError("SummaryStore needs a root directory or a backend")
+            backend = FilesystemBackend(root)
+        elif root is not None:
+            raise ValueError("pass either a root directory or a backend, not both")
+        self.backend = backend
         self.hits = 0
         self.misses = 0
         self.writes = 0
 
+    @classmethod
+    def open(cls, spec: Union[str, os.PathLike]) -> "SummaryStore":
+        """A store for *spec*: a local directory or an ``http://`` URL."""
+        return cls(backend=backend_from_spec(spec))
+
+    @property
+    def root(self):
+        """Where the store lives: a directory path or the shared-store URL."""
+        backend = self.backend
+        if isinstance(backend, FilesystemBackend):
+            return backend.root
+        return backend.describe()
+
     # -- addressing --------------------------------------------------------
 
-    def path_for(self, key: Tuple) -> pathlib.Path:
-        return self.root / f"{stable_key_hash(key)}.json"
+    @staticmethod
+    def name_for(key: Tuple) -> str:
+        """The flat object name one structural key addresses."""
+        return f"{stable_key_hash(key)}.json"
 
-    def path_for_config(self, config: SimulationConfig) -> pathlib.Path:
+    def path_for(self, key: Tuple):
+        """Where *key*'s summary lives (a path, or a URL for shared stores)."""
+        return self.backend.location(self.name_for(key))
+
+    def path_for_config(self, config: SimulationConfig):
         return self.path_for(config_key(config))
 
     # -- persistence -------------------------------------------------------
@@ -220,16 +262,16 @@ class SummaryStore:
         """
         path = self.path_for(key)
         try:
-            text = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            self.misses += 1
-            return None
+            text = self.backend.get(self.name_for(key))
         except OSError as error:
             warnings.warn(
-                f"unreadable summary file {path} ({error}); recomputing",
+                f"unreadable summary entry {path} ({error}); recomputing",
                 RuntimeWarning,
                 stacklevel=2,
             )
+            self.misses += 1
+            return None
+        if text is None:
             self.misses += 1
             return None
         try:
@@ -252,60 +294,83 @@ class SummaryStore:
         self.hits += 1
         return summary
 
-    def save(self, key: Tuple, summary: SimulationSummary) -> Optional[pathlib.Path]:
-        """Atomically persist *summary* under *key*'s content address.
+    def save(self, key: Tuple, summary: SimulationSummary):
+        """Persist *summary* under *key*'s content address.
 
-        Write-to-temp + ``os.replace`` keeps concurrent readers (parallel
-        sweeps sharing one store) from ever observing a partial file.
+        The filesystem backend writes to a temp file + ``os.replace``, so
+        concurrent readers (parallel sweeps sharing one store) never
+        observe a partial file; the shared backend PUTs to the daemon,
+        which does the same on its own disk.
 
         The store is a best-effort cache on the write side too: a failed
-        write (disk full, permission lost mid-run) is warned about and
-        returns None rather than raising — the caller already holds the
-        computed summary, and aborting a sweep to report an unsaveable
-        by-product would discard finished work.
+        write (disk full, store daemon down) is warned about and returns
+        None rather than raising — the caller already holds the computed
+        summary, and aborting a sweep to report an unsaveable by-product
+        would discard finished work.
+
+        Returns the entry's location (a path, or a URL for shared stores).
         """
-        path = self.path_for(key)
+        name = self.name_for(key)
         try:
-            atomic_write_text(path, summary.to_json())
+            self.backend.put(name, summary.to_json())
         except OSError as error:
             warnings.warn(
-                f"failed to persist summary to {path} ({error}); "
-                f"continuing without the cache write",
+                f"failed to persist summary to {self.backend.location(name)} "
+                f"({error}); continuing without the cache write",
                 RuntimeWarning,
                 stacklevel=2,
             )
             return None
         self.writes += 1
-        return path
+        return self.backend.location(name)
 
     # -- introspection -----------------------------------------------------
 
     def __contains__(self, key: Tuple) -> bool:
-        return self.path_for(key).exists()
+        return self.backend.exists(self.name_for(key))
 
     def __len__(self) -> int:
-        return sum(1 for _ in self._entries())
+        return len(self.backend.entries())
 
-    def _entries(self) -> Iterator[pathlib.Path]:
-        return (p for p in self.root.glob("*.json") if p.is_file())
+    def entries(self) -> Tuple[StoreEntry, ...]:
+        """Every stored object (name + size), sorted by name."""
+        return self.backend.entries()
 
-    def paths(self) -> Tuple[pathlib.Path, ...]:
-        """Every stored entry file, sorted by name (``avmon cache ls``)."""
-        return tuple(sorted(self._entries()))
+    def paths(self) -> Tuple:
+        """Every stored entry's location, sorted (``avmon cache ls``)."""
+        return tuple(
+            self.backend.location(entry.name) for entry in self.backend.entries()
+        )
 
-    def read_file(self, path: Union[str, os.PathLike]) -> Optional[SimulationSummary]:
-        """Parse one store file; None (no warning, no counter) if unreadable.
+    def read_entry(self, name: str) -> Optional[SimulationSummary]:
+        """Parse one stored object by name; None (no warning, no counter)
+        when unreadable or corrupt.
 
         The inspection-side sibling of :meth:`load`: ``avmon cache ls``
-        walks the directory by path, without knowing the structural keys
-        that produced the filenames.
+        walks the backend's listing without knowing the structural keys
+        that produced the names.
         """
         try:
-            return SimulationSummary.from_json(
-                pathlib.Path(path).read_text(encoding="utf-8")
-            )
+            text = self.backend.get(name)
+        except OSError:
+            return None
+        if text is None:
+            return None
+        return self._parse(text)
+
+    def read_file(self, path: Union[str, os.PathLike]) -> Optional[SimulationSummary]:
+        """Parse one store file by filesystem path (legacy inspection API)."""
+        try:
+            text = pathlib.Path(path).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        return self._parse(text)
+
+    @staticmethod
+    def _parse(text: str) -> Optional[SimulationSummary]:
+        try:
+            return SimulationSummary.from_json(text)
         except (
-            OSError,
             json.JSONDecodeError,
             AttributeError,
             TypeError,
@@ -315,16 +380,21 @@ class SummaryStore:
             return None
 
     def clear(self) -> int:
-        """Delete every entry; returns how many files were removed.
+        """Delete every entry; returns how many objects were removed.
 
-        An entry that cannot be deleted (permissions) raises — claiming a
-        clear succeeded while files remain would be worse than failing.
+        An entry that cannot be deleted (permissions, store daemon down)
+        raises — claiming a clear succeeded while objects remain would be
+        worse than failing.
         """
-        removed = 0
-        for path in self._entries():
-            path.unlink(missing_ok=True)
-            removed += 1
-        return removed
+        return self.backend.clear()
+
+    def spec(self) -> str:
+        """The picklable string that reopens this store (path or URL).
+
+        What the worker fleet ships to its processes: each worker calls
+        :meth:`open` on the spec and attaches to the same cache.
+        """
+        return self.backend.spec()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

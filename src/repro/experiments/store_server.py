@@ -1,0 +1,160 @@
+"""``avmon store serve``: a shared summary-store daemon over HTTP.
+
+One process owns a :class:`~repro.experiments.store_backends.
+FilesystemBackend` directory and exposes it as a small named-object
+protocol, so any number of sweep workers (local or remote) and serve
+front ends share one content-addressed cache through
+:class:`~repro.experiments.store_backends.SharedStoreBackend`:
+
+========  ====================  ===========================================
+method    target                semantics
+========  ====================  ===========================================
+GET       /objects              list entries: ``{"entries": [{name, bytes}]}``
+GET       /objects/{name}       fetch: ``{"name", "text"}`` or 404
+PUT       /objects/{name}       store ``{"text": ...}`` (atomic on disk)
+DELETE    /objects/{name}       remove; ``{"deleted": bool}`` or 404
+GET       /stat                 totals + request counters
+GET       /healthz              liveness probe
+========  ====================  ===========================================
+
+Object text travels inside a JSON string, so stored bytes round-trip
+exactly — the byte-identity contract on summary JSON holds across the
+wire.  The HTTP plumbing is the same stdlib-asyncio layer the
+availability service uses (:mod:`repro.serve.http`): the daemon is just
+another ``service.handle(method, target, body, client)`` behind it, and
+the in-memory HTTP client drives it socket-free in tests.
+
+The protocol is deliberately cache-shaped, not database-shaped: objects
+are immutable values under content addresses, PUT is idempotent, and a
+lost write is at worst a future recomputation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Dict, Optional, Tuple
+
+from .store_backends import FilesystemBackend, StoreBackend, valid_object_name
+
+__all__ = ["StoreService", "serve_store", "run_store_server"]
+
+
+class StoreService:
+    """The object-protocol request handler over one :class:`StoreBackend`.
+
+    Compatible with :func:`repro.serve.http.handle_connection`: requests
+    arrive as ``(method, target, parsed_json_body, client)`` and leave as
+    ``(status, payload, extra_headers)``.  Backend I/O failures surface
+    as 500s with the error text — clients treat those as cache misses.
+    """
+
+    def __init__(self, backend: StoreBackend) -> None:
+        self.backend = backend
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "get_hits": 0,
+            "get_misses": 0,
+            "puts": 0,
+            "deletes": 0,
+            "client_errors": 0,
+            "server_errors": 0,
+        }
+
+    async def handle(
+        self,
+        method: str,
+        target: str,
+        body: Optional[dict],
+        client: str,
+    ) -> Tuple[int, dict, Dict[str, str]]:
+        self.counters["requests"] += 1
+        try:
+            status, payload = self._route(method, target, body)
+        except OSError as error:
+            self.counters["server_errors"] += 1
+            return 500, {"error": f"store backend failure: {error}"}, {}
+        if 400 <= status < 500:
+            self.counters["client_errors"] += 1
+        return status, payload, {}
+
+    def _route(
+        self, method: str, target: str, body: Optional[dict]
+    ) -> Tuple[int, dict]:
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            return 200, {"status": "ok"}
+        if path == "/stat":
+            payload = self.backend.stat()
+            payload["counters"] = dict(self.counters)
+            return 200, payload
+        if path == "/objects":
+            if method != "GET":
+                return 405, {"error": "listing is GET-only"}
+            return 200, {
+                "entries": [
+                    {"name": entry.name, "bytes": entry.size}
+                    for entry in self.backend.entries()
+                ]
+            }
+        if path.startswith("/objects/"):
+            name = path[len("/objects/"):]
+            if not valid_object_name(name):
+                return 400, {"error": f"illegal object name {name!r}"}
+            if method == "GET":
+                text = self.backend.get(name)
+                if text is None:
+                    self.counters["get_misses"] += 1
+                    return 404, {"error": f"no object {name}"}
+                self.counters["get_hits"] += 1
+                return 200, {"name": name, "text": text}
+            if method == "PUT":
+                if not isinstance(body, dict) or not isinstance(
+                    body.get("text"), str
+                ):
+                    return 400, {"error": 'PUT body must be {"text": "..."}'}
+                self.backend.put(name, body["text"])
+                self.counters["puts"] += 1
+                return 200, {"stored": name, "bytes": len(body["text"])}
+            if method == "DELETE":
+                if not self.backend.delete(name):
+                    return 404, {"error": f"no object {name}"}
+                self.counters["deletes"] += 1
+                return 200, {"deleted": True, "name": name}
+            return 405, {"error": f"unsupported method {method}"}
+        return 404, {"error": f"no route for {path}"}
+
+
+async def serve_store(
+    backend: StoreBackend, host: str = "127.0.0.1", port: int = 0
+):
+    """Bind the object protocol on a real socket; returns the asyncio
+    server (``server.sockets[0].getsockname()`` has the bound port)."""
+    from ..serve.http import serve_http
+
+    return await serve_http(StoreService(backend), host, port)
+
+
+def run_store_server(
+    root: str, host: str = "127.0.0.1", port: int = 7780, out=sys.stderr
+) -> int:
+    """Run the daemon until interrupted (the ``avmon store serve`` body)."""
+    backend = FilesystemBackend(root)
+
+    async def serve_forever() -> None:
+        server = await serve_store(backend, host, port)
+        bound = server.sockets[0].getsockname()[1]
+        print(
+            f"store: serving {backend.root} on http://{host}:{bound} "
+            f"(point workers at it with --cache-dir http://{host}:{bound}; "
+            f"Ctrl-C to stop)",
+            file=out,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(serve_forever())
+    return 0

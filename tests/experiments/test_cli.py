@@ -95,7 +95,7 @@ class TestCliCacheDir:
     @staticmethod
     def _refuse_simulation(monkeypatch):
         monkeypatch.setattr(
-            "repro.experiments.orchestrator.run_simulation",
+            "repro.experiments.backends.base.run_simulation",
             lambda config: pytest.fail("cached invocation must not simulate"),
         )
 

@@ -217,7 +217,7 @@ class TestCacheWithStore:
             raise AssertionError("resumed lookup must not simulate")
 
         monkeypatch.setattr("repro.experiments.cache.run_simulation", refuse)
-        monkeypatch.setattr("repro.experiments.orchestrator.run_simulation", refuse)
+        monkeypatch.setattr("repro.experiments.backends.base.run_simulation", refuse)
         second = SimulationCache(store=SummaryStore(tmp_path))
         resumed = second.get_summary(config)
         assert resumed.to_json() == summary.to_json()
@@ -233,7 +233,7 @@ class TestCacheWithStore:
         assert cold.summary_count() == 2
 
         monkeypatch.setattr(
-            "repro.experiments.orchestrator.run_simulation",
+            "repro.experiments.backends.base.run_simulation",
             lambda _config: pytest.fail("fully-cached prime must not simulate"),
         )
         done = SimulationCache(store=SummaryStore(tmp_path))
