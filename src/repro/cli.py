@@ -206,6 +206,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--json", action="store_true", help="emit the full result set as JSON"
     )
+    sweep_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL lifecycle events (fleet leases, "
+        "deaths, retries) to PATH; inspect with 'avmon obs'",
+    )
+    sweep_parser.add_argument(
+        "--obs-snapshot",
+        default=None,
+        metavar="PATH",
+        help="write the deterministic obs-counter snapshot (canonical "
+        "JSON) to PATH after the sweep — byte-equal across identical "
+        "seeded runs",
+    )
     _add_backend_arguments(sweep_parser)
     _add_cache_dir_argument(sweep_parser)
 
@@ -258,7 +273,54 @@ def build_parser() -> argparse.ArgumentParser:
     _build_serve_parser(commands)
     _build_store_parser(commands)
     _build_cache_parser(commands)
+    _build_obs_parser(commands)
     return parser
+
+
+def _build_obs_parser(commands) -> None:
+    obs_parser = commands.add_parser(
+        "obs", help="inspect observability output: journals and /metrics"
+    )
+    obs_commands = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    tail = obs_commands.add_parser(
+        "tail", help="print the last events of a JSONL journal"
+    )
+    tail.add_argument("path", help="journal file (written via --journal)")
+    tail.add_argument(
+        "-n", "--lines", type=int, default=20, help="events to show (default: 20)"
+    )
+    tail.add_argument(
+        "--event", default=None, help="only events whose name contains this"
+    )
+    tail.add_argument(
+        "--json", action="store_true", help="raw JSONL instead of the human render"
+    )
+
+    summary = obs_commands.add_parser(
+        "summary", help="aggregate a journal: per-event counts and span timings"
+    )
+    summary.add_argument("path", help="journal file")
+    summary.add_argument(
+        "--json", action="store_true", help="machine-readable aggregate"
+    )
+
+    scrape = obs_commands.add_parser(
+        "scrape", help="fetch a /metrics endpoint (store daemon or serve)"
+    )
+    scrape.add_argument(
+        "url",
+        help="metrics URL, e.g. http://127.0.0.1:7780/metrics",
+    )
+    scrape.add_argument(
+        "--format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="exposition format to request (default: json)",
+    )
+    scrape.add_argument(
+        "--timeout", type=float, default=5.0, help="HTTP timeout seconds"
+    )
 
 
 #: Default operator control port for ``avmon live`` (UDP, localhost).
@@ -392,6 +454,13 @@ def _build_live_parser(commands) -> None:
         help="exit non-zero unless crash-victim recovery reaches R (CI gate)",
     )
     up.add_argument("--json", action="store_true", help="emit the report as JSON")
+    up.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL lifecycle events (spawns, crashes, "
+        "scrapes) to PATH; inspect with 'avmon obs'",
+    )
     _add_cache_dir_argument(up)
 
     status = live_commands.add_parser("status", help="probe a running overlay")
@@ -724,6 +793,25 @@ def _cmd_sweep(args, out) -> int:
     except (CacheDirError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    registry = journal = None
+    if args.journal or args.obs_snapshot:
+        from .obs import Journal, MetricsRegistry
+
+        registry = MetricsRegistry()
+        journal = Journal(args.journal) if args.journal else Journal()
+        if backend is not None:
+            backend.attach_obs(registry, journal)
+        if store is not None:
+            registry.gauge("sweep.cache.hits", fn=lambda s=store: s.hits)
+            registry.gauge("sweep.cache.computed", fn=lambda s=store: s.writes)
+        journal.emit(
+            "sweep.start",
+            model=args.model,
+            scale=args.scale,
+            n=list(ns),
+            seeds=args.seeds,
+            jobs=args.jobs,
+        )
     try:
         base = Scenario(model=args.model, scale=args.scale, seed=args.seed)
         results = sweep(
@@ -741,6 +829,17 @@ def _cmd_sweep(args, out) -> int:
     except SweepError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if journal is not None:
+            journal.emit("sweep.end", cells=len(ns) * args.seeds)
+            journal.close()
+    if args.obs_snapshot:
+        try:
+            with open(args.obs_snapshot, "w", encoding="utf-8") as fh:
+                fh.write(registry.deterministic_json() + "\n")
+        except OSError as error:
+            print(f"error: cannot write obs snapshot: {error}", file=sys.stderr)
+            return 2
     _report_store(store)
     _report_backend(backend)
     if args.json:
@@ -954,11 +1053,16 @@ def _cmd_live_up(args, out, LiveConfig, run_live) -> int:
         f"(control port {config.control_port}{fault_note})",
         file=sys.stderr,
     )
+    from .obs import Journal, journal_from_env
+
+    journal = Journal(args.journal) if args.journal else journal_from_env()
     try:
-        report = run_live(config, store=store)
+        report = run_live(config, store=store, journal=journal)
     except RuntimeError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        journal.close()
     _report_store(store)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
@@ -1149,6 +1253,8 @@ def _cmd_bench(args, out) -> int:
             print(f"== {suite} ==", file=out)
             if suite == "micro":
                 for metric, values in payload.items():
+                    if "wall_s" not in values:  # e.g. the "obs" snapshot entry
+                        continue
                     rate = next(
                         (f"{values[k]:,}/s" for k in ("per_sec", "events_per_sec",
                                                       "pairs_per_sec", "messages_per_sec")
@@ -1336,6 +1442,68 @@ def _cmd_cache(args, out) -> int:
     return 0
 
 
+def _cmd_obs(args, out) -> int:
+    from .obs import read_events, render_event, summarize_events
+
+    if args.obs_command == "scrape":
+        import urllib.error
+        import urllib.request
+
+        url = args.url
+        if args.format == "prometheus":
+            sep = "&" if "?" in url else "?"
+            url = f"{url}{sep}format=prometheus"
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as response:
+                body = response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            print(f"error: cannot scrape {args.url}: {error}", file=sys.stderr)
+            return 1
+        if args.format == "json":
+            try:  # re-render canonically so scrapes diff cleanly
+                body = json.dumps(json.loads(body), indent=2, sort_keys=True)
+            except ValueError:
+                pass
+        print(body.rstrip("\n"), file=out)
+        return 0
+
+    try:
+        events = read_events(args.path)
+    except OSError as error:
+        print(f"error: cannot read journal: {error}", file=sys.stderr)
+        return 1
+    if args.obs_command == "tail":
+        if args.event:
+            events = [e for e in events if args.event in e.get("event", "")]
+        if args.lines > 0:
+            events = events[-args.lines:]
+        for record in events:
+            if args.json:
+                print(json.dumps(record, sort_keys=True), file=out)
+            else:
+                print(render_event(record), file=out)
+        return 0
+    summary = summarize_events(events)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"events: {summary['events']}", file=out)
+    for event, count in summary["by_event"].items():
+        print(f"  {event:<36} {count:>8}", file=out)
+    if summary["spans"]:
+        print("spans:", file=out)
+        for base, agg in summary["spans"].items():
+            print(
+                f"  {base:<36} count={agg['count']} "
+                f"total={agg['total_s']:.3f}s max={agg['max_s']:.3f}s",
+                file=out,
+            )
+    if summary["first_ts"] is not None and summary["last_ts"] is not None:
+        window = summary["last_ts"] - summary["first_ts"]
+        print(f"window: {window:.3f}s", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -1354,6 +1522,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_store(args, out)
         if args.command == "cache":
             return _cmd_cache(args, out)
+        if args.command == "obs":
+            return _cmd_obs(args, out)
         return _cmd_run(args, out)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)

@@ -29,7 +29,8 @@ not the index.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Set
 
 from .condition import ConsistencyCondition
 from .hashing import NodeId, pack_endpoint
@@ -67,6 +68,27 @@ class MonitorRelation:
         # current".
         self._ts: Dict[NodeId, list] = {}
         self._ps: Dict[NodeId, list] = {}
+        # Opt-in observability: ``(scans counter, pairs counter, timer)`` or
+        # None.  The guard is one identity check per *extension call* (not
+        # per pair), so the disabled hot path pays ~nothing.
+        self._obs: Optional[tuple] = None
+
+    def observe(self, registry, prefix: str = "sim.relation") -> None:
+        """Attach scan-kernel instrumentation to an obs registry.
+
+        Registers deterministic counters for scan calls and pairs scanned
+        plus a wall-clock histogram of scan-phase durations, and callback
+        gauges for universe size and materialised index entries.
+        """
+        from ..obs.registry import WALL
+
+        self._obs = (
+            registry.counter(f"{prefix}.scans"),
+            registry.counter(f"{prefix}.pairs_scanned"),
+            registry.histogram(f"{prefix}.scan_seconds", kind=WALL),
+        )
+        registry.gauge(f"{prefix}.universe", fn=self.universe_size)
+        registry.gauge(f"{prefix}.index_entries", fn=self.index_entries)
 
     # -- universe management -------------------------------------------------
 
@@ -113,9 +135,19 @@ class MonitorRelation:
             entry = self._ts[monitor] = [set(), 0]
         targets = entry[0]
         total = len(self._universe)
-        self.condition.scan_targets(
-            monitor, self._universe, self._packed, entry[1], total, targets.add
-        )
+        obs = self._obs
+        if obs is None:
+            self.condition.scan_targets(
+                monitor, self._universe, self._packed, entry[1], total, targets.add
+            )
+        else:
+            started = perf_counter()
+            self.condition.scan_targets(
+                monitor, self._universe, self._packed, entry[1], total, targets.add
+            )
+            obs[0].inc()
+            obs[1].inc(total - entry[1])
+            obs[2].observe(perf_counter() - started)
         entry[1] = total
         return targets
 
@@ -132,9 +164,19 @@ class MonitorRelation:
             entry = self._ps[target] = [set(), 0]
         monitors = entry[0]
         total = len(self._universe)
-        self.condition.scan_monitors(
-            target, self._universe, self._packed, entry[1], total, monitors.add
-        )
+        obs = self._obs
+        if obs is None:
+            self.condition.scan_monitors(
+                target, self._universe, self._packed, entry[1], total, monitors.add
+            )
+        else:
+            started = perf_counter()
+            self.condition.scan_monitors(
+                target, self._universe, self._packed, entry[1], total, monitors.add
+            )
+            obs[0].inc()
+            obs[1].inc(total - entry[1])
+            obs[2].observe(perf_counter() - started)
         entry[1] = total
         return monitors
 

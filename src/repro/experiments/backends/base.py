@@ -69,6 +69,21 @@ class ExecutionBackend(abc.ABC):
     #: Registry display name (``avmon list --json`` shows the catalogue).
     name: str = "?"
 
+    #: Observability wiring (see :meth:`attach_obs`); None = disabled.
+    obs_registry = None
+    obs_journal = None
+
+    def attach_obs(self, registry=None, journal=None) -> None:
+        """Point this backend at an obs registry and/or event journal.
+
+        Optional by contract: backends that report nothing simply never
+        read the attributes.  The fleet emits its lifecycle events
+        (lease granted/expired, worker death, retry, chaos kill) through
+        whatever is attached here.
+        """
+        self.obs_registry = registry
+        self.obs_journal = journal
+
     @abc.abstractmethod
     def execute(
         self,

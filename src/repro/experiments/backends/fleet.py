@@ -61,6 +61,12 @@ from .base import (
 
 __all__ = ["WorkerFleetBackend"]
 
+#: Journal events whose counts depend on wall-clock timing (heartbeats
+#: arrive as fast as the pump thread runs); everything else the fleet
+#: emits is a deterministic function of the seeded sweep and lands in the
+#: registry as deterministic-kind counters.
+_WALL_EVENTS = frozenset({"fleet.heartbeat"})
+
 
 def _fleet_worker_main(
     worker_id: int,
@@ -179,6 +185,25 @@ class WorkerFleetBackend(ExecutionBackend):
         #: worker (once).  Results must be unaffected — that is the point.
         self.chaos_kill_after_starts = chaos_kill_after_starts
         self.stats = FleetStats()
+        #: Per-execute lifecycle event counts; the source of truth for
+        #: :meth:`stats_line`, so the human line and the journal agree by
+        #: construction.
+        self._event_counts: Dict[str, int] = {}
+
+    # -- observability -----------------------------------------------------
+
+    def _emit(self, event: str, **fields) -> None:
+        """One lifecycle event: count it, mirror it to the obs wiring."""
+        self._event_counts[event] = self._event_counts.get(event, 0) + 1
+        registry = self.obs_registry
+        if registry is not None:
+            from ...obs.registry import DETERMINISTIC, WALL
+
+            kind = WALL if event in _WALL_EVENTS else DETERMINISTIC
+            registry.counter(event, kind).inc()
+        journal = self.obs_journal
+        if journal is not None:
+            journal.emit(event, **fields)
 
     # -- orchestration -----------------------------------------------------
 
@@ -189,6 +214,7 @@ class WorkerFleetBackend(ExecutionBackend):
         if not payloads:
             return
         self.stats = FleetStats()
+        self._event_counts = {}
         store_spec = store.spec() if store is not None else None
         ctx = multiprocessing.get_context()
         result_queue = ctx.Queue()
@@ -220,10 +246,11 @@ class WorkerFleetBackend(ExecutionBackend):
             process.start()
             fleet[worker_id] = _Worker(process, task_queue)
             self.stats.workers_spawned += 1
+            self._emit("fleet.worker_spawned", worker=worker_id)
 
         def dispatch() -> None:
             nonlocal dispatches
-            for worker in fleet.values():
+            for worker_id, worker in fleet.items():
                 if worker.lease is not None or not pending:
                     continue
                 index, attempt = pending.popleft()
@@ -233,12 +260,26 @@ class WorkerFleetBackend(ExecutionBackend):
                 worker.lease = _Lease(index, attempt, now, now)
                 worker.task_queue.put((index, configs[index], attempt))
                 dispatches += 1
+                self._emit(
+                    "fleet.lease_granted",
+                    worker=worker_id,
+                    cell=index,
+                    attempt=attempt,
+                )
 
         def handle_death(worker_id: int, reason: str) -> None:
             worker = fleet.pop(worker_id)
             worker.process.join(timeout=1.0)
             self.stats.deaths += 1
             lease = worker.lease
+            self._emit(
+                "fleet.worker_death",
+                worker=worker_id,
+                reason=reason,
+                cell=lease.index if lease is not None else None,
+                attempt=lease.attempt if lease is not None else None,
+                exitcode=worker.process.exitcode,
+            )
             if lease is not None and lease.index in outstanding:
                 if lease.attempt >= self.max_attempts:
                     record(
@@ -250,6 +291,11 @@ class WorkerFleetBackend(ExecutionBackend):
                         attempts=lease.attempt,
                     )
                     outstanding.discard(lease.index)
+                    self._emit(
+                        "fleet.cell_failed",
+                        cell=lease.index,
+                        attempts=lease.attempt,
+                    )
                 else:
                     delay = self.retry_backoff * (2 ** (lease.attempt - 1))
                     heapq.heappush(
@@ -257,6 +303,12 @@ class WorkerFleetBackend(ExecutionBackend):
                         (time.monotonic() + delay, lease.index, lease.attempt + 1),
                     )
                     self.stats.retries += 1
+                    self._emit(
+                        "fleet.retry",
+                        cell=lease.index,
+                        attempt=lease.attempt + 1,
+                        delay_s=round(delay, 6),
+                    )
             if outstanding:
                 spawn()
 
@@ -275,6 +327,12 @@ class WorkerFleetBackend(ExecutionBackend):
                     # (unreliable failure detector — suspicion is enough;
                     # a late completion is ignored as a duplicate).
                     self.stats.leases_expired += 1
+                    self._emit(
+                        "fleet.lease_expired",
+                        worker=worker_id,
+                        cell=lease.index,
+                        attempt=lease.attempt,
+                    )
                     _kill(worker.process)
                     handle_death(worker_id, "lost its lease (no heartbeat)")
 
@@ -282,8 +340,13 @@ class WorkerFleetBackend(ExecutionBackend):
             nonlocal chaos_armed
             if not chaos_armed or dispatches < self.chaos_kill_after_starts:
                 return
-            for worker in fleet.values():
+            for worker_id, worker in fleet.items():
                 if worker.lease is not None:
+                    self._emit(
+                        "fleet.chaos_kill",
+                        worker=worker_id,
+                        cell=worker.lease.index,
+                    )
                     _kill(worker.process)
                     chaos_armed = False
                     return
@@ -308,6 +371,11 @@ class WorkerFleetBackend(ExecutionBackend):
                 if kind == "beat":
                     if worker is not None and worker.lease is not None:
                         worker.lease.last_beat = time.monotonic()
+                        self._emit(
+                            "fleet.heartbeat",
+                            worker=worker_id,
+                            cell=worker.lease.index,
+                        )
                     continue
                 # kind == "done"
                 _, _, index, attempt, summary, error, persisted = message
@@ -318,6 +386,14 @@ class WorkerFleetBackend(ExecutionBackend):
                 if index not in outstanding:
                     continue  # duplicate from an expired-lease straggler
                 outstanding.discard(index)
+                self._emit(
+                    "fleet.cell_done",
+                    worker=worker_id,
+                    cell=index,
+                    attempt=attempt,
+                    persisted=persisted,
+                    error=error is not None,
+                )
                 record(index, summary, error, persisted=persisted, attempts=attempt)
         finally:
             self._shutdown(fleet)
@@ -344,11 +420,20 @@ class WorkerFleetBackend(ExecutionBackend):
     # -- reporting ---------------------------------------------------------
 
     def stats_line(self) -> str:
-        stats = self.stats
+        """Human render derived from the journal event counts.
+
+        The same events the journal records produce this line, so the
+        stderr tally and the machine-readable journal cannot disagree.
+        (`FleetStats` tracks the identical quantities for programmatic
+        consumers; the two are asserted equal in tests.)
+        """
+        counts = self._event_counts
         return (
-            f"fleet: workers={self.workers} spawned={stats.workers_spawned} "
-            f"deaths={stats.deaths} retries={stats.retries} "
-            f"leases_expired={stats.leases_expired}"
+            f"fleet: workers={self.workers} "
+            f"spawned={counts.get('fleet.worker_spawned', 0)} "
+            f"deaths={counts.get('fleet.worker_death', 0)} "
+            f"retries={counts.get('fleet.retry', 0)} "
+            f"leases_expired={counts.get('fleet.lease_expired', 0)}"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

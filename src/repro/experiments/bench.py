@@ -182,6 +182,18 @@ def run_micro_bench(scale: str = "bench") -> Dict[str, dict]:
         "wall_s": round(wall, 4),
         "messages_per_sec": round(messages / wall),
     }
+
+    # Registry view of the primitives just measured.  Attached AFTER the
+    # timed sections — every hot path above ran with hooks disabled, so
+    # the micro numbers stay comparable across the trajectory; the
+    # callback gauges read the final engine/condition state for free.
+    from ..obs import MetricsRegistry
+    from ..obs.hooks import observe_condition, observe_simulator
+
+    registry = MetricsRegistry()
+    observe_simulator(registry, sim)  # the network-delivery engine
+    observe_condition(registry, condition)  # last relation-scan condition
+    results["obs"] = {"deterministic": registry.deterministic_snapshot()}
     return results
 
 
@@ -202,7 +214,10 @@ def run_sweep_bench(scale: str = "bench", *, scale_out: Optional[bool] = None) -
     wall time plus: processed events, hash evaluations, relation index
     size, the summary JSON's SHA-256 and the disk store's cache key.  The
     latter two pin the byte-identity and cache-address contracts into the
-    trajectory file — any drift is visible in the diff.
+    trajectory file — any drift is visible in the diff.  Each cell also
+    embeds the deterministic half of a per-cell ``repro.obs`` registry
+    snapshot (engine/condition/relation hooks), which the perf-smoke gate
+    compares byte-for-byte between identical runs.
 
     With *scale_out* (default: only at ``bench``/``paper`` scale) a
     shortened-window ``STAT N=10,000`` cell demonstrates the scale-out
@@ -220,10 +235,13 @@ def run_sweep_bench(scale: str = "bench", *, scale_out: Optional[bool] = None) -
     cells: List[dict] = []
     total_wall = 0.0
 
+    from ..obs import MetricsRegistry
+
     def run_cell(label: str, config) -> None:
         nonlocal total_wall
+        registry = MetricsRegistry()
         start = time.perf_counter()
-        result = run_simulation(config)
+        result = run_simulation(config, obs=registry)
         wall = time.perf_counter() - start
         total_wall += wall
         summary_json = result.summary().to_json()
@@ -244,6 +262,10 @@ def run_sweep_bench(scale: str = "bench", *, scale_out: Optional[bool] = None) -
                     summary_json.encode("utf-8")
                 ).hexdigest(),
                 "store_key": stable_key_hash(config_key(config)),
+                # Deterministic only: the wall-kind series (scan-phase
+                # timers) are excluded, so the perf-smoke gate can compare
+                # this dict byte-for-byte between identical runs.
+                "obs": registry.deterministic_snapshot(),
             }
         )
 

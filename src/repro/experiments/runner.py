@@ -447,8 +447,16 @@ class SimulationResult:
         return summarize(self)
 
 
-def run_simulation(config: SimulationConfig) -> SimulationResult:
-    """Build and execute one experiment; see the module docstring."""
+def run_simulation(
+    config: SimulationConfig, *, obs=None
+) -> SimulationResult:
+    """Build and execute one experiment; see the module docstring.
+
+    *obs* is an optional :class:`repro.obs.registry.MetricsRegistry`; when
+    given, the engine, condition and relation are observed through it
+    (callback gauges plus the relation's guarded scan instrumentation).
+    The simulation itself is unaffected — hooks are read-only.
+    """
     wall_start = time.perf_counter()
     avmon_config = config.resolved_avmon()
     source = RandomSource(config.seed)
@@ -470,6 +478,12 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         avmon_config.k, avmon_config.n_expected, avmon_config.hash_algorithm
     )
     relation = MonitorRelation(condition)
+    if obs is not None:
+        from ..obs.hooks import observe_condition, observe_simulator
+
+        observe_simulator(obs, sim)
+        observe_condition(obs, condition)
+        relation.observe(obs)
     metrics = MetricsHub()
     cluster = Cluster(
         sim,

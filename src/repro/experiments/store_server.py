@@ -14,6 +14,7 @@ GET       /objects/{name}       fetch: ``{"name", "text"}`` or 404
 PUT       /objects/{name}       store ``{"text": ...}`` (atomic on disk)
 DELETE    /objects/{name}       remove; ``{"deleted": bool}`` or 404
 GET       /stat                 totals + request counters
+GET       /metrics              obs registry (JSON; ``?format=prometheus``)
 GET       /healthz              liveness probe
 ========  ====================  ===========================================
 
@@ -33,11 +34,24 @@ from __future__ import annotations
 
 import asyncio
 import sys
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
 
+from ..obs.registry import MetricsRegistry
 from .store_backends import FilesystemBackend, StoreBackend, valid_object_name
 
 __all__ = ["StoreService", "serve_store", "run_store_server"]
+
+#: The legacy counter names ``/stat`` has always reported, in order.
+_STAT_COUNTERS = (
+    "requests",
+    "get_hits",
+    "get_misses",
+    "puts",
+    "deletes",
+    "client_errors",
+    "server_errors",
+)
 
 
 class StoreService:
@@ -47,19 +61,47 @@ class StoreService:
     arrive as ``(method, target, parsed_json_body, client)`` and leave as
     ``(status, payload, extra_headers)``.  Backend I/O failures surface
     as 500s with the error text — clients treat those as cache misses.
+
+    All counters live in a :class:`repro.obs.registry.MetricsRegistry`
+    (deterministic kind) exposed on ``GET /metrics`` as JSON or, with
+    ``?format=prometheus``, Prometheus text; ``/stat`` keeps its legacy
+    ``counters`` dict shape.
     """
 
-    def __init__(self, backend: StoreBackend) -> None:
+    def __init__(
+        self,
+        backend: StoreBackend,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.backend = backend
-        self.counters: Dict[str, int] = {
-            "requests": 0,
-            "get_hits": 0,
-            "get_misses": 0,
-            "puts": 0,
-            "deletes": 0,
-            "client_errors": 0,
-            "server_errors": 0,
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"store.{name}")
+            for name in _STAT_COUNTERS
         }
+        self._bytes_in = self.registry.counter("store.bytes_in")
+        self._bytes_out = self.registry.counter("store.bytes_out")
+        self._verbs: Dict[str, object] = {}
+        self.registry.gauge(
+            "store.objects", fn=lambda: len(self.backend.entries())
+        )
+        self.registry.gauge(
+            "store.object_bytes",
+            fn=lambda: sum(e.size for e in self.backend.entries()),
+        )
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Legacy counters dict, as ``/stat`` has always rendered it."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def _count_verb(self, method: str) -> None:
+        counter = self._verbs.get(method)
+        if counter is None:
+            counter = self._verbs[method] = self.registry.counter(
+                f"store.requests_by_verb.{method}"
+            )
+        counter.inc()
 
     async def handle(
         self,
@@ -67,27 +109,34 @@ class StoreService:
         target: str,
         body: Optional[dict],
         client: str,
-    ) -> Tuple[int, dict, Dict[str, str]]:
-        self.counters["requests"] += 1
+    ) -> Tuple[int, Union[dict, str], Dict[str, str]]:
+        self._counters["requests"].inc()
+        self._count_verb(method)
         try:
             status, payload = self._route(method, target, body)
         except OSError as error:
-            self.counters["server_errors"] += 1
+            self._counters["server_errors"].inc()
             return 500, {"error": f"store backend failure: {error}"}, {}
         if 400 <= status < 500:
-            self.counters["client_errors"] += 1
+            self._counters["client_errors"].inc()
         return status, payload, {}
 
     def _route(
         self, method: str, target: str, body: Optional[dict]
-    ) -> Tuple[int, dict]:
-        path = target.split("?", 1)[0]
+    ) -> Tuple[int, Union[dict, str]]:
+        split = urlsplit(target)
+        path = split.path
         if path == "/healthz":
             return 200, {"status": "ok"}
         if path == "/stat":
             payload = self.backend.stat()
-            payload["counters"] = dict(self.counters)
+            payload["counters"] = self.counters
             return 200, payload
+        if path == "/metrics":
+            params = parse_qs(split.query)
+            if params.get("format", [""])[-1] == "prometheus":
+                return 200, self.registry.render_prometheus()
+            return 200, self.registry.to_dict()
         if path == "/objects":
             if method != "GET":
                 return 405, {"error": "listing is GET-only"}
@@ -104,9 +153,10 @@ class StoreService:
             if method == "GET":
                 text = self.backend.get(name)
                 if text is None:
-                    self.counters["get_misses"] += 1
+                    self._counters["get_misses"].inc()
                     return 404, {"error": f"no object {name}"}
-                self.counters["get_hits"] += 1
+                self._counters["get_hits"].inc()
+                self._bytes_out.inc(len(text))
                 return 200, {"name": name, "text": text}
             if method == "PUT":
                 if not isinstance(body, dict) or not isinstance(
@@ -114,12 +164,13 @@ class StoreService:
                 ):
                     return 400, {"error": 'PUT body must be {"text": "..."}'}
                 self.backend.put(name, body["text"])
-                self.counters["puts"] += 1
+                self._counters["puts"].inc()
+                self._bytes_in.inc(len(body["text"]))
                 return 200, {"stored": name, "bytes": len(body["text"])}
             if method == "DELETE":
                 if not self.backend.delete(name):
                     return 404, {"error": f"no object {name}"}
-                self.counters["deletes"] += 1
+                self._counters["deletes"].inc()
                 return 200, {"deleted": True, "name": name}
             return 405, {"error": f"unsupported method {method}"}
         return 404, {"error": f"no route for {path}"}

@@ -50,10 +50,18 @@ class Introducer:
         ttl: float = 5.0,
         epoch: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
+        journal=None,
     ) -> None:
         if ttl <= 0:
             raise ValueError(f"ttl must be positive, got {ttl}")
         self.ttl = ttl
+        #: Obs event journal (``repro.obs``); the no-op null journal by
+        #: default so the datagram path pays nothing unobserved.
+        if journal is None:
+            from ..obs.journal import NULL_JOURNAL
+
+            journal = NULL_JOURNAL
+        self.journal = journal
         #: Overlay epoch (UNIX time); node clocks report relative to this.
         self.epoch = epoch if epoch is not None else time.time()
         #: TTL timebase; injectable so the in-memory harness can run the
@@ -104,6 +112,9 @@ class Introducer:
             if seen < deadline:
                 del self._last_seen[node]
                 self._addresses.pop(node, None)
+                self.journal.emit(
+                    "introducer.expired", node=node, silent_s=round(now - seen, 3)
+                )
 
     def alive_entries(self) -> Tuple[Tuple[NodeId, str, int], ...]:
         """Current alive peers as ``(node, host, port)``, sorted by id."""
@@ -143,6 +154,9 @@ class Introducer:
             self._addresses[message.node] = (host, message.port)
             self._last_seen[message.node] = now
             self.registrations += 1
+            self.journal.emit(
+                "introducer.registered", node=message.node, port=message.port
+            )
             self._transport.send_to(
                 addr, HelloAck(epoch=self.epoch, alive=self.alive_count())
             )
@@ -161,6 +175,7 @@ class Introducer:
                 self._addresses[message.node] = addr
             self._last_seen[message.node] = now
         elif isinstance(message, Goodbye):
+            self.journal.emit("introducer.goodbye", node=message.node)
             self.drop(message.node)
         elif isinstance(message, DirectoryRequest):
             self._transport.send_to(

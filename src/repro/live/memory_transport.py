@@ -309,10 +309,20 @@ class MemoryOverlay:
         plan: Optional[FaultPlan] = None,
         store: Optional[SummaryStore] = None,
         workload: Optional[Callable[["MemoryOverlay"], Any]] = None,
+        journal=None,
     ) -> None:
         self.config = config
         self.plan = plan if plan is not None else config.resolved_fault_plan()
         self.store = store
+        #: Obs event journal; no-op unless the caller provides one.  Events
+        #: are timestamped from the fabric's virtual clock (the journal's
+        #: clock is rebound to the loop at :meth:`run`), so a seeded run's
+        #: journal timestamps are themselves deterministic.
+        if journal is None:
+            from ..obs.journal import NULL_JOURNAL
+
+            journal = NULL_JOURNAL
+        self.journal = journal
         #: Optional async ``workload(overlay)`` started once every node is
         #: booted and awaited before the final scrape — how the serving
         #: surface (and its load bench) runs against this fabric: the hook
@@ -387,6 +397,7 @@ class MemoryOverlay:
         self.nodes[node_id] = node
         self._join_times.setdefault(node_id, self._overlay_now())
         self._up_since[node_id] = self._loop.time()
+        self.journal.emit("live.node_spawned", node=node_id)
 
     async def _crash_and_respawn(self, introducer_addr: Address) -> None:
         config = self.config
@@ -398,6 +409,9 @@ class MemoryOverlay:
             return
         victim = candidates[self._rng.randrange(len(candidates))]
         self._crash_victims.append(victim)
+        self.journal.emit(
+            "live.node_crashed", node=victim, downtime_s=config.crash_downtime
+        )
         self._last_life[victim] = self._loop.time() - self._up_since[victim]
         self._up_since[victim] = None
         node = self.nodes[victim]
@@ -419,8 +433,12 @@ class MemoryOverlay:
         loop = self._loop
         wall_start = time.perf_counter()
         self.network = MemoryNetwork(self.plan, clock=self._overlay_now)
+        self.journal.bind_clock(loop.time)
         self.introducer = Introducer(
-            ttl=config.introducer_ttl, epoch=VIRTUAL_EPOCH, clock=loop.time
+            ttl=config.introducer_ttl,
+            epoch=VIRTUAL_EPOCH,
+            clock=loop.time,
+            journal=self.journal,
         )
         introducer_addr = await self.introducer.start(
             transport_factory=self.network.transport_factory(INTRODUCER)

@@ -634,7 +634,11 @@ class LiveSupervisor:
     BOOT_TIMEOUT_BASE = 15.0
 
     def __init__(
-        self, config: LiveConfig, *, store: Optional[SummaryStore] = None
+        self,
+        config: LiveConfig,
+        *,
+        store: Optional[SummaryStore] = None,
+        journal=None,
     ) -> None:
         self.config = config
         self.store = store
@@ -642,7 +646,16 @@ class LiveSupervisor:
         self.condition = ConsistencyCondition(
             config.resolved_k(), config.nodes, config.hash_algorithm
         )
-        self.introducer = Introducer(ttl=config.introducer_ttl)
+        # Lifecycle event journal (``repro.obs``): in-memory by default,
+        # sunk to a JSONL file when $AVMON_JOURNAL (or the caller) says so.
+        if journal is None:
+            from ..obs.journal import journal_from_env
+
+            journal = journal_from_env()
+        self.journal = journal
+        self.introducer = Introducer(
+            ttl=config.introducer_ttl, journal=journal
+        )
         self.sim: Optional[_WallSim] = None
         self._handles: Dict[NodeId, _NodeHandle] = {}
         self._next_id = 0
@@ -682,6 +695,13 @@ class LiveSupervisor:
         started = time.monotonic()
         config = self.config
         introducer_addr = await self.introducer.start(config.host, 0)
+        self.journal.emit(
+            "live.run.start",
+            nodes=config.nodes,
+            seed=config.seed,
+            duration=config.duration,
+            label=config.label,
+        )
         self.sim = _WallSim()
         try:
             self._state_dir = (
@@ -736,6 +756,11 @@ class LiveSupervisor:
         finally:
             await self._teardown()
         elapsed = time.monotonic() - started
+        self.journal.emit(
+            "live.run.end",
+            alive=final_alive,
+            elapsed_s=round(elapsed, 3),
+        )
         report = self._build_report(statuses, final_alive, elapsed)
         if self.store is not None:
             path = self.store.save(live_config_key(config), report.summary)
@@ -796,6 +821,11 @@ class LiveSupervisor:
                     timeout=max(0.5, self.config.ping_timeout * 4)
                 )
                 self._last_statuses = statuses
+                self.journal.emit(
+                    "live.scrape",
+                    answered=len(statuses),
+                    alive=self.introducer.alive_count(),
+                )
                 for node, status in statuses.items():
                     self._memory_series.setdefault(node, []).append(
                         float(status.memory_entries)
@@ -826,6 +856,7 @@ class LiveSupervisor:
         self._serve_service = service
         self._serve_server = server
         port = server.sockets[0].getsockname()[1]
+        self.journal.emit("live.serve_started", port=port)
         print(
             f"live: serving availability on "
             f"http://{self.config.host}:{port}",
@@ -846,6 +877,7 @@ class LiveSupervisor:
 
     async def _teardown(self) -> None:
         self._running = False
+        self.journal.emit("live.teardown")
         await self._stop_serve()
         if self.sim is not None:
             self.sim.cancel_all()
@@ -890,6 +922,7 @@ class LiveSupervisor:
         self._handles[node] = handle
         self._start_process(handle)
         handle.first_spawn = time.time() - self.introducer.epoch
+        self.journal.emit("live.node_spawned", node=node)
         return node
 
     def _start_process(self, handle: _NodeHandle) -> None:
@@ -951,6 +984,7 @@ class LiveSupervisor:
         if process is not None and process.poll() is None:
             process.kill()
         self._start_process(handle)
+        self.journal.emit("live.node_respawned", node=node)
         if self._model is not None:
             self._model.on_node_up(node)
 
@@ -975,6 +1009,7 @@ class LiveSupervisor:
         handle = self._handles.get(node)
         if handle is None or not handle.alive or not self._running:
             return
+        self.journal.emit("live.node_leave", node=node)
         self._stop_process(handle, sig=signal.SIGTERM)
         if self._model is not None:
             self._model.on_node_down(node)
@@ -996,6 +1031,7 @@ class LiveSupervisor:
         handle = self._handles.get(node)
         if handle is None or handle.dead:
             return
+        self.journal.emit("live.node_death", node=node)
         self._stop_process(handle, sig=signal.SIGKILL)
         handle.dead = True
         # Death is permanent: stop re-broadcasting fault plans at it.
@@ -1038,6 +1074,11 @@ class LiveSupervisor:
         self._stop_process(handle, sig=signal.SIGKILL)
         handle.crashes += 1
         self._crash_victims.append(victim)
+        self.journal.emit(
+            "live.node_crashed",
+            node=victim,
+            downtime_s=self.config.crash_downtime if downtime is None else downtime,
+        )
         # Deliberately NOT telling the churn model: its on_node_down would
         # schedule a competing rejoin timer and the earlier of the two
         # would win, silently overriding the requested crash downtime.
@@ -1105,7 +1146,11 @@ class LiveSupervisor:
             return -1
         self._fault_json = plan_json
         self._fault_pushed = True
-        return self._broadcast_fault_plan()
+        sent = self._broadcast_fault_plan()
+        self.journal.emit(
+            "live.fault_plan_pushed", nodes=sent, merge=merge
+        )
+        return sent
 
     def _fault_targets(self) -> Dict[NodeId, Address]:
         """Every node a plan push should reach.
@@ -1242,10 +1287,13 @@ class LiveSupervisor:
 
 
 def run_live(
-    config: LiveConfig, *, store: Optional[SummaryStore] = None
+    config: LiveConfig,
+    *,
+    store: Optional[SummaryStore] = None,
+    journal=None,
 ) -> LiveReport:
     """Synchronous front door: deploy, run, summarise, tear down."""
-    supervisor = LiveSupervisor(config, store=store)
+    supervisor = LiveSupervisor(config, store=store, journal=journal)
     return asyncio.run(supervisor.run())
 
 

@@ -1,0 +1,224 @@
+"""Structured JSONL event journal with span support.
+
+One line per event: ``{"ts": ..., "event": ..., **fields}``.  The
+timestamp comes from an injectable clock — the virtual clock on the
+in-memory fabric, ``time.time`` live — so journals from deterministic
+fabrics are themselves deterministic.
+
+A :class:`Journal` always keeps per-event counts (``journal.counts``)
+even when no sink is attached; the fleet derives its human stats line
+from those counts so the line and the journal can never disagree.
+:data:`NULL_JOURNAL` is the true no-op for call sites that want zero
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, TextIO, Union
+
+__all__ = [
+    "Journal",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "JOURNAL_ENV",
+    "journal_from_env",
+    "read_events",
+    "tail_events",
+    "summarize_events",
+    "render_event",
+]
+
+JOURNAL_ENV = "AVMON_JOURNAL"
+
+
+class Journal:
+    """Append-only event stream with optional JSONL file sink."""
+
+    def __init__(
+        self,
+        sink: Union[str, Path, TextIO, None] = None,
+        *,
+        clock=None,
+        retain: int = 4096,
+    ) -> None:
+        self._clock = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self.counts: Dict[str, int] = {}
+        self.events: List[dict] = []
+        self._retain = retain
+        self._fh: Optional[TextIO] = None
+        self._owns_fh = False
+        if sink is None:
+            pass
+        elif isinstance(sink, (str, Path)):
+            path = Path(sink)
+            if path.parent and not path.parent.exists():
+                path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = path.open("a", encoding="utf-8")
+            self._owns_fh = True
+        else:
+            self._fh = sink
+
+    @property
+    def clock(self):
+        return self._clock
+
+    def bind_clock(self, clock) -> None:
+        """Rebind the timestamp source (e.g. a fabric's virtual clock)."""
+        self._clock = clock
+
+    def emit(self, event: str, **fields) -> dict:
+        record = {"ts": round(float(self._clock()), 6), "event": event}
+        record.update(fields)
+        with self._lock:
+            self.counts[event] = self.counts.get(event, 0) + 1
+            self.events.append(record)
+            if len(self.events) > self._retain:
+                del self.events[: len(self.events) - self._retain]
+            if self._fh is not None:
+                self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+                self._fh.flush()
+        return record
+
+    @contextmanager
+    def span(self, event: str, **fields) -> Iterator[dict]:
+        """Emit ``<event>.start`` / ``<event>.end`` around a block.
+
+        The end record carries ``duration_s`` measured on the journal's
+        clock; the yielded dict can be mutated to add fields to the end
+        record.
+        """
+        started = float(self._clock())
+        self.emit(event + ".start", **fields)
+        extra: dict = {}
+        try:
+            yield extra
+        finally:
+            duration = round(float(self._clock()) - started, 6)
+            self.emit(event + ".end", duration_s=duration, **{**fields, **extra})
+
+    def count(self, event: str) -> int:
+        return self.counts.get(event, 0)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and self._owns_fh:
+                self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullJournal:
+    """A journal that records nothing — the disabled-hooks fast path."""
+
+    counts: Dict[str, int] = {}
+    events: List[dict] = []
+
+    def emit(self, event: str, **fields) -> dict:
+        return {}
+
+    @contextmanager
+    def span(self, event: str, **fields) -> Iterator[dict]:
+        yield {}
+
+    def count(self, event: str) -> int:
+        return 0
+
+    def bind_clock(self, clock) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_JOURNAL = NullJournal()
+
+
+def journal_from_env(*, clock=None) -> Journal:
+    """A journal sinking to ``$AVMON_JOURNAL`` when set, in-memory otherwise."""
+    path = os.environ.get(JOURNAL_ENV)
+    return Journal(path if path else None, clock=clock)
+
+
+# -- readers ------------------------------------------------------------
+
+
+def read_events(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSONL journal file; malformed lines are skipped."""
+    events: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+    return events
+
+
+def tail_events(path: Union[str, Path], limit: int = 20) -> List[dict]:
+    events = read_events(path)
+    return events[-limit:] if limit > 0 else events
+
+
+def summarize_events(events: List[dict]) -> dict:
+    """Aggregate a journal: totals, per-event counts, span durations."""
+    by_event: Dict[str, int] = {}
+    spans: Dict[str, Dict[str, float]] = {}
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+    for record in events:
+        event = record.get("event", "?")
+        by_event[event] = by_event.get(event, 0) + 1
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            first_ts = ts if first_ts is None else min(first_ts, ts)
+            last_ts = ts if last_ts is None else max(last_ts, ts)
+        if event.endswith(".end") and "duration_s" in record:
+            base = event[: -len(".end")]
+            agg = spans.setdefault(base, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+            duration = float(record["duration_s"])
+            agg["count"] += 1
+            agg["total_s"] = round(agg["total_s"] + duration, 6)
+            agg["max_s"] = max(agg["max_s"], duration)
+    return {
+        "events": len(events),
+        "by_event": dict(sorted(by_event.items())),
+        "spans": dict(sorted(spans.items())),
+        "first_ts": first_ts,
+        "last_ts": last_ts,
+    }
+
+
+def render_event(record: dict) -> str:
+    """One-line human rendering of a journal record."""
+    ts = record.get("ts")
+    event = record.get("event", "?")
+    rest = " ".join(
+        f"{key}={record[key]}"
+        for key in sorted(record)
+        if key not in ("ts", "event")
+    )
+    prefix = f"{ts:.3f}" if isinstance(ts, (int, float)) else "-"
+    return f"{prefix} {event} {rest}".rstrip()

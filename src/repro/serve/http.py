@@ -101,16 +101,23 @@ async def _read_request(
 
 def _render(
     status: int,
-    payload: dict,
+    payload,
     extra_headers: Dict[str, str],
     *,
     keep_alive: bool,
 ) -> bytes:
-    body = json.dumps(payload, sort_keys=True).encode()
+    # dict payloads render as JSON; str payloads pass through as
+    # text/plain (the Prometheus exposition format on ``/metrics``).
+    if isinstance(payload, str):
+        body = payload.encode()
+        content_type = "text/plain; version=0.0.4"
+    else:
+        body = json.dumps(payload, sort_keys=True).encode()
+        content_type = "application/json"
     reason = _REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
@@ -282,5 +289,10 @@ class MemoryHttpClient:
         for line in lines[1:]:
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
-        parsed = json.loads(body) if body else {}
+        if not body:
+            return status, {}, headers
+        if headers.get("content-type", "").startswith("application/json"):
+            parsed = json.loads(body)
+        else:
+            parsed = body.decode()
         return status, parsed, headers

@@ -1,49 +1,48 @@
 """Per-endpoint serving metrics: counters and latency percentiles.
 
-Everything here is deterministic given a deterministic request schedule:
-counters are plain integers, and latency percentiles come from a bounded
-ring of the most recent samples (no randomized reservoir), measured on an
-injectable clock — the virtual clock on the memory fabric.  That is what
-lets CI assert byte-identical ``/metrics`` counters across two identical
-seeded runs.
+Backed by the shared :mod:`repro.obs` registry: every counter here is a
+``repro.obs`` :class:`~repro.obs.registry.Counter` (kind *deterministic*)
+and every latency tracker a :class:`~repro.obs.registry.Histogram` (kind
+*wall*), so the serving tier reports through the same surface as the
+simulator, the fleet and the store daemon — and ``/metrics`` can also be
+rendered as Prometheus text straight from the registry.
+
+The JSON shape of ``to_dict()`` (what ``/metrics`` returns) is unchanged
+from the pre-registry implementation.  Counters are deterministic given a
+deterministic request schedule; latency percentiles come from a bounded
+ring of recent samples measured on an injectable clock — the virtual
+clock on the memory fabric.  That is what lets CI assert byte-identical
+``/metrics`` counters across two identical seeded runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
+
+from ..obs.registry import WALL, Histogram, MetricsRegistry
 
 __all__ = ["LatencyTracker", "EndpointMetrics", "ServeMetrics"]
 
 
-class LatencyTracker:
-    """Latency percentiles over a bounded window of recent samples."""
+class LatencyTracker(Histogram):
+    """Latency percentiles over a bounded window of recent samples.
 
-    def __init__(self, window: int = 2048) -> None:
+    A wall-kind obs histogram that renders its summary in milliseconds —
+    the serving tier's historical ``/metrics`` unit.
+    """
+
+    def __init__(
+        self,
+        window: int = 2048,
+        *,
+        name: str = "serve.latency_seconds",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
-        self.window = window
-        self._samples: List[float] = []
-        self._next = 0  # ring cursor once the window is full
-        self.count = 0
-        self.total = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        if len(self._samples) < self.window:
-            self._samples.append(seconds)
-        else:
-            self._samples[self._next] = seconds
-            self._next = (self._next + 1) % self.window
-
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile (q in [0, 100]) over the window."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
-        return ordered[int(rank) - 1]
+        super().__init__(name, kind=WALL, window=window)
+        if registry is not None:
+            registry.register(self)
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -56,28 +55,57 @@ class LatencyTracker:
         }
 
 
-@dataclass
 class EndpointMetrics:
     """Counters for one endpoint (one instance per route)."""
 
-    requests: int = 0
-    ok: int = 0
-    client_errors: int = 0  # 4xx
-    server_errors: int = 0  # 5xx
-    rate_limited: int = 0  # 429 subset of client_errors
-    latency: LatencyTracker = field(default_factory=LatencyTracker)
+    def __init__(
+        self,
+        route: str = "",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        base = f"serve.endpoint.{route}" if route else "serve.endpoint"
+        self._requests = registry.counter(f"{base}.requests")
+        self._ok = registry.counter(f"{base}.ok")
+        self._client_errors = registry.counter(f"{base}.client_errors")  # 4xx
+        self._server_errors = registry.counter(f"{base}.server_errors")  # 5xx
+        #: 429 subset of client_errors.
+        self._rate_limited = registry.counter(f"{base}.rate_limited")
+        self.latency = LatencyTracker(
+            name=f"{base}.latency_seconds", registry=registry
+        )
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def ok(self) -> int:
+        return self._ok.value
+
+    @property
+    def client_errors(self) -> int:
+        return self._client_errors.value
+
+    @property
+    def server_errors(self) -> int:
+        return self._server_errors.value
+
+    @property
+    def rate_limited(self) -> int:
+        return self._rate_limited.value
 
     def record(self, status: int, seconds: float) -> None:
-        self.requests += 1
+        self._requests.inc()
         if status >= 500:
-            self.server_errors += 1
+            self._server_errors.inc()
         elif status == 429:
-            self.rate_limited += 1
-            self.client_errors += 1
+            self._rate_limited.inc()
+            self._client_errors.inc()
         elif status >= 400:
-            self.client_errors += 1
+            self._client_errors.inc()
         else:
-            self.ok += 1
+            self._ok.inc()
         self.latency.observe(seconds)
 
     def to_dict(self) -> Dict[str, object]:
@@ -95,28 +123,73 @@ class EndpointMetrics:
 class ServeMetrics:
     """The service's whole metrics surface (rendered by ``/metrics``)."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        #: The obs registry everything below lives in; ``/metrics`` can
+        #: render it as Prometheus text directly.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._endpoints: Dict[str, EndpointMetrics] = {}
         #: §3.3 verification outcomes across all served queries.
-        self.monitors_verified = 0
-        self.monitors_rejected = 0
+        self._monitors_verified = self.registry.counter(
+            "serve.query.monitors_verified"
+        )
+        self._monitors_rejected = self.registry.counter(
+            "serve.query.monitors_rejected"
+        )
         #: Queries whose overlay deadline fired with answers missing.
-        self.queries_timed_out = 0
+        self._queries_timed_out = self.registry.counter(
+            "serve.query.timed_out"
+        )
         #: Requests rejected by admission control (concurrency bound).
-        self.shed_overload = 0
+        self._shed_overload = self.registry.counter("serve.shed_overload")
+
+    # The four query counters read and assign as plain ints so existing
+    # call sites (``metrics.shed_overload += 1``) and tests keep working.
+    @property
+    def monitors_verified(self) -> int:
+        return self._monitors_verified.value
+
+    @monitors_verified.setter
+    def monitors_verified(self, value: int) -> None:
+        self._monitors_verified.value = value
+
+    @property
+    def monitors_rejected(self) -> int:
+        return self._monitors_rejected.value
+
+    @monitors_rejected.setter
+    def monitors_rejected(self, value: int) -> None:
+        self._monitors_rejected.value = value
+
+    @property
+    def queries_timed_out(self) -> int:
+        return self._queries_timed_out.value
+
+    @queries_timed_out.setter
+    def queries_timed_out(self, value: int) -> None:
+        self._queries_timed_out.value = value
+
+    @property
+    def shed_overload(self) -> int:
+        return self._shed_overload.value
+
+    @shed_overload.setter
+    def shed_overload(self, value: int) -> None:
+        self._shed_overload.value = value
 
     def endpoint(self, route: str) -> EndpointMetrics:
         metrics = self._endpoints.get(route)
         if metrics is None:
-            metrics = self._endpoints[route] = EndpointMetrics()
+            metrics = self._endpoints[route] = EndpointMetrics(
+                route, self.registry
+            )
         return metrics
 
     def record_query_result(self, result) -> None:
         """Fold one QueryResult's verification outcome into the counters."""
-        self.monitors_verified += len(result.verified_monitors)
-        self.monitors_rejected += len(result.rejected_monitors)
+        self._monitors_verified.inc(len(result.verified_monitors))
+        self._monitors_rejected.inc(len(result.rejected_monitors))
         if result.timed_out:
-            self.queries_timed_out += 1
+            self._queries_timed_out.inc()
 
     def totals(self) -> Dict[str, int]:
         return {
@@ -150,3 +223,7 @@ class ServeMetrics:
         if cache_stats is not None:
             body["cache"] = cache_stats
         return body
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the whole serving registry."""
+        return self.registry.render_prometheus()

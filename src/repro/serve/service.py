@@ -72,15 +72,23 @@ class AvailabilityService:
         config: Optional[ServeConfig] = None,
         *,
         clock=None,
+        registry=None,
     ) -> None:
         self.backend = backend
         self.config = config if config is not None else ServeConfig()
         self._clock = clock
-        self.metrics = ServeMetrics()
+        self.metrics = ServeMetrics(registry)
         self.cache = TtlCache(
             ttl=self.config.cache_ttl,
             max_entries=self.config.cache_entries,
             clock=clock,
+        )
+        # Cache effectiveness is deterministic for a deterministic request
+        # schedule; expose it on the shared registry as callback gauges.
+        stats = self.cache.stats
+        self.metrics.registry.gauge("serve.cache.hits", fn=lambda: stats.hits)
+        self.metrics.registry.gauge(
+            "serve.cache.misses", fn=lambda: stats.misses
         )
         self.limiter = RateLimiter(
             global_rate=self.config.global_rate,
@@ -224,6 +232,8 @@ class AvailabilityService:
         }
 
     async def _metrics(self, path, params, body):
+        if params.get("format", [""])[-1] == "prometheus":
+            return 200, self.metrics.render_prometheus()
         return 200, self.metrics.to_dict(
             cache_stats=self.cache.stats.to_dict()
         )

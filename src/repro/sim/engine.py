@@ -78,7 +78,7 @@ class EventHandle:
 class Simulator:
     """Priority-queue discrete-event scheduler."""
 
-    __slots__ = ("now", "_queue", "_counter", "_processed", "_dead")
+    __slots__ = ("now", "_queue", "_counter", "_processed", "_dead", "_compactions")
 
     def __init__(self, start_time: float = 0.0) -> None:
         #: Current simulated time, in seconds (read-only for callers).
@@ -87,11 +87,17 @@ class Simulator:
         self._counter = itertools.count()
         self._processed = 0
         self._dead = 0
+        self._compactions = 0
 
     @property
     def processed_events(self) -> int:
         """Total events executed so far (diagnostics)."""
         return self._processed
+
+    @property
+    def heap_compactions(self) -> int:
+        """In-place heap compactions performed so far (diagnostics)."""
+        return self._compactions
 
     def pending_events(self) -> int:
         """Events still queued, including cancelled ones not yet reaped."""
@@ -168,6 +174,7 @@ class Simulator:
             ]
             heapq.heapify(queue)
             self._dead = 0
+            self._compactions += 1
         else:
             self._dead = dead
 

@@ -1,0 +1,174 @@
+"""Unit tests for the repro.obs structured event journal."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    JOURNAL_ENV,
+    NULL_JOURNAL,
+    Journal,
+    NullJournal,
+    journal_from_env,
+    read_events,
+    render_event,
+    summarize_events,
+    tail_events,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestEmit:
+    def test_record_shape_and_counts(self):
+        clock = FakeClock(10.0)
+        journal = Journal(clock=clock)
+        record = journal.emit("fleet.retry", cell=3, attempt=2)
+        assert record == {"ts": 10.0, "event": "fleet.retry", "cell": 3, "attempt": 2}
+        journal.emit("fleet.retry", cell=4, attempt=1)
+        assert journal.count("fleet.retry") == 2
+        assert journal.count("never") == 0
+        assert len(journal.events) == 2
+
+    def test_retain_bounds_memory(self):
+        journal = Journal(clock=FakeClock(), retain=5)
+        for index in range(20):
+            journal.emit("tick", i=index)
+        assert len(journal.events) == 5
+        assert journal.events[-1]["i"] == 19
+        assert journal.count("tick") == 20
+
+    def test_bind_clock_switches_timebase(self):
+        journal = Journal(clock=FakeClock(1.0))
+        virtual = FakeClock(500.0)
+        journal.bind_clock(virtual)
+        assert journal.emit("e")["ts"] == 500.0
+
+
+class TestSpan:
+    def test_start_end_and_duration(self):
+        clock = FakeClock(0.0)
+        journal = Journal(clock=clock)
+        with journal.span("sweep.cell", cell=1) as extra:
+            clock.advance(2.5)
+            extra["persisted"] = True
+        start, end = journal.events
+        assert start["event"] == "sweep.cell.start"
+        assert start["cell"] == 1
+        assert end["event"] == "sweep.cell.end"
+        assert end["duration_s"] == 2.5
+        assert end["persisted"] is True
+
+    def test_span_emits_end_on_exception(self):
+        journal = Journal(clock=FakeClock())
+        try:
+            with journal.span("risky"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert journal.count("risky.end") == 1
+
+
+class TestFileSink:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "deep" / "journal.jsonl"
+        clock = FakeClock(7.0)
+        with Journal(path, clock=clock) as journal:
+            journal.emit("a", x=1)
+            clock.advance(1.0)
+            journal.emit("b")
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["a", "b"]
+        assert events[0] == {"ts": 7.0, "event": "a", "x": 1}
+        # Lines are canonical JSON (sorted keys).
+        first_line = path.read_text().splitlines()[0]
+        assert first_line == json.dumps(json.loads(first_line), sort_keys=True)
+
+    def test_append_not_truncate(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path, clock=FakeClock()) as journal:
+            journal.emit("first")
+        with Journal(path, clock=FakeClock()) as journal:
+            journal.emit("second")
+        assert [e["event"] for e in read_events(path)] == ["first", "second"]
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"event": "ok", "ts": 1}\nnot json\n[1,2]\n\n')
+        events = read_events(path)
+        assert len(events) == 1
+        assert events[0]["event"] == "ok"
+
+
+class TestReaders:
+    def _write(self, tmp_path, count=10):
+        path = tmp_path / "journal.jsonl"
+        clock = FakeClock(0.0)
+        with Journal(path, clock=clock) as journal:
+            for index in range(count):
+                journal.emit("tick", i=index)
+                clock.advance(1.0)
+            with journal.span("phase"):
+                clock.advance(3.0)
+        return path
+
+    def test_tail_limits(self, tmp_path):
+        path = self._write(tmp_path)
+        tail = tail_events(path, 3)
+        assert len(tail) == 3
+        assert tail[-1]["event"] == "phase.end"
+
+    def test_summarize(self, tmp_path):
+        path = self._write(tmp_path)
+        summary = summarize_events(read_events(path))
+        assert summary["events"] == 12
+        assert summary["by_event"]["tick"] == 10
+        assert summary["spans"]["phase"]["count"] == 1
+        assert summary["spans"]["phase"]["total_s"] == 3.0
+        assert summary["first_ts"] == 0.0
+        assert summary["last_ts"] == 13.0
+
+    def test_render_event(self):
+        line = render_event({"ts": 2.5, "event": "fleet.retry", "cell": 3})
+        assert line == "2.500 fleet.retry cell=3"
+        assert render_event({"event": "x"}).startswith("- x")
+
+
+class TestNullJournal:
+    def test_noop_everything(self):
+        journal = NullJournal()
+        assert journal.emit("e", x=1) == {}
+        with journal.span("s") as extra:
+            extra["ignored"] = True
+        assert journal.count("e") == 0
+        assert journal.events == []
+        journal.bind_clock(lambda: 0.0)
+        journal.close()
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_JOURNAL, NullJournal)
+
+
+class TestEnv:
+    def test_env_unset_gives_memory_journal(self, monkeypatch):
+        monkeypatch.delenv(JOURNAL_ENV, raising=False)
+        journal = journal_from_env()
+        journal.emit("e")
+        assert journal.count("e") == 1
+        journal.close()
+
+    def test_env_set_gives_file_sink(self, tmp_path, monkeypatch):
+        path = tmp_path / "env-journal.jsonl"
+        monkeypatch.setenv(JOURNAL_ENV, str(path))
+        with journal_from_env() as journal:
+            journal.emit("from-env")
+        assert read_events(path)[0]["event"] == "from-env"

@@ -1,0 +1,44 @@
+"""Live-runtime journal events over the in-memory fabric.
+
+The memory overlay rebinds the journal clock to the fabric's virtual
+clock, so a seeded run's journal — events AND timestamps — is itself
+deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.live.memory_transport import MemoryOverlay
+from repro.live.supervisor import LiveConfig
+from repro.obs import Journal
+
+
+def _run(nodes=8, duration=30.0, seed=5, crash_after=None):
+    journal = Journal()
+    config = LiveConfig(nodes=nodes, duration=duration, seed=seed)
+    if crash_after is not None:
+        config = LiveConfig(
+            nodes=nodes, duration=duration, seed=seed, crash_after=crash_after
+        )
+    overlay = MemoryOverlay(config, journal=journal)
+    overlay.run()
+    return journal
+
+
+class TestMemoryOverlayJournal:
+    def test_node_spawns_and_registrations_journaled(self):
+        journal = _run()
+        assert journal.count("live.node_spawned") == 8
+        assert journal.count("introducer.registered") >= 8
+
+    def test_crash_journaled(self):
+        journal = _run(crash_after=10.0)
+        assert journal.count("live.node_crashed") == 1
+        crash = next(
+            e for e in journal.events if e["event"] == "live.node_crashed"
+        )
+        assert "node" in crash and "downtime_s" in crash
+
+    def test_virtual_timestamps_are_deterministic(self):
+        first = [(e["event"], e["ts"]) for e in _run().events]
+        second = [(e["event"], e["ts"]) for e in _run().events]
+        assert first == second

@@ -1,0 +1,84 @@
+"""Store daemon /metrics: per-verb counts, byte tallies, object gauges."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.experiments.store_backends import FilesystemBackend
+from repro.experiments.store_server import StoreService
+from repro.obs import MetricsRegistry
+from repro.serve.http import MemoryHttpClient
+
+
+class MemoryStore:
+    def __init__(self, tmp_path, registry=None):
+        self.service = StoreService(FilesystemBackend(tmp_path), registry)
+        self.client = MemoryHttpClient(self.service)
+
+    def call(self, method, target, body=None):
+        status, payload, _ = asyncio.run(
+            self.client.request(method, target, body=body)
+        )
+        return status, payload
+
+
+class TestStoreMetrics:
+    def test_metrics_json_counts_requests(self, tmp_path):
+        store = MemoryStore(tmp_path)
+        store.call("PUT", "/objects/a.json", {"text": "12345"})
+        store.call("PUT", "/objects/b.json", {"text": "678"})
+        store.call("GET", "/objects/a.json")
+        store.call("GET", "/objects/missing.json")
+        status, payload = store.call("GET", "/metrics")
+        assert status == 200
+        det = payload["deterministic"]
+        assert det["store.requests"] == 5  # incl. this /metrics request
+        assert det["store.puts"] == 2
+        assert det["store.get_hits"] == 1
+        assert det["store.get_misses"] == 1
+        assert det["store.requests_by_verb.PUT"] == 2
+        assert det["store.requests_by_verb.GET"] == 3
+        assert det["store.bytes_in"] == 8
+        assert det["store.bytes_out"] == 5
+        assert det["store.objects"] == 2
+        assert det["store.object_bytes"] == 8
+
+    def test_metrics_prometheus_text(self, tmp_path):
+        store = MemoryStore(tmp_path)
+        store.call("PUT", "/objects/a.json", {"text": "x"})
+        status, body = store.call("GET", "/metrics?format=prometheus")
+        assert status == 200
+        assert isinstance(body, str)
+        assert "# TYPE avmon_store_puts counter" in body
+        assert 'avmon_store_puts{kind="deterministic"} 1' in body
+        assert "avmon_store_objects" in body
+
+    def test_stat_keeps_legacy_counter_shape(self, tmp_path):
+        store = MemoryStore(tmp_path)
+        store.call("PUT", "/objects/a.json", {"text": "1"})
+        store.call("PUT", "/objects/b.json", {"text": "2"})
+        status, payload = store.call("GET", "/stat")
+        assert status == 200
+        assert payload["counters"]["puts"] == 2
+        assert payload["counters"]["requests"] == 3  # incl. this /stat request
+        assert set(payload["counters"]) == {
+            "requests",
+            "get_hits",
+            "get_misses",
+            "puts",
+            "deletes",
+            "client_errors",
+            "server_errors",
+        }
+
+    def test_external_registry_is_used(self, tmp_path):
+        registry = MetricsRegistry()
+        store = MemoryStore(tmp_path, registry)
+        store.call("GET", "/healthz")
+        assert registry.deterministic_snapshot()["store.requests"] == 1
+
+    def test_metrics_endpoint_counts_itself(self, tmp_path):
+        store = MemoryStore(tmp_path)
+        store.call("GET", "/metrics")
+        status, payload = store.call("GET", "/metrics")
+        assert payload["deterministic"]["store.requests"] == 2
