@@ -23,6 +23,9 @@ Examples::
     avmon sweep --n 100,200 --backend fleet --jobs 4   # killable workers
     avmon store serve --dir ~/.avmon-cache --port 7780  # shared cache daemon
     avmon store stat http://127.0.0.1:7780
+    avmon fleet worker --attach http://127.0.0.1:7780   # lease cells remotely
+    avmon sweep --n 100,200 --backend remote \
+        --cache-dir http://127.0.0.1:7780   # drive the attached workers
     avmon cache ls                    # inspect the summary store
     avmon cache stat --cache-dir http://127.0.0.1:7780   # works remotely too
     avmon cache clear
@@ -43,10 +46,13 @@ computed=C``.
 
 ``--backend NAME`` selects the execution strategy for sweep cells:
 ``serial`` (in-process), ``pool`` (a local multiprocessing pool of
-``--jobs`` workers), or ``fleet`` (independent worker processes with
+``--jobs`` workers), ``fleet`` (independent worker processes with
 per-cell lease, heartbeat and retry — SIGKILLing any worker mid-sweep
-costs only its in-flight cell).  ``--backend-param KEY=VALUE`` forwards
-extra constructor parameters, e.g. ``--backend-param max_attempts=5``.
+costs only its in-flight cell), or ``remote`` (cells leased over HTTP by
+``avmon fleet worker`` processes on any host, coordinated through the
+shared store daemon — requires ``--cache-dir http://...``).
+``--backend-param KEY=VALUE`` forwards extra constructor parameters,
+e.g. ``--backend-param max_attempts=5``.
 """
 
 from __future__ import annotations
@@ -124,9 +130,9 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         "--backend",
         default=None,
         metavar="NAME",
-        help="execution backend for sweep cells: serial, pool, or fleet "
-        "(default: serial when --jobs 1, else pool); see 'avmon list "
-        "--json' for the registered set",
+        help="execution backend for sweep cells: serial, pool, fleet, or "
+        "remote (default: serial when --jobs 1, else pool); see 'avmon "
+        "list --json' for the registered set",
     )
     parser.add_argument(
         "--backend-param",
@@ -272,9 +278,68 @@ def build_parser() -> argparse.ArgumentParser:
     _build_live_parser(commands)
     _build_serve_parser(commands)
     _build_store_parser(commands)
+    _build_fleet_parser(commands)
     _build_cache_parser(commands)
     _build_obs_parser(commands)
     return parser
+
+
+def _build_fleet_parser(commands) -> None:
+    fleet_parser = commands.add_parser(
+        "fleet",
+        help="network-attached sweep workers (lease cells from a store "
+        "daemon; pair with 'sweep --backend remote')",
+    )
+    fleet_commands = fleet_parser.add_subparsers(
+        dest="fleet_command", required=True
+    )
+
+    worker = fleet_commands.add_parser(
+        "worker",
+        help="attach to a store daemon and compute leased sweep cells "
+        "until interrupted (or idle past --max-idle)",
+    )
+    worker.add_argument(
+        "--attach",
+        required=True,
+        metavar="URL",
+        help="store daemon to lease cells from, e.g. http://host:7780",
+    )
+    worker.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to run (default: 1, in this process)",
+    )
+    worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="how often to poll for work when the board is idle "
+        "(default: 0.5)",
+    )
+    worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long with no work (default: run forever)",
+    )
+    worker.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="bearer token for a daemon started with --auth-token "
+        "(default: AVMON_STORE_TOKEN)",
+    )
+    worker.add_argument(
+        "--name",
+        default=None,
+        help="worker identity in leases and journals "
+        "(default: worker-<host>-<pid>)",
+    )
 
 
 def _build_obs_parser(commands) -> None:
@@ -631,6 +696,41 @@ def _build_store_parser(commands) -> None:
         default=7780,
         help="port to serve on (0 binds an ephemeral port; default: 7780)",
     )
+    serve.add_argument(
+        "--auth-token",
+        default=os.environ.get("AVMON_STORE_TOKEN") or None,
+        metavar="TOKEN",
+        help="require 'Authorization: Bearer TOKEN' on every mutating "
+        "verb (default: AVMON_STORE_TOKEN; reads stay open)",
+    )
+
+    compact = store_commands.add_parser(
+        "compact",
+        help="ask a store daemon to sweep stale tmp files and corrupt "
+        "summary entries from its directory",
+    )
+    compact.add_argument(
+        "url",
+        nargs="?",
+        default=os.environ.get("AVMON_CACHE_DIR") or None,
+        help="daemon base URL, e.g. http://127.0.0.1:7780 "
+        "(default: AVMON_CACHE_DIR when it is a URL)",
+    )
+    compact.add_argument(
+        "--tmp-age",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="only remove tmp files older than this (default: 60)",
+    )
+    compact.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="bearer token for a daemon started with --auth-token "
+        "(default: AVMON_STORE_TOKEN)",
+    )
+    compact.add_argument("--json", action="store_true", help="JSON output")
 
     stat = store_commands.add_parser(
         "stat", help="totals and request counters of a store daemon"
@@ -1323,10 +1423,44 @@ def _cmd_store(args, out) -> int:
         from .experiments.store_server import run_store_server
 
         try:
-            return run_store_server(args.dir, host=args.host, port=args.port)
+            return run_store_server(
+                args.dir,
+                host=args.host,
+                port=args.port,
+                auth_token=args.auth_token,
+            )
         except OSError as error:
             print(f"error: cannot serve store: {error}", file=sys.stderr)
             return 1
+    if args.store_command == "compact":
+        if not args.url or not is_url_spec(args.url):
+            print(
+                "error: 'store compact' needs a daemon URL (http://host:port)",
+                file=sys.stderr,
+            )
+            return 2
+        from .experiments.store_backends import SharedStoreBackend
+
+        backend = SharedStoreBackend(args.url, auth_token=args.auth_token)
+        try:
+            result = backend.compact(tmp_age=args.tmp_age)
+        except OSError as error:
+            print(
+                f"error: no store daemon at {args.url}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        finally:
+            backend.close()
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True), file=out)
+        else:
+            print(
+                f"compacted: removed_tmp={result.get('removed_tmp', 0)} "
+                f"removed_corrupt={result.get('removed_corrupt', 0)}",
+                file=out,
+            )
+        return 0
     # stat
     if not args.url or not is_url_spec(args.url):
         print(
@@ -1350,6 +1484,29 @@ def _cmd_store(args, out) -> int:
         for key, value in sorted(payload.items()):
             print(f"{key}: {value}", file=out)
     return 0
+
+
+def _cmd_fleet(args, out) -> int:
+    if not is_url_spec(args.attach):
+        print(
+            "error: --attach needs a store daemon URL (http://host:port)",
+            file=sys.stderr,
+        )
+        return 2
+    from .experiments.backends import run_fleet_worker
+
+    try:
+        return run_fleet_worker(
+            args.attach,
+            workers=args.workers,
+            poll_interval=args.poll_interval,
+            max_idle=args.max_idle,
+            auth_token=args.auth_token,
+            name=args.name,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_cache(args, out) -> int:
@@ -1520,6 +1677,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_bench(args, out)
         if args.command == "store":
             return _cmd_store(args, out)
+        if args.command == "fleet":
+            return _cmd_fleet(args, out)
         if args.command == "cache":
             return _cmd_cache(args, out)
         if args.command == "obs":

@@ -9,6 +9,8 @@ SERIAL    in this process, input order                        —
 POOL      ``multiprocessing.Pool`` fan-out                    ``jobs``
 FLEET     killable worker fleet with lease/retry semantics    ``workers``,
           (survives SIGKILL of any worker mid-sweep)          ``max_attempts``, ...
+REMOTE    network-attached workers leasing cells from the     ``lease_ttl``,
+          store daemon (``avmon fleet worker --attach``)      ``claim_ttl``, ...
 ========  ==================================================  ============
 
 :func:`resolve_backend` is the single entry point callers use to turn a
@@ -31,6 +33,7 @@ from .base import (
 )
 from .fleet import WorkerFleetBackend
 from .local_pool import LocalPoolBackend
+from .remote import RemoteWorkerBackend, run_fleet_worker
 from .serial import SerialBackend
 
 __all__ = [
@@ -38,6 +41,8 @@ __all__ = [
     "SerialBackend",
     "LocalPoolBackend",
     "WorkerFleetBackend",
+    "RemoteWorkerBackend",
+    "run_fleet_worker",
     "Payload",
     "RecordFn",
     "default_jobs",
@@ -62,6 +67,12 @@ def _make_pool(**params: Any) -> LocalPoolBackend:
 def _make_fleet(**params: Any) -> WorkerFleetBackend:
     params.setdefault("workers", params.pop("jobs", None))
     return WorkerFleetBackend(**params)
+
+
+@register("backend", "REMOTE")
+def _make_remote(**params: Any) -> RemoteWorkerBackend:
+    params.pop("jobs", None)  # parallelism lives in the attached workers
+    return RemoteWorkerBackend(**params)
 
 
 def resolve_backend(

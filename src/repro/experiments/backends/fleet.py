@@ -58,14 +58,9 @@ from .base import (
     default_jobs,
     sorted_payloads,
 )
+from .leases import FleetEventMixin, FleetStats, RetryPolicy
 
-__all__ = ["WorkerFleetBackend"]
-
-#: Journal events whose counts depend on wall-clock timing (heartbeats
-#: arrive as fast as the pump thread runs); everything else the fleet
-#: emits is a deterministic function of the seeded sweep and lands in the
-#: registry as deterministic-kind counters.
-_WALL_EVENTS = frozenset({"fleet.heartbeat"})
+__all__ = ["WorkerFleetBackend", "FleetStats"]
 
 
 def _fleet_worker_main(
@@ -139,17 +134,7 @@ class _Worker:
     lease: Optional[_Lease] = None
 
 
-@dataclass
-class FleetStats:
-    """Deterministic-free operational tallies (reported, never gated on)."""
-
-    workers_spawned: int = 0
-    deaths: int = 0
-    retries: int = 0
-    leases_expired: int = 0
-
-
-class WorkerFleetBackend(ExecutionBackend):
+class WorkerFleetBackend(FleetEventMixin, ExecutionBackend):
     """N independent worker processes fed cell-by-cell with lease/retry.
 
     SIGKILLing any worker mid-sweep costs only the in-flight cell (and
@@ -157,6 +142,10 @@ class WorkerFleetBackend(ExecutionBackend):
     """
 
     name = "FLEET"
+
+    #: Heartbeats arrive as fast as the pump thread runs — wall-kind, so
+    #: they never leak into the deterministic snapshot bytes.
+    WALL_EVENTS = frozenset({"fleet.heartbeat"})
 
     def __init__(
         self,
@@ -172,10 +161,9 @@ class WorkerFleetBackend(ExecutionBackend):
         self.workers = workers if workers is not None else default_jobs()
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
-        if max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         if lease_timeout <= heartbeat_interval:
             raise ValueError("lease_timeout must exceed heartbeat_interval")
+        self.policy = RetryPolicy(max_attempts, retry_backoff)
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
         self.heartbeat_interval = heartbeat_interval
@@ -189,21 +177,6 @@ class WorkerFleetBackend(ExecutionBackend):
         #: :meth:`stats_line`, so the human line and the journal agree by
         #: construction.
         self._event_counts: Dict[str, int] = {}
-
-    # -- observability -----------------------------------------------------
-
-    def _emit(self, event: str, **fields) -> None:
-        """One lifecycle event: count it, mirror it to the obs wiring."""
-        self._event_counts[event] = self._event_counts.get(event, 0) + 1
-        registry = self.obs_registry
-        if registry is not None:
-            from ...obs.registry import DETERMINISTIC, WALL
-
-            kind = WALL if event in _WALL_EVENTS else DETERMINISTIC
-            registry.counter(event, kind).inc()
-        journal = self.obs_journal
-        if journal is not None:
-            journal.emit(event, **fields)
 
     # -- orchestration -----------------------------------------------------
 
@@ -281,7 +254,7 @@ class WorkerFleetBackend(ExecutionBackend):
                 exitcode=worker.process.exitcode,
             )
             if lease is not None and lease.index in outstanding:
-                if lease.attempt >= self.max_attempts:
+                if self.policy.exhausted(lease.attempt):
                     record(
                         lease.index,
                         None,
@@ -297,7 +270,7 @@ class WorkerFleetBackend(ExecutionBackend):
                         attempts=lease.attempt,
                     )
                 else:
-                    delay = self.retry_backoff * (2 ** (lease.attempt - 1))
+                    delay = self.policy.delay(lease.attempt)
                     heapq.heappush(
                         retry_heap,
                         (time.monotonic() + delay, lease.index, lease.attempt + 1),

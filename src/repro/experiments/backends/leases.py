@@ -1,0 +1,85 @@
+"""The transport seam shared by the fleet orchestrators.
+
+The local worker fleet (:mod:`.fleet`, multiprocessing children) and the
+remote fleet (:mod:`.remote`, network-attached workers leasing cells
+from the store daemon) are the *same* orchestration semantics over
+different transports: leases with heartbeats, death detected by missed
+deadlines, retry with exponential backoff, deterministic failures failed
+fast, at-least-once delivery deduped by the orchestrator.  This module
+holds the semantics so the transports cannot drift:
+
+* :class:`RetryPolicy` — the one backoff schedule.  ``delay(attempt)``
+  for the attempt that just failed is ``backoff * 2**(attempt - 1)``,
+  i.e. the exponent starts at 0 for the first retry.
+* :class:`FleetStats` — the operational tallies both backends expose.
+* :class:`FleetEventMixin` — the ``_emit`` pattern: every lifecycle
+  event is counted locally (the source of truth for ``stats_line``),
+  mirrored into the obs registry (wall-kind for timing-dependent
+  events), and appended to the journal when one is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+__all__ = ["RetryPolicy", "FleetStats", "FleetEventMixin"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shared retry semantics: how many attempts, how long between them."""
+
+    max_attempts: int = 3
+    backoff: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    def exhausted(self, attempt: int) -> bool:
+        """Whether a failure on *attempt* ends the cell (no retry left)."""
+        return attempt >= self.max_attempts
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-dispatching after a failure on *attempt*.
+
+        The first retry (after attempt 1) waits exactly ``backoff``;
+        each further retry doubles it: ``backoff * 2**(attempt - 1)``.
+        """
+        return self.backoff * (2 ** (attempt - 1))
+
+
+@dataclass
+class FleetStats:
+    """Deterministic-free operational tallies (reported, never gated on)."""
+
+    workers_spawned: int = 0
+    deaths: int = 0
+    retries: int = 0
+    leases_expired: int = 0
+
+
+class FleetEventMixin:
+    """Count + registry + journal emission for fleet lifecycle events."""
+
+    #: Event names whose counts depend on wall-clock timing; they land in
+    #: the registry as wall-kind so deterministic snapshots stay byte-equal.
+    WALL_EVENTS: FrozenSet[str] = frozenset()
+
+    _event_counts: Dict[str, int]
+
+    def _emit(self, event: str, **fields) -> None:
+        """One lifecycle event: count it, mirror it to the obs wiring."""
+        self._event_counts[event] = self._event_counts.get(event, 0) + 1
+        registry = self.obs_registry
+        if registry is not None:
+            from ...obs.registry import DETERMINISTIC, WALL
+
+            kind = WALL if event in self.WALL_EVENTS else DETERMINISTIC
+            registry.counter(event, kind).inc()
+        journal = self.obs_journal
+        if journal is not None:
+            journal.emit(event, **fields)

@@ -1,0 +1,652 @@
+"""Network-attached worker fleet: lease cells from the store daemon.
+
+The local fleet (:mod:`.fleet`) and this backend are the same
+orchestration semantics — lease, heartbeat, expire, retry with the one
+:class:`~.leases.RetryPolicy` schedule, at-least-once delivery deduped
+by the orchestrator — over different transports.  Here the transport is
+the store daemon itself (``avmon store serve``): its task board replaces
+the multiprocessing result queue, its HTTP surface replaces pipes, and
+workers can therefore live on *any host* that can reach the daemon:
+
+    host A   avmon store serve --dir /data/cache --port 7780
+    host B   avmon fleet worker --attach http://hostA:7780
+    host C   avmon fleet worker --attach http://hostA:7780
+    host D   avmon sweep ... --backend remote --cache-dir http://hostA:7780
+
+The parent never talks to workers directly.  It publishes one task per
+cell (the config pickled into the payload), drains the board's event log
+by cursor, and applies exactly the local fleet's decisions to what it
+sees: ``expired`` is a worker death (retry with backoff until the policy
+is exhausted), ``failed`` is a deterministic bug (fail fast, no retry),
+``done`` is recorded once per cell no matter how many stragglers report.
+
+Cross-parent coordination rides the same daemon.  Before publishing, the
+parent claims each cell's *store address* (its object name) with a TTL.
+A granted claim means "I publish this cell"; a denied claim means some
+other parent sweeping an overlapping grid already owns it, so this
+parent just watches the store and adopts the summary when it appears.
+A parent that dies stops renewing; its claims lapse, the survivor's next
+claim attempt is granted (the daemon cancels the dead parent's orphaned
+tasks), and the sweep completes anyway.  ``fleet.cell_done`` is emitted
+only for cells this parent's own tasks computed and always carries the
+store key, so concatenating every parent's journal and counting
+duplicate keys verifies that no cell was computed twice.
+
+The payloads travel as pickles, so a worker must trust its daemon; the
+daemon's ``--auth-token`` gates who can publish (all mutating verbs
+require the bearer token), which is the trust boundary.
+"""
+
+from __future__ import annotations
+
+import base64
+import heapq
+import os
+import pickle
+import socket
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+from urllib.parse import quote
+
+from .base import ExecutionBackend, Payload, RecordFn, sorted_payloads
+from .leases import FleetEventMixin, FleetStats, RetryPolicy
+
+__all__ = ["RemoteWorkerBackend", "run_fleet_worker"]
+
+
+def _default_identity(role: str) -> str:
+    """A name unique enough across hosts, safe in URL paths unquoted."""
+    host = socket.gethostname() or "host"
+    safe = "".join(c if c.isalnum() or c in "._-" else "-" for c in host)
+    return f"{role}-{safe}-{os.getpid()}"
+
+
+def _encode_config(config) -> str:
+    return base64.b64encode(
+        pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def _decode_config(payload: str):
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+class RemoteWorkerBackend(FleetEventMixin, ExecutionBackend):
+    """Sweep through network-attached workers leasing cells from the daemon.
+
+    Requires a shared store (``--cache-dir http://host:port``): the same
+    daemon that holds the summaries is the coordinator, so there is no
+    second service to deploy and the durable truth (the store) and the
+    soft state (leases, claims) cannot point at different places.
+    """
+
+    name = "REMOTE"
+
+    #: Every remote lifecycle count depends on wall-clock races — which
+    #: worker polls first, whether a sibling parent wins a claim — so all
+    #: of them are wall-kind: journals carry them, deterministic
+    #: snapshots never do.
+    WALL_EVENTS = frozenset(
+        {
+            "fleet.remote_attach",
+            "fleet.lease_granted",
+            "fleet.lease_expired",
+            "fleet.retry",
+            "fleet.cell_done",
+            "fleet.cell_failed",
+            "fleet.cell_adopted",
+            "fleet.claim_granted",
+            "fleet.claim_denied",
+            "fleet.claim_expired",
+            "fleet.claim_lost",
+        }
+    )
+
+    def __init__(
+        self,
+        owner: Optional[str] = None,
+        *,
+        max_attempts: int = 3,
+        retry_backoff: float = 0.25,
+        lease_ttl: float = 30.0,
+        claim_ttl: Optional[float] = None,
+        poll_interval: float = 0.2,
+        adopt_interval: Optional[float] = None,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        self.owner = owner if owner else _default_identity("parent")
+        self.policy = RetryPolicy(max_attempts, retry_backoff)
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.lease_ttl = lease_ttl
+        #: Claims must outlive the renewal cadence comfortably; twice the
+        #: task lease is a sane default for both knobs to scale together.
+        self.claim_ttl = claim_ttl if claim_ttl is not None else 2.0 * lease_ttl
+        self.poll_interval = poll_interval
+        #: How often watched (other-parent-owned) cells are checked for
+        #: adoption or claim takeover.
+        self.adopt_interval = (
+            adopt_interval
+            if adopt_interval is not None
+            else max(1.0, 5.0 * poll_interval)
+        )
+        self.stats = FleetStats()
+        self._event_counts: Dict[str, int] = {}
+
+    # -- plumbing ----------------------------------------------------------
+
+    @staticmethod
+    def _coordinator(store):
+        """The store's shared backend, which doubles as the coordinator."""
+        backend = getattr(store, "backend", None)
+        call = getattr(backend, "call", None)
+        if store is None or call is None:
+            raise ValueError(
+                "the REMOTE backend coordinates through the store daemon; "
+                "run the sweep with --cache-dir http://host:port "
+                "(an `avmon store serve` URL), not a local directory"
+            )
+        return backend
+
+    # -- orchestration -----------------------------------------------------
+
+    def execute(
+        self, payloads: Sequence[Payload], record: RecordFn, *, store=None
+    ) -> None:
+        from ..store import SummaryStore, config_key
+        from ..summary import SimulationSummary
+
+        payloads = sorted_payloads(payloads)
+        if not payloads:
+            return
+        coordinator = self._coordinator(store)
+        self.stats = FleetStats()
+        self._event_counts = {}
+        owner = self.owner
+        configs = {index: config for index, config in payloads}
+        keys = {
+            index: SummaryStore.name_for(config_key(config))
+            for index, config in payloads
+        }
+        outstanding: Set[int] = set(configs)
+        mine: Set[int] = set()
+        watched: Set[int] = set()
+        attempts: Dict[int, int] = {}
+        retry_heap: List[Tuple[float, int, int]] = []  # (ready, index, attempt)
+        workers_seen: Set[str] = set()
+        cursor = 0
+        events_path = (
+            f"/tasks/events?prefix={quote(owner + ':', safe='')}&since="
+        )
+
+        def publish(index: int, attempt: int) -> None:
+            attempts[index] = attempt
+            coordinator.call(
+                "POST",
+                "/tasks",
+                {
+                    "id": f"{owner}:{index}",
+                    "payload": _encode_config(configs[index]),
+                    "key": keys[index],
+                    "lease_ttl": self.lease_ttl,
+                    "attempt": attempt,
+                },
+            )
+
+        def try_claim(index: int) -> Tuple[bool, str]:
+            _, response = coordinator.call(
+                "POST",
+                "/claims/claim",
+                {"key": keys[index], "owner": owner, "ttl": self.claim_ttl},
+            )
+            return bool(response.get("granted")), str(response.get("owner", ""))
+
+        def fetch_summary(index: int):
+            """Read the cell's summary straight off the store (no counters)."""
+            text = coordinator.get(keys[index])
+            if text is None:
+                return None
+            try:
+                return SimulationSummary.from_json(text)
+            except Exception:  # noqa: BLE001 — corrupt entry = miss
+                return None
+
+        def finish(index: int) -> None:
+            outstanding.discard(index)
+            mine.discard(index)
+            watched.discard(index)
+
+        def give_up(index: int, attempt: int, reason: str) -> None:
+            record(
+                index,
+                None,
+                f"remote fleet {reason}; gave up after {attempt} attempts",
+                attempts=attempt,
+            )
+            self._emit("fleet.cell_failed", cell=index, attempts=attempt)
+            finish(index)
+
+        def retry_or_fail(index: int, attempt: int, reason: str) -> None:
+            if self.policy.exhausted(attempt):
+                give_up(index, attempt, reason)
+                return
+            delay = self.policy.delay(attempt)
+            heapq.heappush(
+                retry_heap, (time.monotonic() + delay, index, attempt + 1)
+            )
+            self.stats.retries += 1
+            self._emit(
+                "fleet.retry",
+                cell=index,
+                attempt=attempt + 1,
+                delay_s=round(delay, 6),
+            )
+
+        def handle_event(event: dict) -> None:
+            task_id = str(event.get("task", ""))
+            try:
+                index = int(task_id.rsplit(":", 1)[1])
+            except (IndexError, ValueError):
+                return
+            if index not in outstanding:
+                return  # straggler for a settled cell: at-least-once dedup
+            kind = event.get("kind")
+            attempt = int(event.get("attempt", attempts.get(index, 1)))
+            worker = str(event.get("worker", ""))
+            if kind == "claimed":
+                if worker and worker not in workers_seen:
+                    workers_seen.add(worker)
+                    self.stats.workers_spawned += 1
+                    self._emit("fleet.remote_attach", worker=worker)
+                self._emit(
+                    "fleet.lease_granted",
+                    worker=worker,
+                    cell=index,
+                    attempt=attempt,
+                )
+                return
+            if index not in mine:
+                return  # we lost this cell's claim; the watcher owns it now
+            if attempt < attempts.get(index, 1):
+                return  # stale event from a superseded attempt
+            if kind == "done":
+                persisted = bool(event.get("persisted"))
+                summary = None
+                inline = event.get("summary")
+                if isinstance(inline, str):
+                    try:
+                        summary = SimulationSummary.from_json(inline)
+                    except Exception:  # noqa: BLE001 — fall through to store
+                        summary = None
+                if summary is None:
+                    summary = fetch_summary(index)
+                    # Whatever the event said, a summary served straight
+                    # off the store is by definition persisted.
+                    persisted = summary is not None
+                if summary is None:
+                    # The worker said done but neither the event nor the
+                    # store has the summary (e.g. its write-through failed
+                    # and the inline copy was mangled): treat like a death.
+                    retry_or_fail(
+                        index, attempt, f"worker {worker} reported an "
+                        f"unfetchable result for cell {index}"
+                    )
+                    return
+                self._emit(
+                    "fleet.cell_done",
+                    worker=worker,
+                    cell=index,
+                    attempt=attempt,
+                    persisted=persisted,
+                    key=keys[index],
+                )
+                record(
+                    index, summary, None, persisted=persisted, attempts=attempt
+                )
+                finish(index)
+                return
+            if kind == "failed":
+                # Deterministic failure: identical code on identical input
+                # raises identically — no retry, keep the traceback.
+                error = str(event.get("error", "")) or "remote worker failure"
+                record(index, None, error, attempts=attempt)
+                self._emit("fleet.cell_failed", cell=index, attempts=attempt)
+                finish(index)
+                return
+            if kind == "expired":
+                self.stats.leases_expired += 1
+                self._emit(
+                    "fleet.lease_expired",
+                    worker=worker,
+                    cell=index,
+                    attempt=attempt,
+                )
+                retry_or_fail(
+                    index,
+                    attempt,
+                    f"worker {worker} lost its lease on cell {index} "
+                    f"(no heartbeat)",
+                )
+                return
+            if kind == "cancelled":
+                # Another parent took the claim over (it judged us dead —
+                # e.g. we stalled past the claim TTL).  It owns the cell
+                # now; demote ourselves to watching its result.
+                mine.discard(index)
+                watched.add(index)
+                self._emit("fleet.claim_lost", cell=index, key=keys[index])
+
+        def drain_events() -> None:
+            nonlocal cursor
+            _, response = coordinator.call("GET", events_path + str(cursor))
+            cursor = int(response.get("cursor", cursor))
+            for event in response.get("events", ()):
+                handle_event(event)
+
+        def renew_claims() -> None:
+            held = sorted(keys[index] for index in mine)
+            if not held:
+                return
+            _, response = coordinator.call(
+                "POST",
+                "/claims/renew",
+                {"keys": held, "owner": owner, "ttl": self.claim_ttl},
+            )
+            renewed = set(response.get("renewed", ()))
+            for index in sorted(mine):
+                if keys[index] not in renewed:
+                    mine.discard(index)
+                    watched.add(index)
+                    self._emit(
+                        "fleet.claim_lost", cell=index, key=keys[index]
+                    )
+
+        def poll_watched() -> None:
+            for index in sorted(watched & outstanding):
+                summary = fetch_summary(index)
+                if summary is not None:
+                    # The owning parent's worker computed it; adopt the
+                    # stored bytes.  Deliberately NOT a ``cell_done``:
+                    # only the computing parent emits that, so duplicate
+                    # keys across journals mean duplicate computation.
+                    self._emit(
+                        "fleet.cell_adopted", cell=index, key=keys[index]
+                    )
+                    record(index, summary, None, persisted=True)
+                    finish(index)
+                    continue
+                granted, holder = try_claim(index)
+                if granted:
+                    # The owner's claim lapsed (it died or hung): the
+                    # daemon granted us the takeover and cancelled its
+                    # orphaned tasks; republish as our own fresh attempt.
+                    self._emit(
+                        "fleet.claim_expired", cell=index, key=keys[index]
+                    )
+                    self._emit(
+                        "fleet.claim_granted",
+                        cell=index,
+                        key=keys[index],
+                        takeover=True,
+                    )
+                    watched.discard(index)
+                    mine.add(index)
+                    publish(index, 1)
+
+        # Claim every cell up front: winners publish, losers watch.
+        for index, _ in payloads:
+            granted, holder = try_claim(index)
+            if granted:
+                self._emit(
+                    "fleet.claim_granted",
+                    cell=index,
+                    key=keys[index],
+                    takeover=False,
+                )
+                mine.add(index)
+                publish(index, 1)
+            else:
+                self._emit(
+                    "fleet.claim_denied",
+                    cell=index,
+                    key=keys[index],
+                    owner=holder,
+                )
+                watched.add(index)
+
+        last_renew = time.monotonic()
+        last_adopt = 0.0
+        renew_every = max(self.claim_ttl / 3.0, 0.05)
+        try:
+            while outstanding:
+                drain_events()
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, index, attempt = heapq.heappop(retry_heap)
+                    if index in mine and index in outstanding:
+                        publish(index, attempt)
+                if now - last_renew >= renew_every:
+                    renew_claims()
+                    last_renew = now
+                if (watched & outstanding) and now - last_adopt >= self.adopt_interval:
+                    poll_watched()
+                    last_adopt = now
+                if outstanding:
+                    time.sleep(self.poll_interval)
+        finally:
+            held = sorted(keys[index] for index in mine)
+            # Best-effort claim release so a sibling parent can finish
+            # cells we abandoned (e.g. the sweep was interrupted).
+            for key in held:
+                try:
+                    coordinator.call(
+                        "POST", "/claims/release", {"key": key, "owner": owner}
+                    )
+                except OSError:
+                    break
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats_line(self) -> str:
+        counts = self._event_counts
+        return (
+            f"remote: workers={counts.get('fleet.remote_attach', 0)} "
+            f"done={counts.get('fleet.cell_done', 0)} "
+            f"adopted={counts.get('fleet.cell_adopted', 0)} "
+            f"retries={counts.get('fleet.retry', 0)} "
+            f"leases_expired={counts.get('fleet.lease_expired', 0)}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RemoteWorkerBackend(owner={self.owner!r}, "
+            f"max_attempts={self.max_attempts})"
+        )
+
+
+# -- the worker side -------------------------------------------------------
+
+
+def _run_task(backend, task: dict, name: str, out) -> None:
+    """Lease held: heartbeat while computing, write through, report."""
+    import threading
+
+    from ..runner import run_simulation
+    from ..summary import SimulationSummary, summarize
+
+    task_id = str(task["id"])
+    key = str(task.get("key", "") or "")
+    lease_ttl = float(task.get("lease_ttl", 30.0))
+    beat_every = max(lease_ttl / 3.0, 0.05)
+    stop_beats = threading.Event()
+
+    def pump() -> None:
+        while not stop_beats.wait(beat_every):
+            try:
+                status, _ = backend.call(
+                    "POST", f"/tasks/{task_id}/beat", {"worker": name}
+                )
+            except OSError:
+                continue  # daemon briefly unreachable; keep computing
+            if status != 200:
+                # Lease lost.  Keep computing anyway: the board accepts a
+                # straggler's ``done`` (at-least-once) and the store write
+                # is idempotent, so finished work is never thrown away.
+                return
+
+    beats = threading.Thread(target=pump, daemon=True)
+    beats.start()
+    try:
+        config = _decode_config(str(task["payload"]))
+        summary, persisted = None, False
+        if key:
+            text = backend.get(key)
+            if text is not None:
+                try:
+                    summary = SimulationSummary.from_json(text)
+                    persisted = True
+                except Exception:  # noqa: BLE001 — corrupt entry = recompute
+                    summary = None
+        if summary is None:
+            summary = summarize(run_simulation(config))
+            if key:
+                try:
+                    backend.put(key, summary.to_json())
+                    persisted = True
+                except OSError:
+                    persisted = False
+        body = {"worker": name, "persisted": persisted}
+        if not persisted:
+            body["summary"] = summary.to_json()
+        backend.call("POST", f"/tasks/{task_id}/done", body)
+    except Exception:  # noqa: BLE001 — deterministic failure: report it
+        try:
+            backend.call(
+                "POST",
+                f"/tasks/{task_id}/failed",
+                {"worker": name, "error": traceback.format_exc()},
+            )
+        except OSError:
+            pass
+    finally:
+        stop_beats.set()
+
+
+def _worker_loop(
+    url: str,
+    name: str,
+    poll_interval: float,
+    max_idle: Optional[float],
+    auth_token: Optional[str],
+    out,
+) -> int:
+    """One attached worker: claim, compute, report, repeat."""
+    from ..store_backends import SharedStoreBackend
+
+    backend = SharedStoreBackend(url, auth_token=auth_token)
+    print(f"fleet worker {name}: attached to {url}", file=out, flush=True)
+    completed = 0
+    idle_since = time.monotonic()
+    while True:
+        try:
+            status, response = backend.call(
+                "POST", "/tasks/claim", {"worker": name}
+            )
+        except OSError:
+            # Daemon down or restarting: back off and retry attachment —
+            # a worker outliving its daemon is the normal deploy order.
+            time.sleep(max(poll_interval, 0.5))
+            continue
+        task = response.get("task") if status == 200 else None
+        if not task:
+            if (
+                max_idle is not None
+                and time.monotonic() - idle_since >= max_idle
+            ):
+                print(
+                    f"fleet worker {name}: idle for {max_idle:g}s; exiting "
+                    f"({completed} cells computed)",
+                    file=out,
+                    flush=True,
+                )
+                return completed
+            time.sleep(poll_interval)
+            continue
+        _run_task(backend, task, name, out)
+        completed += 1
+        idle_since = time.monotonic()
+
+
+def _worker_process_entry(
+    url: str,
+    name: str,
+    poll_interval: float,
+    max_idle: Optional[float],
+    auth_token: Optional[str],
+) -> None:
+    import signal
+    import sys
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _worker_loop(url, name, poll_interval, max_idle, auth_token, sys.stderr)
+
+
+def run_fleet_worker(
+    url: str,
+    *,
+    workers: int = 1,
+    poll_interval: float = 0.5,
+    max_idle: Optional[float] = None,
+    auth_token: Optional[str] = None,
+    name: Optional[str] = None,
+    out=None,
+) -> int:
+    """The ``avmon fleet worker --attach URL`` body.
+
+    With ``workers == 1`` the claim loop runs in this process (Ctrl-C
+    stops it); with more, that many child processes each run their own
+    loop and the parent waits for all of them (they only exit on their
+    own when ``max_idle`` is set).
+    """
+    import sys
+
+    out = out if out is not None else sys.stderr
+    token = (
+        auth_token
+        if auth_token is not None
+        else os.environ.get("AVMON_STORE_TOKEN") or None
+    )
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    base = name if name else _default_identity("worker")
+    if workers == 1:
+        try:
+            _worker_loop(url, base, poll_interval, max_idle, token, out)
+        except KeyboardInterrupt:
+            print(f"fleet worker {base}: interrupted", file=out, flush=True)
+        return 0
+    import multiprocessing
+
+    ctx = multiprocessing.get_context()
+    processes = []
+    for i in range(workers):
+        process = ctx.Process(
+            target=_worker_process_entry,
+            args=(url, f"{base}-{i}", poll_interval, max_idle, token),
+            daemon=False,
+        )
+        process.start()
+        processes.append(process)
+    try:
+        for process in processes:
+            process.join()
+    except KeyboardInterrupt:
+        print(f"fleet worker {base}: interrupted", file=out, flush=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=2.0)
+    return 0

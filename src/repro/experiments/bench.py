@@ -291,7 +291,9 @@ def run_sweep_bench(scale: str = "bench", *, scale_out: Optional[bool] = None) -
 
 def run_backend_bench(scale: str = "bench") -> dict:
     """Execution-backend comparison over one shared store: serial vs pool
-    vs fleet (cold and warm), plus a chaos variant that SIGKILLs a worker.
+    vs fleet (cold and warm), plus a chaos variant that SIGKILLs a worker
+    and a two-parent remote variant where network-attached workers lease
+    cells from the daemon and the parents split the grid via cell claims.
 
     All variants run the same SYNTH N-grid × two seeds.  The fleet
     variants execute against a live ``avmon store serve`` daemon on an
@@ -306,7 +308,13 @@ def run_backend_bench(scale: str = "bench") -> dict:
     import tempfile
     import threading
 
-    from .backends import LocalPoolBackend, WorkerFleetBackend, default_jobs
+    from .backends import (
+        LocalPoolBackend,
+        RemoteWorkerBackend,
+        WorkerFleetBackend,
+        default_jobs,
+        run_fleet_worker,
+    )
     from .orchestrator import run_configs
     from .scenarios import n_values, scenario
     from .store import SummaryStore
@@ -368,6 +376,15 @@ def run_backend_bench(scale: str = "bench") -> dict:
             state["task"] = loop.create_task(boot())
             try:
                 loop.run_until_complete(state["task"])
+                # Idle keep-alive connections from the worker threads may
+                # still be parked in handlers; drain them before closing.
+                pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+                for leftover in pending:
+                    leftover.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
             finally:
                 loop.close()
 
@@ -378,6 +395,7 @@ def run_backend_bench(scale: str = "bench") -> dict:
         url = f"http://127.0.0.1:{state['port']}"
         cold_store = SummaryStore.open(url)
         warm_store = SummaryStore.open(url)
+        remote_state: dict = {}
         try:
             fleet = WorkerFleetBackend(workers, heartbeat_interval=0.1)
             timed_run(
@@ -418,12 +436,102 @@ def run_backend_bench(scale: str = "bench") -> dict:
                     "retries": chaos.stats.retries,
                 },
             )
+
+            # Two parents, network-attached workers, one daemon: the
+            # multi-host path.  A second daemon with a fresh root keeps
+            # the variant cold — the fleet variants above already warmed
+            # ``shared``.
+            remote_root = Path(shared) / "remote"
+            remote_root.mkdir()
+            remote_started = threading.Event()
+
+            async def boot_remote() -> None:
+                server = await serve_store(
+                    FilesystemBackend(remote_root), "127.0.0.1", 0
+                )
+                remote_state["port"] = server.sockets[0].getsockname()[1]
+                remote_started.set()
+                try:
+                    await server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+            remote_state["future"] = asyncio.run_coroutine_threadsafe(
+                boot_remote(), loop
+            )
+            if not remote_started.wait(5.0):
+                raise OSError("second store daemon failed to start")
+            remote_url = f"http://127.0.0.1:{remote_state['port']}"
+            for i in range(2):
+                threading.Thread(
+                    target=run_fleet_worker,
+                    args=(remote_url,),
+                    kwargs=dict(
+                        poll_interval=0.05, max_idle=15.0, name=f"bench-w{i}"
+                    ),
+                    daemon=True,
+                ).start()
+            parents: dict = {}
+
+            def remote_sweep(tag: str) -> None:
+                backend = RemoteWorkerBackend(
+                    owner=tag,
+                    lease_ttl=10.0,
+                    poll_interval=0.05,
+                    retry_backoff=0.1,
+                )
+                parent_store = SummaryStore.open(remote_url)
+                try:
+                    summaries = run_configs(
+                        configs, store=parent_store, backend=backend
+                    )
+                finally:
+                    parent_store.backend.close()
+                parents[tag] = (summaries, backend)
+
+            start = time.perf_counter()
+            sweeps = [
+                threading.Thread(target=remote_sweep, args=(tag,))
+                for tag in ("bench-parent-a", "bench-parent-b")
+            ]
+            for sweep in sweeps:
+                sweep.start()
+            for sweep in sweeps:
+                sweep.join()
+            remote_wall = time.perf_counter() - start
+            if set(parents) != {"bench-parent-a", "bench-parent-b"}:
+                raise OSError("a remote bench parent died mid-sweep")
+            json_a = [s.to_json() for s in parents["bench-parent-a"][0]]
+            json_b = [s.to_json() for s in parents["bench-parent-b"][0]]
+            counts = [p[1]._event_counts for p in parents.values()]
+            record(
+                "fleet_remote_two_parent",
+                remote_wall,
+                parents["bench-parent-a"][0],
+                {
+                    "parents": 2,
+                    "workers": 2,
+                    "cells_computed": sum(
+                        c.get("fleet.cell_done", 0) for c in counts
+                    ),
+                    "adopted": sum(
+                        c.get("fleet.cell_adopted", 0) for c in counts
+                    ),
+                    "parents_agree": json_a == json_b,
+                },
+            )
         finally:
             # Drop the persistent client connections before stopping the
             # loop, or their server-side handler tasks outlive it noisily.
             cold_store.backend.close()
             warm_store.backend.close()
             time.sleep(0.05)
+            remote_future = remote_state.get("future")
+            if remote_future is not None:
+                remote_future.cancel()
             loop.call_soon_threadsafe(state["task"].cancel)
             daemon.join(timeout=5.0)
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 import abc
 import http.client
 import json
+import os
 import pathlib
 import re
 import time
@@ -145,6 +146,38 @@ class FilesystemBackend(StoreBackend):
         except FileNotFoundError:
             return None
 
+    def compact(self, *, tmp_age: float = 60.0) -> dict:
+        """Sweep the directory of write debris: stale ``*.tmp*`` scratch
+        files (left by killed writers) and ``.json`` entries that no
+        longer parse (torn by a crashed non-atomic writer; readers treat
+        them as misses forever, so they are pure dead weight).
+
+        *tmp_age* guards in-flight writes: scratch files younger than it
+        are left alone.  Returns ``{"removed_tmp": n, "removed_corrupt": m}``.
+        """
+        removed_tmp = removed_corrupt = 0
+        now = time.time()
+        for path in self.root.iterdir():
+            if not path.is_file():
+                continue
+            if ".tmp" in path.name:
+                try:
+                    if now - path.stat().st_mtime >= tmp_age:
+                        path.unlink()
+                        removed_tmp += 1
+                except OSError:
+                    continue
+            elif path.suffix == ".json":
+                try:
+                    json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                    try:
+                        path.unlink()
+                        removed_corrupt += 1
+                    except OSError:
+                        continue
+        return {"removed_tmp": removed_tmp, "removed_corrupt": removed_corrupt}
+
     def put(self, name: str, text: str) -> None:
         atomic_write_text(self.root / _check_name(name), text)
 
@@ -204,6 +237,7 @@ class SharedStoreBackend(StoreBackend):
         timeout: float = 10.0,
         retries: int = 2,
         retry_backoff: float = 0.2,
+        auth_token: Optional[str] = None,
     ) -> None:
         parsed = urllib.parse.urlsplit(url)
         if parsed.scheme not in ("http",) or not parsed.hostname:
@@ -216,6 +250,14 @@ class SharedStoreBackend(StoreBackend):
         self.timeout = timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
+        #: Bearer token for daemons started with ``--auth-token``; the
+        #: env fallback keeps ``spec()`` a plain URL (workers re-open
+        #: backends from the spec alone and still authenticate).
+        self.auth_token = (
+            auth_token
+            if auth_token is not None
+            else os.environ.get("AVMON_STORE_TOKEN") or None
+        )
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # -- pickling ----------------------------------------------------------
@@ -252,10 +294,15 @@ class SharedStoreBackend(StoreBackend):
             else None
         )
         headers = {"Content-Type": "application/json"} if body else {}
+        if self.auth_token:
+            headers["Authorization"] = f"Bearer {self.auth_token}"
         last_error: Optional[Exception] = None
-        for attempt in range(self.retries + 1):
-            if attempt:
-                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+        # Attempt 0 fires immediately; retry i (0-based) sleeps
+        # backoff * 2**i first, pinning the schedule to
+        # [backoff, 2*backoff, 4*backoff, ...] exactly.
+        for retry_number in range(self.retries + 1):
+            if retry_number:
+                time.sleep(self.retry_backoff * (2 ** (retry_number - 1)))
             try:
                 connection = self._connect()
                 connection.request(method, path, body=body, headers=headers)
@@ -326,6 +373,28 @@ class SharedStoreBackend(StoreBackend):
         if status != 200:
             raise OSError(f"shared store stat failed: HTTP {status}")
         payload.setdefault("dir", self.url)
+        return payload
+
+    def call(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        """One JSON round trip to an arbitrary daemon endpoint.
+
+        The coordination clients (task board, cell claims) speak through
+        this so they inherit the keep-alive connection, retry schedule
+        and bearer auth without re-growing a transport.
+        """
+        return self._request(method, path, payload)
+
+    def compact(self, *, tmp_age: float = 60.0) -> dict:
+        """Ask the daemon to compact its directory (auth-gated)."""
+        status, payload = self._request(
+            "POST", "/compact", {"tmp_age": tmp_age}
+        )
+        if status != 200:
+            raise OSError(
+                f"shared store compact failed: HTTP {status} {payload}"
+            )
         return payload
 
     def location(self, name: str) -> str:

@@ -16,7 +16,34 @@ DELETE    /objects/{name}       remove; ``{"deleted": bool}`` or 404
 GET       /stat                 totals + request counters
 GET       /metrics              obs registry (JSON; ``?format=prometheus``)
 GET       /healthz              liveness probe
+POST      /compact              sweep stale tmp/corrupt files (see below)
 ========  ====================  ===========================================
+
+Beyond objects, the daemon is the sweep fabric's coordinator: a
+task-lease protocol lets workers on any host lease cells and heartbeat
+over HTTP (:class:`~repro.experiments.taskboard.TaskBoard`), and cell
+claims keyed by store address let two parents share one grid without
+computing a cell twice (:class:`~repro.experiments.taskboard.CellClaims`):
+
+========  ====================  ===========================================
+POST      /tasks                publish ``{id, payload, key, lease_ttl, attempt}``
+POST      /tasks/claim          ``{worker}`` -> ``{task}`` or ``{task: null}``
+POST      /tasks/{id}/beat      ``{worker}``; 409 when the lease was lost
+POST      /tasks/{id}/done      ``{worker, persisted, summary?}``; 409 dup
+POST      /tasks/{id}/failed    ``{worker, error}``
+POST      /tasks/{id}/cancel    withdraw a published task
+GET       /tasks/events         ``?since=N&prefix=P`` -> ``{cursor, events}``
+GET       /tasks                board listing + per-state counts
+POST      /claims/claim         ``{key, owner, ttl}`` -> ``{granted, owner}``
+POST      /claims/renew         ``{keys, owner, ttl}`` -> ``{renewed}``
+POST      /claims/release       ``{key, owner}`` -> ``{released}``
+GET       /claims               live claims listing
+========  ====================  ===========================================
+
+With ``auth_token`` set (``--auth-token`` / ``AVMON_STORE_TOKEN``),
+every mutating verb (PUT, DELETE, any POST) requires
+``Authorization: Bearer <token>`` and replies 401 otherwise; reads stay
+open so dashboards and probes keep working.
 
 Object text travels inside a JSON string, so stored bytes round-trip
 exactly — the byte-identity contract on summary JSON holds across the
@@ -27,18 +54,22 @@ the in-memory HTTP client drives it socket-free in tests.
 
 The protocol is deliberately cache-shaped, not database-shaped: objects
 are immutable values under content addresses, PUT is idempotent, and a
-lost write is at worst a future recomputation.
+lost write is at worst a future recomputation.  The coordination state
+(board, claims) is soft by design — losing the daemon loses leases, not
+results.
 """
 
 from __future__ import annotations
 
 import asyncio
 import sys
+import time
 from typing import Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 from ..obs.registry import MetricsRegistry
 from .store_backends import FilesystemBackend, StoreBackend, valid_object_name
+from .taskboard import CellClaims, TaskBoard
 
 __all__ = ["StoreService", "serve_store", "run_store_server"]
 
@@ -58,9 +89,11 @@ class StoreService:
     """The object-protocol request handler over one :class:`StoreBackend`.
 
     Compatible with :func:`repro.serve.http.handle_connection`: requests
-    arrive as ``(method, target, parsed_json_body, client)`` and leave as
-    ``(status, payload, extra_headers)``.  Backend I/O failures surface
-    as 500s with the error text — clients treat those as cache misses.
+    arrive as ``(method, target, parsed_json_body, client)`` — plus the
+    raw header dict, which the connection layer forwards because
+    ``accepts_headers`` is set — and leave as ``(status, payload,
+    extra_headers)``.  Backend I/O failures surface as 500s with the
+    error text — clients treat those as cache misses.
 
     All counters live in a :class:`repro.obs.registry.MetricsRegistry`
     (deterministic kind) exposed on ``GET /metrics`` as JSON or, with
@@ -68,27 +101,60 @@ class StoreService:
     ``counters`` dict shape.
     """
 
+    #: Tells the HTTP layer to pass request headers into :meth:`handle`.
+    accepts_headers = True
+
     def __init__(
         self,
         backend: StoreBackend,
         registry: Optional[MetricsRegistry] = None,
+        *,
+        auth_token: Optional[str] = None,
+        clock=time.monotonic,
     ) -> None:
         self.backend = backend
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.auth_token = auth_token or None
+        self.board = TaskBoard(clock)
+        self.claims = CellClaims(clock)
         self._counters = {
             name: self.registry.counter(f"store.{name}")
             for name in _STAT_COUNTERS
         }
         self._bytes_in = self.registry.counter("store.bytes_in")
         self._bytes_out = self.registry.counter("store.bytes_out")
+        self._auth_rejects = self.registry.counter("store.auth_rejects")
+        self._claims_granted = self.registry.counter("store.claims_granted")
+        self._claims_denied = self.registry.counter("store.claims_denied")
+        self._tasks_published = self.registry.counter("store.tasks_published")
+        self._tasks_claimed = self.registry.counter("store.tasks_claimed")
+        self._tasks_done = self.registry.counter("store.tasks_done")
+        self._entry_scans = self.registry.counter("store.entry_scans")
         self._verbs: Dict[str, object] = {}
-        self.registry.gauge(
-            "store.objects", fn=lambda: len(self.backend.entries())
-        )
+        #: One ``entries()`` scan feeds both object gauges *and* every
+        #: listing until a mutation invalidates it — the two gauges can
+        #: never disagree mid-PUT, and a metrics scrape costs at most
+        #: one directory scan instead of one per gauge.
+        self._entries_cache: Optional[tuple] = None
+        self.registry.gauge("store.objects", fn=lambda: len(self._entries()))
         self.registry.gauge(
             "store.object_bytes",
-            fn=lambda: sum(e.size for e in self.backend.entries()),
+            fn=lambda: sum(e.size for e in self._entries()),
         )
+        self.registry.gauge(
+            "store.claims_expired", fn=lambda: self.claims.expired_total
+        )
+
+    # -- cached directory view --------------------------------------------
+
+    def _entries(self) -> tuple:
+        if self._entries_cache is None:
+            self._entries_cache = self.backend.entries()
+            self._entry_scans.inc()
+        return self._entries_cache
+
+    def _invalidate_entries(self) -> None:
+        self._entries_cache = None
 
     @property
     def counters(self) -> Dict[str, int]:
@@ -103,15 +169,26 @@ class StoreService:
             )
         counter.inc()
 
+    def _authorized(self, method: str, headers: Optional[Dict[str, str]]) -> bool:
+        if self.auth_token is None or method == "GET":
+            return True
+        supplied = (headers or {}).get("authorization", "")
+        return supplied == f"Bearer {self.auth_token}"
+
     async def handle(
         self,
         method: str,
         target: str,
         body: Optional[dict],
         client: str,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Union[dict, str], Dict[str, str]]:
         self._counters["requests"].inc()
         self._count_verb(method)
+        if not self._authorized(method, headers):
+            self._auth_rejects.inc()
+            self._counters["client_errors"].inc()
+            return 401, {"error": "missing or bad bearer token"}, {}
         try:
             status, payload = self._route(method, target, body)
         except OSError as error:
@@ -129,76 +206,244 @@ class StoreService:
         if path == "/healthz":
             return 200, {"status": "ok"}
         if path == "/stat":
-            payload = self.backend.stat()
-            payload["counters"] = self.counters
+            entries = self._entries()
+            payload = {
+                "dir": self.backend.describe(),
+                "entries": len(entries),
+                "total_bytes": sum(entry.size for entry in entries),
+                "counters": self.counters,
+            }
             return 200, payload
         if path == "/metrics":
             params = parse_qs(split.query)
             if params.get("format", [""])[-1] == "prometheus":
                 return 200, self.registry.render_prometheus()
             return 200, self.registry.to_dict()
+        if path == "/compact":
+            if method != "POST":
+                return 405, {"error": "compaction is POST-only"}
+            compact = getattr(self.backend, "compact", None)
+            if compact is None:
+                return 400, {"error": "backend does not support compaction"}
+            tmp_age = 60.0
+            if isinstance(body, dict) and isinstance(
+                body.get("tmp_age"), (int, float)
+            ):
+                tmp_age = float(body["tmp_age"])
+            result = compact(tmp_age=tmp_age)
+            self._invalidate_entries()
+            return 200, result
         if path == "/objects":
             if method != "GET":
                 return 405, {"error": "listing is GET-only"}
             return 200, {
                 "entries": [
                     {"name": entry.name, "bytes": entry.size}
-                    for entry in self.backend.entries()
+                    for entry in self._entries()
                 ]
             }
         if path.startswith("/objects/"):
-            name = path[len("/objects/"):]
-            if not valid_object_name(name):
-                return 400, {"error": f"illegal object name {name!r}"}
+            return self._route_object(method, path[len("/objects/"):], body)
+        if path == "/tasks" or path.startswith("/tasks/"):
+            return self._route_tasks(method, path, split.query, body)
+        if path == "/claims" or path.startswith("/claims/"):
+            return self._route_claims(method, path, body)
+        return 404, {"error": f"no route for {path}"}
+
+    def _route_object(
+        self, method: str, name: str, body: Optional[dict]
+    ) -> Tuple[int, Union[dict, str]]:
+        if not valid_object_name(name):
+            return 400, {"error": f"illegal object name {name!r}"}
+        if method == "GET":
+            text = self.backend.get(name)
+            if text is None:
+                self._counters["get_misses"].inc()
+                return 404, {"error": f"no object {name}"}
+            self._counters["get_hits"].inc()
+            self._bytes_out.inc(len(text))
+            return 200, {"name": name, "text": text}
+        if method == "PUT":
+            if not isinstance(body, dict) or not isinstance(
+                body.get("text"), str
+            ):
+                return 400, {"error": 'PUT body must be {"text": "..."}'}
+            self.backend.put(name, body["text"])
+            self._invalidate_entries()
+            self._counters["puts"].inc()
+            self._bytes_in.inc(len(body["text"]))
+            return 200, {"stored": name, "bytes": len(body["text"])}
+        if method == "DELETE":
+            deleted = self.backend.delete(name)
+            self._invalidate_entries()
+            if not deleted:
+                return 404, {"error": f"no object {name}"}
+            self._counters["deletes"].inc()
+            return 200, {"deleted": True, "name": name}
+        return 405, {"error": f"unsupported method {method}"}
+
+    # -- task-lease protocol ----------------------------------------------
+
+    def _route_tasks(
+        self, method: str, path: str, query: str, body: Optional[dict]
+    ) -> Tuple[int, Union[dict, str]]:
+        body = body if isinstance(body, dict) else {}
+        if path == "/tasks":
             if method == "GET":
-                text = self.backend.get(name)
-                if text is None:
-                    self._counters["get_misses"].inc()
-                    return 404, {"error": f"no object {name}"}
-                self._counters["get_hits"].inc()
-                self._bytes_out.inc(len(text))
-                return 200, {"name": name, "text": text}
-            if method == "PUT":
-                if not isinstance(body, dict) or not isinstance(
-                    body.get("text"), str
-                ):
-                    return 400, {"error": 'PUT body must be {"text": "..."}'}
-                self.backend.put(name, body["text"])
-                self._counters["puts"].inc()
-                self._bytes_in.inc(len(body["text"]))
-                return 200, {"stored": name, "bytes": len(body["text"])}
-            if method == "DELETE":
-                if not self.backend.delete(name):
-                    return 404, {"error": f"no object {name}"}
-                self._counters["deletes"].inc()
-                return 200, {"deleted": True, "name": name}
+                return 200, {
+                    "tasks": self.board.tasks(),
+                    "states": self.board.stats(),
+                }
+            if method == "POST":
+                task_id = body.get("id")
+                payload = body.get("payload")
+                if not isinstance(task_id, str) or not isinstance(payload, str):
+                    return 400, {"error": "publish needs string id and payload"}
+                task = self.board.publish(
+                    task_id,
+                    payload,
+                    key=str(body.get("key", "") or ""),
+                    lease_ttl=float(body.get("lease_ttl", 30.0)),
+                    attempt=int(body.get("attempt", 1)),
+                )
+                self._tasks_published.inc()
+                return 200, {"published": task.public()}
             return 405, {"error": f"unsupported method {method}"}
+        if path == "/tasks/events":
+            if method != "GET":
+                return 405, {"error": "events is GET-only"}
+            params = parse_qs(query)
+            try:
+                since = int(params.get("since", ["0"])[-1])
+            except ValueError:
+                return 400, {"error": "since must be an integer"}
+            prefix = params.get("prefix", [""])[-1]
+            cursor, events = self.board.events_since(since, prefix=prefix)
+            return 200, {"cursor": cursor, "events": events}
+        if path == "/tasks/claim":
+            if method != "POST":
+                return 405, {"error": "claim is POST-only"}
+            worker = body.get("worker")
+            if not isinstance(worker, str) or not worker:
+                return 400, {"error": "claim needs a worker name"}
+            task = self.board.claim(worker)
+            if task is None:
+                return 200, {"task": None}
+            self._tasks_claimed.inc()
+            return 200, {"task": task.public(with_payload=True)}
+        # /tasks/{id}/verb
+        parts = path.split("/")
+        if len(parts) != 4 or not parts[2]:
+            return 404, {"error": f"no route for {path}"}
+        _, _, task_id, verb = parts
+        if method != "POST":
+            return 405, {"error": f"{verb} is POST-only"}
+        worker = str(body.get("worker", ""))
+        if verb == "beat":
+            if self.board.beat(task_id, worker):
+                return 200, {"leased": True}
+            return 409, {"error": "lease lost", "leased": False}
+        if verb == "done":
+            result = {
+                "persisted": bool(body.get("persisted", False)),
+            }
+            if isinstance(body.get("summary"), str):
+                result["summary"] = body["summary"]
+            if self.board.done(task_id, worker, result):
+                self._tasks_done.inc()
+                return 200, {"done": True}
+            return 409, {"error": "task already settled", "done": False}
+        if verb == "failed":
+            error = str(body.get("error", ""))
+            if self.board.failed(task_id, worker, error):
+                return 200, {"failed": True}
+            return 409, {"error": "task already settled", "failed": False}
+        if verb == "cancel":
+            return 200, {"cancelled": self.board.cancel(task_id)}
+        return 404, {"error": f"unknown task verb {verb!r}"}
+
+    # -- cross-parent cell claims ------------------------------------------
+
+    def _route_claims(
+        self, method: str, path: str, body: Optional[dict]
+    ) -> Tuple[int, Union[dict, str]]:
+        body = body if isinstance(body, dict) else {}
+        if path == "/claims":
+            if method != "GET":
+                return 405, {"error": "claims listing is GET-only"}
+            return 200, {"claims": self.claims.claims()}
+        if method != "POST":
+            return 405, {"error": "claim verbs are POST-only"}
+        owner = body.get("owner")
+        if not isinstance(owner, str) or not owner:
+            return 400, {"error": "claims need an owner name"}
+        if path == "/claims/claim":
+            key = body.get("key")
+            if not isinstance(key, str) or not key:
+                return 400, {"error": "claim needs a key"}
+            ttl = float(body.get("ttl", 30.0))
+            lapsed_owner = self.claims.take_expired_owner(key)
+            granted, current = self.claims.claim(key, owner, ttl)
+            if granted:
+                self._claims_granted.inc()
+                if lapsed_owner and lapsed_owner != owner:
+                    # A *different* owner's claim lapsed here (it died or
+                    # hung): cancel its orphaned tasks for this cell so
+                    # they cannot race the new owner's republication.
+                    self.board.cancel_for_key(key)
+            else:
+                self._claims_denied.inc()
+            return 200, {"granted": granted, "owner": current}
+        if path == "/claims/renew":
+            keys = body.get("keys")
+            if not isinstance(keys, list):
+                return 400, {"error": "renew needs a key list"}
+            ttl = float(body.get("ttl", 30.0))
+            renewed = self.claims.renew([str(k) for k in keys], owner, ttl)
+            return 200, {"renewed": renewed}
+        if path == "/claims/release":
+            key = str(body.get("key", ""))
+            return 200, {"released": self.claims.release(key, owner)}
         return 404, {"error": f"no route for {path}"}
 
 
 async def serve_store(
-    backend: StoreBackend, host: str = "127.0.0.1", port: int = 0
+    backend: StoreBackend,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    auth_token: Optional[str] = None,
 ):
     """Bind the object protocol on a real socket; returns the asyncio
     server (``server.sockets[0].getsockname()`` has the bound port)."""
     from ..serve.http import serve_http
 
-    return await serve_http(StoreService(backend), host, port)
+    return await serve_http(
+        StoreService(backend, auth_token=auth_token), host, port
+    )
 
 
 def run_store_server(
-    root: str, host: str = "127.0.0.1", port: int = 7780, out=sys.stderr
+    root: str,
+    host: str = "127.0.0.1",
+    port: int = 7780,
+    out=sys.stderr,
+    *,
+    auth_token: Optional[str] = None,
 ) -> int:
     """Run the daemon until interrupted (the ``avmon store serve`` body)."""
     backend = FilesystemBackend(root)
 
     async def serve_forever() -> None:
-        server = await serve_store(backend, host, port)
+        server = await serve_store(
+            backend, host, port, auth_token=auth_token
+        )
         bound = server.sockets[0].getsockname()[1]
+        guarded = " (mutations require the bearer token)" if auth_token else ""
         print(
             f"store: serving {backend.root} on http://{host}:{bound} "
             f"(point workers at it with --cache-dir http://{host}:{bound}; "
-            f"Ctrl-C to stop)",
+            f"Ctrl-C to stop){guarded}",
             file=out,
         )
         try:

@@ -2,24 +2,34 @@
 
 from __future__ import annotations
 
+import itertools
 import os
 import pathlib
 from typing import Union
 
 __all__ = ["atomic_write_text"]
 
+#: Per-process scratch-name serial: two writes of the same target from
+#: one process (e.g. two daemon handler turns interleaving with a slow
+#: filesystem) never share a temp file, so the final ``os.replace`` is
+#: the only point where writers meet — single-writer rename discipline.
+_scratch_serial = itertools.count()
+
 
 def atomic_write_text(path: Union[str, os.PathLike], text: str) -> None:
     """Write *text* to *path* atomically (temp file + ``os.replace``).
 
-    Concurrent readers never observe a partial file; the pid-suffixed temp
-    name keeps concurrent writers from clobbering each other's scratch.
-    Raises ``OSError`` on failure after removing the temp file — callers
-    decide whether a failed write is fatal (a node state snapshot is not;
-    see the summary store for the warn-and-continue variant).
+    Concurrent readers never observe a partial file; the pid+serial
+    temp name keeps concurrent writers — across processes *and* within
+    one — from clobbering each other's scratch.  Raises ``OSError`` on
+    failure after removing the temp file — callers decide whether a
+    failed write is fatal (a node state snapshot is not; see the summary
+    store for the warn-and-continue variant).
     """
     target = pathlib.Path(path)
-    tmp = target.with_name(f"{target.name}.tmp{os.getpid()}")
+    tmp = target.with_name(
+        f"{target.name}.tmp{os.getpid()}.{next(_scratch_serial)}"
+    )
     try:
         tmp.write_text(text, encoding="utf-8")
         os.replace(tmp, target)

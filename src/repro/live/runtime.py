@@ -252,6 +252,9 @@ class LiveNode:
         self.tick_errors = 0
         #: JOIN datagrams dropped by the per-origin admission budget.
         self.joins_throttled = 0
+        #: Bootstrap joins re-sent because the first attempt left the node
+        #: blind (its Join/CvFetch datagrams were lost or partitioned away).
+        self.join_retries = 0
         #: §3.3 query traffic served: monitor-set reports about *this*
         #: node, and availability histories this node reported about its
         #: pinging targets (the serving surface's demand, seen node-side).
@@ -492,6 +495,38 @@ class LiveNode:
         if not self._joined:
             self._joined = True
             self.node.begin_join()
+            # Figure 1 fires Join + CvFetch at one random bootstrap and
+            # the core's fetch timeout deliberately does nothing — in the
+            # simulator a lost join is just one unlucky node, but a live
+            # joiner whose only datagrams fell into a partition stays
+            # blind *forever*.  A retry loop (below) re-runs begin_join
+            # with backoff until the node has any overlay state at all.
+            self._tasks.append(asyncio.create_task(self._join_retry_loop()))
+
+    async def _join_retry_loop(self) -> None:
+        """Re-send the bootstrap join while the node is fully blind.
+
+        Retries stop the moment the node holds *any* overlay state (a
+        coarse-view entry, a ping set, a target set): past that point the
+        normal protocol ticks take over and extra JOINs would only burn
+        the per-origin admission budget at the receivers.  Each retry is
+        a fresh ``begin_join`` — a new random bootstrap, so a retry also
+        escapes a single dead or partitioned bootstrap choice.  Backoff
+        doubles from two protocol periods up to eight, keeping the blind
+        phase's datagram rate below one join per period per node.
+        """
+        delay = 2.0 * self.config.protocol_period
+        cap = 8.0 * self.config.protocol_period
+        while True:
+            await asyncio.sleep(delay)
+            node = self.node
+            if node is None or self._stopped:
+                return
+            if len(node.cv) or node.ps or node.ts:
+                return  # settled into the overlay
+            self.join_retries += 1
+            node.begin_join()
+            delay = min(2.0 * delay, cap)
 
     # -- persistent storage (system model, Section 3) ----------------------
 

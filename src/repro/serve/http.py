@@ -37,8 +37,10 @@ MAX_REQUEST_BYTES = 256 * 1024
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -169,9 +171,18 @@ async def handle_connection(
                 except json.JSONDecodeError:
                     body = None  # endpoints reject with a 400 body
             try:
-                status, payload, extra = await service.handle(
-                    method, target, body, identity
-                )
+                # Services that opt in (``accepts_headers = True``) also
+                # receive the raw header dict — the store daemon checks
+                # its bearer token there; everything else keeps the
+                # four-argument contract untouched.
+                if getattr(service, "accepts_headers", False):
+                    status, payload, extra = await service.handle(
+                        method, target, body, identity, headers
+                    )
+                else:
+                    status, payload, extra = await service.handle(
+                        method, target, body, identity
+                    )
             except Exception:  # noqa: BLE001 — a service bug is a 500,
                 # counted and visible, never a dropped connection.
                 status, payload, extra = 500, {"error": "internal"}, {}
@@ -183,7 +194,12 @@ async def handle_connection(
             if not keep_alive:
                 break
     finally:
-        writer.close()
+        try:
+            writer.close()
+        except RuntimeError:
+            # The event loop closed under us (daemon shutdown while a
+            # client was mid-request); the transport is already gone.
+            return
         wait_closed = getattr(writer, "wait_closed", None)
         if wait_closed is not None:
             try:

@@ -113,12 +113,13 @@ class TestSpecs:
 class MemoryStore:
     """Sync driver over :class:`MemoryHttpClient` for one StoreService."""
 
-    def __init__(self, backend: StoreBackend) -> None:
-        self.client = MemoryHttpClient(StoreService(backend))
+    def __init__(self, backend: StoreBackend, **service_kwargs) -> None:
+        self.service = StoreService(backend, **service_kwargs)
+        self.client = MemoryHttpClient(self.service)
 
-    def call(self, method: str, target: str, body=None):
+    def call(self, method: str, target: str, body=None, headers=None):
         status, payload, _ = asyncio.run(
-            self.client.request(method, target, body=body)
+            self.client.request(method, target, body=body, headers=headers)
         )
         return status, payload
 
@@ -205,6 +206,164 @@ class TestStoreServiceInMemory:
         status, payload = client.call("GET", "/objects/a.json")
         assert status == 500
         assert "disk on fire" in payload["error"]
+
+
+class TestRetrySchedule:
+    """Regression: the retry backoff starts at ``backoff``, never sleeps
+    before attempt 0, and doubles exactly — the first retry used to be
+    ambiguous between 0.5x and 1x the configured backoff."""
+
+    def _sleeps_for(self, monkeypatch, retries, backoff):
+        import repro.experiments.store_backends as module
+
+        slept = []
+        monkeypatch.setattr(module.time, "sleep", slept.append)
+        backend = SharedStoreBackend(
+            "http://127.0.0.1:1", retries=retries, retry_backoff=backoff
+        )
+        with pytest.raises(OSError):
+            backend.get("k.json")
+        backend.close()
+        return slept
+
+    def test_backoff_schedule_is_pinned(self, monkeypatch):
+        slept = self._sleeps_for(monkeypatch, retries=3, backoff=0.2)
+        assert slept == [0.2, 0.4, 0.8]
+
+    def test_attempt_zero_never_sleeps(self, monkeypatch):
+        assert self._sleeps_for(monkeypatch, retries=0, backoff=0.2) == []
+
+
+class TestCompaction:
+    def test_filesystem_compact_removes_stale_tmp_and_corrupt(self, tmp_path):
+        import os
+        import time as time_module
+
+        backend = FilesystemBackend(tmp_path)
+        backend.put("good.json", WEIRD_TEXT)
+        (tmp_path / "bad.json").write_text("{truncated", encoding="utf-8")
+        old_tmp = tmp_path / "dead.json.tmp123.0"
+        old_tmp.write_text("partial", encoding="utf-8")
+        stale = time_module.time() - 3600.0
+        os.utime(old_tmp, (stale, stale))
+        fresh_tmp = tmp_path / "live.json.tmp456.1"
+        fresh_tmp.write_text("in flight", encoding="utf-8")
+        result = backend.compact(tmp_age=60.0)
+        assert result == {"removed_tmp": 1, "removed_corrupt": 1}
+        assert backend.get("good.json") == WEIRD_TEXT  # untouched
+        assert not old_tmp.exists()
+        assert fresh_tmp.exists()  # younger than tmp_age: maybe mid-write
+
+    def test_compact_over_the_wire(self, tmp_path):
+        import os
+        import time as time_module
+
+        client = memory_client(tmp_path)
+        client.call("PUT", "/objects/good.json", {"text": "{}"})
+        (tmp_path / "junk.json").write_text("not json", encoding="utf-8")
+        old_tmp = tmp_path / "x.json.tmp9.9"
+        old_tmp.write_text("x", encoding="utf-8")
+        stale = time_module.time() - 3600.0
+        os.utime(old_tmp, (stale, stale))
+        status, payload = client.call("POST", "/compact", {"tmp_age": 60.0})
+        assert status == 200
+        assert payload == {"removed_tmp": 1, "removed_corrupt": 1}
+        # The daemon's directory view is invalidated, not stale.
+        status, payload = client.call("GET", "/objects")
+        assert [e["name"] for e in payload["entries"]] == ["good.json"]
+        status, _ = client.call("GET", "/compact")
+        assert status == 405
+
+
+class TestAuthToken:
+    def test_mutations_need_the_bearer_token(self, tmp_path):
+        client = MemoryStore(FilesystemBackend(tmp_path), auth_token="s3cret")
+        status, _ = client.call("PUT", "/objects/k.json", {"text": "1"})
+        assert status == 401
+        status, _ = client.call(
+            "PUT",
+            "/objects/k.json",
+            {"text": "1"},
+            headers={"Authorization": "Bearer wrong"},
+        )
+        assert status == 401
+        status, _ = client.call(
+            "PUT",
+            "/objects/k.json",
+            {"text": "1"},
+            headers={"Authorization": "Bearer s3cret"},
+        )
+        assert status == 200
+        status, _ = client.call("DELETE", "/objects/k.json")
+        assert status == 401
+        status, _ = client.call("POST", "/compact")
+        assert status == 401
+        status, _ = client.call(
+            "POST", "/tasks/claim", {"worker": "w"}
+        )
+        assert status == 401
+
+    def test_reads_stay_open(self, tmp_path):
+        client = MemoryStore(FilesystemBackend(tmp_path), auth_token="s3cret")
+        assert client.call("GET", "/healthz")[0] == 200
+        assert client.call("GET", "/objects")[0] == 200
+        assert client.call("GET", "/metrics")[0] == 200
+        assert client.call("GET", "/stat")[0] == 200
+        snapshot = client.service.registry.deterministic_snapshot()
+        assert snapshot["store.auth_rejects"] == 0
+
+    def test_rejects_are_counted(self, tmp_path):
+        client = MemoryStore(FilesystemBackend(tmp_path), auth_token="s3cret")
+        client.call("PUT", "/objects/k.json", {"text": "1"})
+        snapshot = client.service.registry.deterministic_snapshot()
+        assert snapshot["store.auth_rejects"] == 1
+
+    def test_shared_backend_sends_env_token(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("AVMON_STORE_TOKEN", "s3cret")
+        backend = SharedStoreBackend("http://127.0.0.1:1")
+        assert backend.auth_token == "s3cret"
+        backend.close()
+
+
+class _CountingBackend(FilesystemBackend):
+    """Counts directory scans so gauge behaviour is observable."""
+
+    def __init__(self, root):
+        super().__init__(root)
+        self.entry_scans = 0
+
+    def entries(self):
+        self.entry_scans += 1
+        return super().entries()
+
+
+class TestGaugeSingleScan:
+    """Regression: ``store.objects`` and ``store.object_bytes`` used to
+    each call ``backend.entries()``, so one metrics scrape cost two
+    directory scans and the two gauges could disagree mid-PUT."""
+
+    def test_one_scrape_scans_once_and_gauges_agree(self, tmp_path):
+        backend = _CountingBackend(tmp_path)
+        client = MemoryStore(backend)
+        client.call("PUT", "/objects/a.json", {"text": "123"})
+        client.call("PUT", "/objects/b.json", {"text": "4567"})
+        backend.entry_scans = 0
+        status, payload = client.call("GET", "/metrics")
+        assert status == 200
+        assert backend.entry_scans == 1  # one scan feeds both gauges
+        metrics = payload["deterministic"]
+        assert metrics["store.objects"] == 2
+        assert metrics["store.object_bytes"] == 7
+
+    def test_mutations_invalidate_the_cached_scan(self, tmp_path):
+        backend = _CountingBackend(tmp_path)
+        client = MemoryStore(backend)
+        client.call("PUT", "/objects/a.json", {"text": "123"})
+        _, payload = client.call("GET", "/metrics")
+        assert payload["deterministic"]["store.objects"] == 1
+        client.call("DELETE", "/objects/a.json")
+        _, payload = client.call("GET", "/metrics")
+        assert payload["deterministic"]["store.objects"] == 0
 
 
 class _FailingBackend(StoreBackend):
@@ -345,3 +504,57 @@ class TestSharedStoreBackendLive:
         with pytest.raises(OSError):
             backend.get("k.json")
         backend.close()
+
+
+def _hammer_worker(url: str, worker: int, rounds: int) -> int:
+    """PUT a contended name and a private name over and over."""
+    backend = SharedStoreBackend(url)
+    try:
+        for round_number in range(rounds):
+            backend.put("contended.json", WEIRD_TEXT)
+            backend.put(
+                f"private-{worker}.json",
+                f'{{"worker": {worker}, "round": {round_number}}}',
+            )
+        return rounds
+    finally:
+        backend.close()
+
+
+@pytest.mark.udp
+class TestConcurrentPutSafety:
+    """N processes hammering one daemon: byte-exact reads, no torn files,
+    no 5xx — the single-writer rename discipline under real contention."""
+
+    def test_hammer_same_and_distinct_names(self, live_store_server):
+        import json as json_module
+        import multiprocessing
+
+        url, root = live_store_server
+        workers, rounds = 4, 25
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(workers) as pool:
+            results = pool.starmap(
+                _hammer_worker,
+                [(url, worker, rounds) for worker in range(workers)],
+            )
+        assert results == [rounds] * workers
+        probe = SharedStoreBackend(url)
+        try:
+            # The contended object is byte-exact — never a torn mix.
+            assert probe.get("contended.json") == WEIRD_TEXT
+            # Every private object holds its own writer's final round.
+            for worker in range(workers):
+                text = probe.get(f"private-{worker}.json")
+                parsed = json_module.loads(text)
+                assert parsed == {"worker": worker, "round": rounds - 1}
+            stat = probe.stat()
+            assert stat["counters"]["server_errors"] == 0
+            assert stat["counters"]["puts"] == workers * rounds * 2
+        finally:
+            probe.close()
+        # No scratch files leaked, and everything on disk parses.
+        leftovers = [p.name for p in root.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+        for path in root.iterdir():
+            json_module.loads(path.read_text(encoding="utf-8"))

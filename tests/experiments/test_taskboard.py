@@ -1,0 +1,359 @@
+"""Task-lease and cell-claim semantics, on a hand-cranked clock.
+
+The board and the claims registry are the store daemon's coordination
+brain; these tests pin the lifecycle decisions the remote fleet builds
+on: leases expire without auto-requeue (the parent owns retry), settled
+tasks refuse duplicate reports but accept expired stragglers
+(at-least-once), and a lapsed claim is a *takeover* — distinguishable
+from a fresh claim, with the dead owner's tasks cancelled.  The last
+class drives the same logic through the daemon's HTTP routes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.experiments.store_backends import FilesystemBackend
+from repro.experiments.store_server import StoreService
+from repro.experiments.taskboard import CellClaims, TaskBoard
+from repro.serve.http import MemoryHttpClient
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTaskBoard:
+    def test_publish_claim_done_roundtrip(self):
+        board = TaskBoard(Clock())
+        board.publish("p:0", "payload0", key="k0.json", lease_ttl=10.0)
+        task = board.claim("w1")
+        assert (task.id, task.state, task.worker) == ("p:0", "leased", "w1")
+        assert board.claim("w2") is None  # board drained
+        assert board.done("p:0", "w1", {"persisted": True})
+        assert board.stats() == {"done": 1}
+
+    def test_claim_order_is_fifo(self):
+        board = TaskBoard(Clock())
+        board.publish("p:0", "a")
+        board.publish("p:1", "b")
+        assert board.claim("w").id == "p:0"
+        assert board.claim("w").id == "p:1"
+
+    def test_lease_expiry_needs_parent_republish(self):
+        clock = Clock()
+        board = TaskBoard(clock)
+        board.publish("p:0", "a", lease_ttl=5.0)
+        board.claim("w1")
+        clock.advance(6.0)
+        # Expired, NOT auto-requeued: the parent owns the retry decision.
+        assert board.claim("w2") is None
+        _, events = board.events_since(0)
+        assert [e["kind"] for e in events] == ["claimed", "expired"]
+        # The parent republishes with the next attempt; a new worker leases.
+        board.publish("p:0", "a", lease_ttl=5.0, attempt=2)
+        task = board.claim("w2")
+        assert (task.worker, task.attempt) == ("w2", 2)
+
+    def test_beat_extends_and_reports_lost_leases(self):
+        clock = Clock()
+        board = TaskBoard(clock)
+        board.publish("p:0", "a", lease_ttl=5.0)
+        board.claim("w1")
+        clock.advance(4.0)
+        assert board.beat("p:0", "w1")  # extended to t=9
+        clock.advance(4.0)
+        assert board.beat("p:0", "w1")
+        assert not board.beat("p:0", "w2")  # wrong worker
+        clock.advance(6.0)
+        assert not board.beat("p:0", "w1")  # lapsed
+
+    def test_expired_straggler_done_is_accepted(self):
+        clock = Clock()
+        board = TaskBoard(clock)
+        board.publish("p:0", "a", lease_ttl=5.0)
+        board.claim("w1")
+        clock.advance(10.0)
+        # w1 lost the lease but finished anyway: at-least-once keeps it.
+        assert board.done("p:0", "w1", {"persisted": True})
+        # A second completion report is refused.
+        assert not board.done("p:0", "w2", {"persisted": True})
+
+    def test_done_from_wrong_worker_on_live_lease_refused(self):
+        board = TaskBoard(Clock())
+        board.publish("p:0", "a")
+        board.claim("w1")
+        assert not board.done("p:0", "w2", {})
+        assert board.done("p:0", "w1", {})
+
+    def test_failed_settles_task(self):
+        board = TaskBoard(Clock())
+        board.publish("p:0", "a")
+        board.claim("w1")
+        assert board.failed("p:0", "w1", "boom")
+        assert not board.failed("p:0", "w1", "boom again")
+        _, events = board.events_since(0)
+        assert events[-1]["kind"] == "failed"
+        assert events[-1]["error"] == "boom"
+
+    def test_cancel_for_key_withdraws_live_tasks_only(self):
+        board = TaskBoard(Clock())
+        board.publish("a:0", "x", key="k.json")
+        board.publish("a:1", "y", key="other.json")
+        board.publish("a:2", "z", key="k.json")
+        board.claim("w")  # a:0 leased
+        assert board.done("a:1", "", {})  # settle the other key... no lease
+        assert board.cancel_for_key("k.json") == 2  # leased + queued
+        assert board.cancel_for_key("") == 0
+        states = {t["id"]: t["state"] for t in board.tasks()}
+        assert states == {"a:0": "cancelled", "a:1": "done", "a:2": "cancelled"}
+
+    def test_events_cursor_and_prefix_filter(self):
+        board = TaskBoard(Clock())
+        board.publish("a:0", "x")
+        board.publish("b:0", "y")
+        board.claim("w1")
+        board.claim("w2")
+        cursor, events = board.events_since(0, prefix="a:")
+        assert [e["task"] for e in events] == ["a:0"]
+        _, later = board.events_since(cursor)
+        assert later == []  # cursor consumed everything
+
+    def test_republish_same_id_requeues(self):
+        board = TaskBoard(Clock())
+        board.publish("p:0", "a")
+        board.claim("w1")
+        board.publish("p:0", "a", attempt=2)  # idempotent re-queue
+        task = board.claim("w2")
+        assert (task.id, task.attempt) == ("p:0", 2)
+
+
+class TestCellClaims:
+    def test_claim_grant_deny_renew(self):
+        clock = Clock()
+        claims = CellClaims(clock)
+        granted, owner = claims.claim("k.json", "A", ttl=10.0)
+        assert (granted, owner) == (True, "A")
+        granted, owner = claims.claim("k.json", "B", ttl=10.0)
+        assert (granted, owner) == (False, "A")
+        # Same-owner re-claim renews.
+        clock.advance(8.0)
+        assert claims.claim("k.json", "A", ttl=10.0)[0]
+        clock.advance(8.0)
+        assert claims.owner_of("k.json") == "A"
+        assert claims.renew(["k.json", "ghost.json"], "A", ttl=10.0) == [
+            "k.json"
+        ]
+
+    def test_expiry_allows_takeover_and_names_the_dead_owner(self):
+        clock = Clock()
+        claims = CellClaims(clock)
+        claims.claim("k.json", "A", ttl=5.0)
+        clock.advance(6.0)
+        assert claims.owner_of("k.json") == ""
+        assert claims.expired_total == 1
+        assert claims.take_expired_owner("k.json") == "A"
+        assert claims.take_expired_owner("k.json") == ""  # consumed
+        granted, owner = claims.claim("k.json", "B", ttl=5.0)
+        assert (granted, owner) == (True, "B")
+
+    def test_release(self):
+        claims = CellClaims(Clock())
+        claims.claim("k.json", "A", ttl=5.0)
+        assert not claims.release("k.json", "B")
+        assert claims.release("k.json", "A")
+        assert claims.claim("k.json", "B", ttl=5.0)[0]
+
+    def test_listing_shows_live_claims(self):
+        clock = Clock()
+        claims = CellClaims(clock)
+        claims.claim("a.json", "A", ttl=5.0)
+        claims.claim("b.json", "B", ttl=2.0)
+        listing = claims.claims()
+        assert [(c["key"], c["owner"]) for c in listing] == [
+            ("a.json", "A"),
+            ("b.json", "B"),
+        ]
+
+
+class Daemon:
+    """Sync driver over the daemon's HTTP surface with a test clock."""
+
+    def __init__(self, tmp_path) -> None:
+        self.clock = Clock()
+        self.service = StoreService(
+            FilesystemBackend(tmp_path), clock=self.clock
+        )
+        self.client = MemoryHttpClient(self.service)
+
+    def call(self, method, target, body=None):
+        status, payload, _ = asyncio.run(
+            self.client.request(method, target, body=body)
+        )
+        return status, payload
+
+
+class TestTaskRoutesOverHttp:
+    def test_publish_claim_beat_done_over_the_wire(self, tmp_path):
+        daemon = Daemon(tmp_path)
+        status, payload = daemon.call(
+            "POST",
+            "/tasks",
+            {"id": "p:0", "payload": "cGF5bG9hZA==", "key": "k.json",
+             "lease_ttl": 5.0},
+        )
+        assert status == 200
+        assert payload["published"]["state"] == "queued"
+        status, payload = daemon.call("POST", "/tasks/claim", {"worker": "w"})
+        assert status == 200
+        assert payload["task"]["id"] == "p:0"
+        assert payload["task"]["payload"] == "cGF5bG9hZA=="
+        status, _ = daemon.call("POST", "/tasks/p:0/beat", {"worker": "w"})
+        assert status == 200
+        status, payload = daemon.call(
+            "POST", "/tasks/p:0/done", {"worker": "w", "persisted": True}
+        )
+        assert (status, payload["done"]) == (200, True)
+        # Duplicate completion is a 409, not a success.
+        status, payload = daemon.call(
+            "POST", "/tasks/p:0/done", {"worker": "w", "persisted": True}
+        )
+        assert (status, payload["done"]) == (409, False)
+
+    def test_beat_after_expiry_is_409(self, tmp_path):
+        daemon = Daemon(tmp_path)
+        daemon.call(
+            "POST", "/tasks", {"id": "p:0", "payload": "x", "lease_ttl": 5.0}
+        )
+        daemon.call("POST", "/tasks/claim", {"worker": "w"})
+        daemon.clock.advance(6.0)
+        status, payload = daemon.call(
+            "POST", "/tasks/p:0/beat", {"worker": "w"}
+        )
+        assert (status, payload["leased"]) == (409, False)
+
+    def test_events_drain_by_cursor_with_prefix(self, tmp_path):
+        daemon = Daemon(tmp_path)
+        daemon.call("POST", "/tasks", {"id": "a:0", "payload": "x"})
+        daemon.call("POST", "/tasks", {"id": "b:0", "payload": "y"})
+        daemon.call("POST", "/tasks/claim", {"worker": "w"})
+        status, payload = daemon.call(
+            "GET", "/tasks/events?since=0&prefix=a%3A"
+        )
+        assert status == 200
+        assert [e["task"] for e in payload["events"]] == ["a:0"]
+        cursor = payload["cursor"]
+        status, payload = daemon.call("GET", f"/tasks/events?since={cursor}")
+        assert payload["events"] == []
+
+    def test_empty_board_claim_is_null(self, tmp_path):
+        status, payload = Daemon(tmp_path).call(
+            "POST", "/tasks/claim", {"worker": "w"}
+        )
+        assert (status, payload["task"]) == (200, None)
+
+    def test_bad_publish_is_400(self, tmp_path):
+        daemon = Daemon(tmp_path)
+        status, _ = daemon.call("POST", "/tasks", {"id": "p:0"})
+        assert status == 400
+        status, _ = daemon.call("POST", "/tasks/claim", {})
+        assert status == 400
+
+
+class TestClaimRoutesOverHttp:
+    def test_grant_deny_and_takeover_cancels_orphans(self, tmp_path):
+        daemon = Daemon(tmp_path)
+        status, payload = daemon.call(
+            "POST", "/claims/claim",
+            {"key": "k.json", "owner": "A", "ttl": 5.0},
+        )
+        assert (status, payload["granted"], payload["owner"]) == (
+            200, True, "A",
+        )
+        status, payload = daemon.call(
+            "POST", "/claims/claim",
+            {"key": "k.json", "owner": "B", "ttl": 5.0},
+        )
+        assert (payload["granted"], payload["owner"]) == (False, "A")
+        # A publishes its task, then dies (stops renewing).
+        daemon.call(
+            "POST", "/tasks", {"id": "A:0", "payload": "x", "key": "k.json"}
+        )
+        daemon.clock.advance(6.0)
+        status, payload = daemon.call(
+            "POST", "/claims/claim",
+            {"key": "k.json", "owner": "B", "ttl": 5.0},
+        )
+        assert payload["granted"] is True
+        # The takeover cancelled A's orphaned task so it cannot race B's.
+        _, listing = daemon.call("GET", "/tasks")
+        assert listing["tasks"][0] == {
+            "id": "A:0", "key": "k.json", "attempt": 1, "state": "cancelled",
+            "worker": "", "lease_ttl": 30.0,
+        }
+
+    def test_same_owner_reclaim_after_lapse_is_not_a_takeover(self, tmp_path):
+        daemon = Daemon(tmp_path)
+        daemon.call(
+            "POST", "/claims/claim", {"key": "k.json", "owner": "A", "ttl": 5.0}
+        )
+        daemon.call(
+            "POST", "/tasks", {"id": "A:0", "payload": "x", "key": "k.json"}
+        )
+        daemon.clock.advance(6.0)  # A's claim lapses but A is alive
+        status, payload = daemon.call(
+            "POST", "/claims/claim", {"key": "k.json", "owner": "A", "ttl": 5.0}
+        )
+        assert payload["granted"] is True
+        # A's own task survives: re-claiming your own lapsed key must not
+        # cancel your live work.
+        _, listing = daemon.call("GET", "/tasks")
+        assert listing["tasks"][0]["state"] == "queued"
+
+    def test_renew_and_release_routes(self, tmp_path):
+        daemon = Daemon(tmp_path)
+        daemon.call(
+            "POST", "/claims/claim", {"key": "k.json", "owner": "A", "ttl": 5.0}
+        )
+        status, payload = daemon.call(
+            "POST", "/claims/renew",
+            {"keys": ["k.json", "ghost.json"], "owner": "A", "ttl": 5.0},
+        )
+        assert payload["renewed"] == ["k.json"]
+        status, payload = daemon.call(
+            "POST", "/claims/release", {"key": "k.json", "owner": "A"}
+        )
+        assert payload["released"] is True
+        _, listing = daemon.call("GET", "/claims")
+        assert listing["claims"] == []
+
+    def test_claims_counters(self, tmp_path):
+        daemon = Daemon(tmp_path)
+        daemon.call(
+            "POST", "/claims/claim", {"key": "k.json", "owner": "A", "ttl": 5.0}
+        )
+        daemon.call(
+            "POST", "/claims/claim", {"key": "k.json", "owner": "B", "ttl": 5.0}
+        )
+        daemon.clock.advance(6.0)
+        daemon.call("GET", "/claims")  # folds the expiry in
+        snapshot = daemon.service.registry.deterministic_snapshot()
+        assert snapshot["store.claims_granted"] == 1
+        assert snapshot["store.claims_denied"] == 1
+        assert snapshot["store.claims_expired"] == 1
+
+
+def test_bad_claim_bodies_are_400(tmp_path):
+    daemon = Daemon(tmp_path)
+    assert daemon.call("POST", "/claims/claim", {"owner": "A"})[0] == 400
+    assert daemon.call("POST", "/claims/claim", {"key": "k"})[0] == 400
+    assert daemon.call("POST", "/claims/renew", {"owner": "A"})[0] == 400
