@@ -471,6 +471,23 @@ def _build_live_parser(commands) -> None:
         "or 600 for 6s mean sessions)",
     )
     up.add_argument(
+        "--introducers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="bootstrap quorum size: introducer replicas with anti-entropy "
+        "directory sync; nodes fail over between them on silence "
+        "(default: 1)",
+    )
+    up.add_argument(
+        "--kill-introducer-after",
+        type=float,
+        default=None,
+        metavar="T",
+        help="HA chaos: hard-stop the primary introducer T seconds in "
+        "(requires --introducers >= 2)",
+    )
+    up.add_argument(
         "--crash-after",
         type=float,
         default=None,
@@ -573,6 +590,13 @@ def _build_live_parser(commands) -> None:
         type=float,
         default=3.0,
         help="seconds before each victim restarts (default: 3.0)",
+    )
+    chaos.add_argument(
+        "--kill-introducer",
+        action="store_true",
+        help="hard-stop the overlay's primary introducer replica (the "
+        "quorum's failover drill; the last surviving replica is never "
+        "killed)",
     )
     chaos.add_argument(
         "--loss",
@@ -1089,13 +1113,32 @@ def _cmd_live(args, out) -> int:
                     f"fault plan {action}: pushed to {reply.applied} nodes",
                     file=out,
                 )
-            kill = args.kill if args.kill is not None else (0 if injecting else 1)
-            if kill > 0:
+            kill_introducers = 1 if args.kill_introducer else 0
+            kill = args.kill if args.kill is not None else (
+                0 if injecting or kill_introducers else 1
+            )
+            if kill > 0 or kill_introducers > 0:
                 reply = control_call(
-                    address, ChaosRequest(kill=kill, downtime=args.downtime)
+                    address,
+                    ChaosRequest(
+                        kill=kill,
+                        downtime=args.downtime,
+                        kill_introducers=kill_introducers,
+                    ),
                 )
-                victims = ",".join(str(v) for v in reply.victims) or "(none)"
-                print(f"crashed: {victims}", file=out)
+                if kill > 0:
+                    victims = ",".join(str(v) for v in reply.victims) or "(none)"
+                    print(f"crashed: {victims}", file=out)
+                if kill_introducers > 0:
+                    killed = ",".join(reply.introducers_killed)
+                    if killed:
+                        print(f"introducer killed: {killed}", file=out)
+                    else:
+                        print(
+                            "introducer not killed (no surviving quorum "
+                            "to fail over to)",
+                            file=out,
+                        )
             return 0
         reply = control_call(address, DownRequest())
         print("overlay teardown initiated", file=out)
@@ -1132,6 +1175,8 @@ def _cmd_live_up(args, out, LiveConfig, run_live) -> int:
             ping_timeout=args.ping_timeout,
             churn=args.churn,
             churn_per_hour=args.churn_per_hour,
+            introducers=args.introducers,
+            kill_introducer_after=args.kill_introducer_after,
             crash_after=args.crash_after,
             crash_downtime=args.crash_downtime,
             control_port=args.control_port,

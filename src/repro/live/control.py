@@ -26,6 +26,7 @@ __all__ = [
     "HelloAck",
     "Heartbeat",
     "Goodbye",
+    "IntroducerSync",
     "DirectoryRequest",
     "DirectoryReply",
     "StatusRequest",
@@ -77,6 +78,24 @@ class Goodbye:
     """Graceful leave: drop the sender from the alive set immediately."""
 
     node: int
+
+
+@dataclass(frozen=True)
+class IntroducerSync:
+    """Introducer -> introducer anti-entropy (the bootstrap quorum).
+
+    Each replica periodically pushes its whole soft-state directory to its
+    peers.  Entries travel as ``(node, host, port, age)`` where ``age`` is
+    seconds-since-last-heard *at the sender* — relative ages survive
+    replicas running on different monotonic clocks, absolute timestamps
+    would not.  The receiver merges any entry fresher than its own and
+    adopts the *eldest* (smallest) epoch it hears, so every replica
+    converges on one overlay timebase.
+    """
+
+    sender: str = ""
+    epoch: float = 0.0
+    entries: Tuple[Tuple[int, str, int, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -134,6 +153,11 @@ class StatusReply:
     #: availability histories about its pinging targets.
     reports_served: int = 0
     histories_served: int = 0
+    #: Introducer HA counters: how many times this node rotated to
+    #: another bootstrap replica on silence, and how many directory-driven
+    #: coarse-view re-seeds it performed (partition island merging).
+    introducer_failovers: int = 0
+    cv_reseeds: int = 0
 
 
 @dataclass(frozen=True)
@@ -159,17 +183,24 @@ class OverlayStatusReply:
 @dataclass(frozen=True)
 class ChaosRequest:
     """Operator chaos injection: crash *kill* random nodes, then restart
-    each after *downtime* seconds (``avmon live chaos``)."""
+    each after *downtime* seconds (``avmon live chaos``).
+
+    ``kill_introducers`` additionally kills that many introducer replicas
+    (primary first, never the last surviving one) — the failover drill
+    behind ``avmon live chaos --kill-introducer``.
+    """
 
     kill: int = 1
     downtime: float = 2.0
+    kill_introducers: int = 0
 
 
 @dataclass(frozen=True)
 class ChaosReply:
-    """The node ids that were crashed."""
+    """The node ids that were crashed (and any introducers killed)."""
 
     victims: Tuple[int, ...] = ()
+    introducers_killed: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -282,6 +313,7 @@ CONTROL_TYPES = (
     HelloAck,
     Heartbeat,
     Goodbye,
+    IntroducerSync,
     DirectoryRequest,
     DirectoryReply,
     StatusRequest,

@@ -50,6 +50,8 @@ __all__ = [
     "FaultPlan",
     "FaultStats",
     "FaultInjector",
+    "introducer_label",
+    "is_introducer_label",
     "parse_partition_groups",
 ]
 
@@ -63,8 +65,31 @@ ANY = "*"
 #: The supervisor's scrape/control endpoint label.
 SUPERVISOR = "supervisor"
 
-#: The introducer's endpoint label.
+#: The introducer's endpoint label (the primary replica; further replicas
+#: are labelled by :func:`introducer_label`).
 INTRODUCER = "introducer"
+
+
+def introducer_label(index: int) -> str:
+    """The fault-injection label of introducer replica *index*.
+
+    Replica 0 keeps the bare :data:`INTRODUCER` label so every existing
+    plan (and stored cache key) that names ``"introducer"`` still hits the
+    primary; replicas beyond it are ``introducer-1``, ``introducer-2``, …
+    """
+    if index < 0:
+        raise ValueError(f"introducer index must be >= 0, got {index}")
+    return INTRODUCER if index == 0 else f"{INTRODUCER}-{index}"
+
+
+def is_introducer_label(label: "Label") -> bool:
+    """True for the primary's label or any ``introducer-<i>`` replica."""
+    if not isinstance(label, str):
+        return False
+    if label == INTRODUCER:
+        return True
+    prefix = f"{INTRODUCER}-"
+    return label.startswith(prefix) and label[len(prefix):].isdigit()
 
 #: The serving front end's observer-client endpoint label (see
 #: :mod:`repro.serve`): partitioning it from the overlay exercises the
@@ -420,10 +445,12 @@ _KNOWN_LABELS = (SUPERVISOR, INTRODUCER, SERVE)
 def parse_partition_groups(text: str) -> Tuple[Tuple[Label, ...], ...]:
     """Parse the CLI's ``"0,1,2|3,4"`` partition syntax into groups.
 
-    Tokens must be integer node ids or the known infrastructure labels
-    (``supervisor``, ``introducer``).  Anything else is rejected — a
-    typo'd id (``O`` for ``0``) silently matching nothing would leave the
-    operator measuring a different topology than they asked for.
+    Tokens must be integer node ids, the known infrastructure labels
+    (``supervisor``, ``introducer``, ``serve``) or a per-replica
+    introducer label (``introducer-1``, ``introducer-2``, …).  Anything
+    else is rejected — a typo'd id (``O`` for ``0``) silently matching
+    nothing would leave the operator measuring a different topology than
+    they asked for.
     """
     groups = []
     for part in text.split("|"):
@@ -434,12 +461,15 @@ def parse_partition_groups(text: str) -> Tuple[Tuple[Label, ...], ...]:
                 continue
             if token.isdigit():  # non-negative: no node has a negative id
                 members.append(int(token))
-            elif token.lower() in _KNOWN_LABELS:
+            elif token.lower() in _KNOWN_LABELS or is_introducer_label(
+                token.lower()
+            ):
                 members.append(token.lower())
             else:
                 raise ValueError(
                     f"unknown partition member {token!r}: expected a node "
-                    f"id or one of {', '.join(_KNOWN_LABELS)}"
+                    f"id, one of {', '.join(_KNOWN_LABELS)}, or "
+                    f"introducer-<i>"
                 )
         if members:
             groups.append(tuple(members))

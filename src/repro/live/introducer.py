@@ -20,12 +20,21 @@ every node registers with:
 The introducer is deliberately *not* a membership authority: AVMON's
 coarse views gossip membership on their own.  Losing the introducer stops
 new joins and staleness-tolerant metrics, nothing else.
+
+**High availability** (ROADMAP item 3): :class:`IntroducerGroup` runs N
+replicas as a bootstrap quorum.  Each replica anti-entropy-syncs its
+directory to its peers with :class:`~repro.live.control.IntroducerSync`
+datagrams (entries travel with relative ages, the epoch converges to the
+eldest), so killing the primary loses nothing a surviving replica has not
+already merged — clients rotate to the next address and carry on.
 """
 
 from __future__ import annotations
 
+import asyncio
+import math
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.hashing import NodeId
 from .control import (
@@ -35,10 +44,12 @@ from .control import (
     Heartbeat,
     Hello,
     HelloAck,
+    IntroducerSync,
 )
+from .faults import introducer_label
 from .transport import Address, UdpTransport
 
-__all__ = ["Introducer"]
+__all__ = ["Introducer", "IntroducerGroup"]
 
 
 class Introducer:
@@ -51,10 +62,16 @@ class Introducer:
         epoch: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
         journal=None,
+        name: str = "introducer",
+        sync_interval: float = 1.0,
     ) -> None:
         if ttl <= 0:
             raise ValueError(f"ttl must be positive, got {ttl}")
         self.ttl = ttl
+        #: Replica identity in journal events and chaos reports.
+        self.name = name
+        #: Seconds between anti-entropy pushes to :attr:`peers`.
+        self.sync_interval = sync_interval
         #: Obs event journal (``repro.obs``); the no-op null journal by
         #: default so the datagram path pays nothing unobserved.
         if journal is None:
@@ -74,6 +91,11 @@ class Introducer:
         #: re-register it (set by :meth:`drop` for force-removed nodes).
         self._quarantine: Dict[NodeId, float] = {}
         self.registrations = 0
+        #: Peer replica addresses this replica pushes sync datagrams to.
+        self.peers: Tuple[Address, ...] = ()
+        self._sync_task: Optional[asyncio.Task] = None
+        #: Directory entries merged from peers (observability counter).
+        self.synced_in = 0
 
     async def start(
         self,
@@ -99,10 +121,98 @@ class Introducer:
             raise RuntimeError("introducer is not started")
         return self._transport.local_address
 
+    @property
+    def running(self) -> bool:
+        return self._transport is not None
+
     def close(self) -> None:
+        if self._sync_task is not None:
+            self._sync_task.cancel()
+            self._sync_task = None
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+
+    # -- replication -------------------------------------------------------
+
+    def set_peers(self, peers: Sequence[Address]) -> None:
+        """Declare the other replicas of this replica's bootstrap quorum."""
+        self.peers = tuple(
+            (host, port) for host, port in peers if (host, port) != (
+                self._transport.local_address if self._transport else None
+            )
+        )
+
+    def start_sync(self) -> None:
+        """Begin the periodic anti-entropy push (needs a running loop)."""
+        if self._sync_task is None and self.peers and self.sync_interval > 0:
+            self._sync_task = asyncio.get_running_loop().create_task(
+                self._sync_loop()
+            )
+
+    async def _sync_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.sync_interval)
+            self.send_sync()
+
+    def send_sync(self) -> None:
+        """Push this replica's whole directory to every peer, once."""
+        if self._transport is None or not self.peers:
+            return
+        now = self._clock()
+        self._expire(now)
+        entries = tuple(
+            (
+                node,
+                self._addresses[node][0],
+                self._addresses[node][1],
+                round(now - self._last_seen[node], 6),
+            )
+            for node in sorted(self._last_seen)
+            if node in self._addresses
+        )
+        sync = IntroducerSync(
+            sender=self.name, epoch=self.epoch, entries=entries
+        )
+        for peer in self.peers:
+            self._transport.send_to(peer, sync)
+
+    def _merge_sync(self, sync: IntroducerSync, now: float) -> None:
+        """Fold a peer's directory push into this replica's soft state."""
+        if 0.0 < sync.epoch < self.epoch:
+            # The eldest replica's epoch wins quorum-wide: node clocks are
+            # epoch-relative, so all replicas must agree on one timebase.
+            self.journal.emit(
+                "introducer.epoch_adopted",
+                name=self.name,
+                peer=sync.sender,
+                epoch=sync.epoch,
+            )
+            self.epoch = sync.epoch
+        merged = 0
+        for entry in sync.entries:
+            if len(entry) != 4:
+                continue
+            node, host, port, age = entry
+            seen = now - max(0.0, float(age))
+            if seen <= now - self.ttl:
+                continue  # already stale at arrival
+            if now < self._quarantine.get(node, 0.0):
+                continue  # a forced drop outlives a peer's older view
+            if seen <= self._last_seen.get(node, -math.inf):
+                continue  # this replica has heard from the node more recently
+            if node not in self._last_seen:
+                merged += 1
+            self._last_seen[node] = seen
+            self._addresses[node] = (host, port)
+        if merged:
+            self.synced_in += merged
+            self.journal.emit(
+                "introducer.sync",
+                name=self.name,
+                peer=sync.sender,
+                learned=merged,
+            )
 
     # -- registry ----------------------------------------------------------
 
@@ -115,6 +225,13 @@ class Introducer:
                 self.journal.emit(
                     "introducer.expired", node=node, silent_s=round(now - seen, 3)
                 )
+        # Quarantines are just as soft as registrations: entries used to be
+        # removed only by a Hello, so ids that never respawned leaked
+        # forever under churn.  An expired quarantine has done its job (the
+        # corpse's in-flight heartbeats are long gone) — drop it.
+        for node, lifted_at in list(self._quarantine.items()):
+            if now >= lifted_at:
+                del self._quarantine[node]
 
     def alive_entries(self) -> Tuple[Tuple[NodeId, str, int], ...]:
         """Current alive peers as ``(node, host, port)``, sorted by id."""
@@ -151,11 +268,17 @@ class Introducer:
         if isinstance(message, Hello):
             host = message.host or addr[0]
             self._quarantine.pop(message.node, None)
+            self._expire(now)
+            renewal = message.node in self._last_seen
             self._addresses[message.node] = (host, message.port)
             self._last_seen[message.node] = now
             self.registrations += 1
             self.journal.emit(
-                "introducer.registered", node=message.node, port=message.port
+                "introducer.registered",
+                name=self.name,
+                node=message.node,
+                port=message.port,
+                renewal=renewal,
             )
             self._transport.send_to(
                 addr, HelloAck(epoch=self.epoch, alive=self.alive_count())
@@ -181,8 +304,183 @@ class Introducer:
             self._transport.send_to(
                 addr, DirectoryReply(entries=self.alive_entries())
             )
+        elif isinstance(message, IntroducerSync):
+            self._merge_sync(message, now)
         # Anything else on this socket is ignored; the transport already
         # counted it.
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Introducer(alive={self.alive_count()}, ttl={self.ttl})"
+
+
+class IntroducerGroup:
+    """N introducer replicas acting as one bootstrap quorum.
+
+    The group mirrors the single-introducer surface the supervisor and
+    the in-memory harness already use (``start``/``alive_entries``/
+    ``drop``/``address``/``epoch``/``close``), so a one-replica group is a
+    drop-in replacement.  All replicas share one epoch at construction;
+    anti-entropy sync keeps their directories (and, defensively, the
+    epoch) converged after that.
+    """
+
+    def __init__(
+        self,
+        count: int = 1,
+        *,
+        ttl: float = 5.0,
+        epoch: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+        journal=None,
+        sync_interval: float = 1.0,
+    ) -> None:
+        if count < 1:
+            raise ValueError(f"introducer count must be >= 1, got {count}")
+        primary = Introducer(
+            ttl=ttl,
+            epoch=epoch,
+            clock=clock,
+            journal=journal,
+            name=introducer_label(0),
+            sync_interval=sync_interval,
+        )
+        self.replicas: List[Introducer] = [primary]
+        for index in range(1, count):
+            self.replicas.append(
+                Introducer(
+                    ttl=ttl,
+                    # One timebase for the whole quorum: replicas created
+                    # later must not mint their own (younger) epoch.
+                    epoch=primary.epoch,
+                    clock=clock,
+                    journal=journal,
+                    name=introducer_label(index),
+                    sync_interval=sync_interval,
+                )
+            )
+        self._addresses: Tuple[Address, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        transport_factory=None,
+        transport_factories: Optional[Sequence] = None,
+    ) -> Address:
+        """Bind every replica and wire the sync mesh; returns the primary's
+        address.
+
+        *transport_factories* supplies one factory per replica (the
+        in-memory fabric labels each replica distinctly); a single
+        *transport_factory* (or none, for UDP) is shared.  Only the
+        primary binds *port*; further replicas always bind ephemerally.
+        """
+        addresses = []
+        for index, replica in enumerate(self.replicas):
+            factory = (
+                transport_factories[index]
+                if transport_factories is not None
+                else transport_factory
+            )
+            addresses.append(
+                await replica.start(
+                    host, port if index == 0 else 0, transport_factory=factory
+                )
+            )
+        self._addresses = tuple(addresses)
+        for index, replica in enumerate(self.replicas):
+            replica.set_peers(
+                [a for j, a in enumerate(addresses) if j != index]
+            )
+            replica.start_sync()
+        return addresses[0]
+
+    @property
+    def addresses(self) -> Tuple[Address, ...]:
+        """Every replica's bound address, primary first (fixed at start)."""
+        return self._addresses
+
+    @property
+    def address(self) -> Address:
+        """The first *running* replica's address (primary while it lives)."""
+        for replica in self.replicas:
+            if replica.running:
+                return replica.address
+        raise RuntimeError("no introducer replica is running")
+
+    @property
+    def epoch(self) -> float:
+        for replica in self.replicas:
+            if replica.running:
+                return replica.epoch
+        return self.replicas[0].epoch
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.close()
+
+    def kill_primary(self) -> Optional[str]:
+        """Chaos: hard-stop the first running replica; returns its name.
+
+        Refuses to kill the last survivor (returns ``None``): with zero
+        replicas the drill stops measuring failover and starts measuring
+        "no bootstrap service at all", which ``live down`` already covers.
+        """
+        running = [replica for replica in self.replicas if replica.running]
+        if len(running) < 2:
+            return None
+        victim = running[0]
+        victim.close()  # no goodbye, no handover — a SIGKILL, not a drain
+        victim.journal.emit("introducer.killed", name=victim.name)
+        return victim.name
+
+    # -- single-introducer surface (delegating to the quorum) --------------
+
+    def alive_entries(self) -> Tuple[Tuple[NodeId, str, int], ...]:
+        """The union of every running replica's directory.
+
+        Replicas converge through sync, so entries rarely disagree; when
+        they do (a registration a sync has not carried yet), the first
+        running replica's address wins — it heard the node directly.
+        """
+        merged: Dict[NodeId, Tuple[str, int]] = {}
+        for replica in self.replicas:
+            if not replica.running:
+                continue
+            for node, host, port in replica.alive_entries():
+                merged.setdefault(node, (host, port))
+        return tuple(
+            (node, merged[node][0], merged[node][1])
+            for node in sorted(merged)
+        )
+
+    def alive_count(self) -> int:
+        return len(self.alive_entries())
+
+    def is_alive(self, node: NodeId) -> bool:
+        return any(
+            replica.running and replica.is_alive(node)
+            for replica in self.replicas
+        )
+
+    def drop(self, node: NodeId) -> None:
+        """Forcibly expire *node* on every replica (supervisor kill path).
+
+        The quarantine must land quorum-wide: one replica still holding
+        the corpse would re-teach it to the others on the next sync.
+        """
+        for replica in self.replicas:
+            replica.drop(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        running = sum(1 for replica in self.replicas if replica.running)
+        return (
+            f"IntroducerGroup(replicas={len(self.replicas)}, "
+            f"running={running})"
+        )

@@ -21,7 +21,8 @@ missing fabric:
   every timer and every ``asyncio.sleep`` are deterministic and a
   30-virtual-second overlay runs in well under a wall second;
 * :class:`MemoryOverlay` composes it all: a real
-  :class:`~repro.live.introducer.Introducer`, N real
+  :class:`~repro.live.introducer.IntroducerGroup` (one replica by
+  default, a replicated bootstrap quorum on request), N real
   :class:`~repro.live.runtime.LiveNode` instances, the supervisor's
   :class:`~repro.live.supervisor.StatusProber` scrape path and the shared
   report/summary builders — the **whole** live stack, in one process, no
@@ -44,8 +45,8 @@ from ..core.condition import ConsistencyCondition
 from ..core.hashing import NodeId
 from ..experiments.store import SummaryStore
 from .codec import encode
-from .faults import INTRODUCER, SUPERVISOR, FaultInjector, FaultPlan, Label
-from .introducer import Introducer
+from .faults import SUPERVISOR, FaultInjector, FaultPlan, Label, introducer_label
+from .introducer import IntroducerGroup
 from .runtime import LiveNode
 from .supervisor import (
     LiveConfig,
@@ -335,7 +336,7 @@ class MemoryOverlay:
             config.resolved_k(), config.nodes, config.hash_algorithm
         )
         self.network: Optional[MemoryNetwork] = None
-        self.introducer: Optional[Introducer] = None
+        self.introducer: Optional[IntroducerGroup] = None
         self.nodes: Dict[NodeId, LiveNode] = {}
         self._rng = random.Random(config.seed * 7919 + 13)
         self._crash_victims: List[NodeId] = []
@@ -383,6 +384,7 @@ class MemoryOverlay:
             introducer_addr,
             epoch=VIRTUAL_EPOCH,
             state_file=str(self._state_dir / f"node-{node_id}.json"),
+            introducers=self.introducer.addresses,
         )
         # Addresses on this fabric are ("mem", port): the host a node
         # announces in Hello must match, or every directory entry (and so
@@ -392,12 +394,18 @@ class MemoryOverlay:
             spec,
             transport_factory=self.network.transport_factory(node_id),
             clock=self._loop.time,
+            journal=self.journal,
         )
         await node.start()
         self.nodes[node_id] = node
         self._join_times.setdefault(node_id, self._overlay_now())
         self._up_since[node_id] = self._loop.time()
         self.journal.emit("live.node_spawned", node=node_id)
+
+    async def _kill_introducer(self) -> None:
+        """HA chaos: hard-stop the primary bootstrap replica mid-run."""
+        await asyncio.sleep(self.config.kill_introducer_after)
+        self.introducer.kill_primary()
 
     async def _crash_and_respawn(self, introducer_addr: Address) -> None:
         config = self.config
@@ -434,14 +442,19 @@ class MemoryOverlay:
         wall_start = time.perf_counter()
         self.network = MemoryNetwork(self.plan, clock=self._overlay_now)
         self.journal.bind_clock(loop.time)
-        self.introducer = Introducer(
+        self.introducer = IntroducerGroup(
+            config.introducers,
             ttl=config.introducer_ttl,
             epoch=VIRTUAL_EPOCH,
             clock=loop.time,
             journal=self.journal,
+            sync_interval=config.introducer_sync_interval,
         )
         introducer_addr = await self.introducer.start(
-            transport_factory=self.network.transport_factory(INTRODUCER)
+            transport_factories=[
+                self.network.transport_factory(introducer_label(index))
+                for index in range(config.introducers)
+            ]
         )
         prober = StatusProber()
         scraper = MemoryTransport(
@@ -455,6 +468,7 @@ class MemoryOverlay:
         self._own_state_dir = not config.state_dir
         self._state_dir.mkdir(parents=True, exist_ok=True)
         chaos_task: Optional[asyncio.Task] = None
+        kill_task: Optional[asyncio.Task] = None
         workload_task: Optional[asyncio.Task] = None
         try:
             for node_id in range(config.nodes):
@@ -463,6 +477,8 @@ class MemoryOverlay:
                 chaos_task = asyncio.create_task(
                     self._crash_and_respawn(introducer_addr)
                 )
+            if config.kill_introducer_after is not None:
+                kill_task = asyncio.create_task(self._kill_introducer())
             if self._workload is not None:
                 workload_task = asyncio.create_task(self._workload(self))
             deadline = loop.time() + config.duration
@@ -484,6 +500,9 @@ class MemoryOverlay:
                 # respawn that is mid-boot finish so teardown is orderly.
                 await chaos_task
                 chaos_task = None
+            if kill_task is not None:
+                await kill_task  # scheduled inside the window: already done
+                kill_task = None
             if workload_task is not None:
                 # A workload still in flight at the deadline runs to
                 # completion (virtual time: effectively free) — a half
@@ -499,7 +518,7 @@ class MemoryOverlay:
             )
             final_alive = self.introducer.alive_count()
         finally:
-            for task in (chaos_task, workload_task):
+            for task in (chaos_task, kill_task, workload_task):
                 if task is not None:
                     task.cancel()
                     try:

@@ -47,7 +47,7 @@ from .control import (
     StatusReply,
     StatusRequest,
 )
-from .faults import INTRODUCER, FaultInjector, FaultPlan, Label
+from .faults import FaultInjector, FaultPlan, Label, introducer_label
 from .transport import Address, PeerTable, UdpTransport
 
 __all__ = ["LiveNodeSpec", "LiveRuntime", "LiveNode", "referenced_ids"]
@@ -115,6 +115,26 @@ class LiveNodeSpec:
     #: JSON-encoded :class:`~repro.live.faults.FaultPlan` applied to this
     #: node's outgoing datagrams; empty means a perfect network.
     fault: str = ""
+    #: Every introducer replica as ``(host, port)``, primary first; empty
+    #: means the single ``introducer_host``/``introducer_port`` service.
+    #: Hello/Heartbeat/DirectoryRequest rotate across these on silence.
+    introducers: Tuple[Tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        # JSON round-trips tuples as lists; normalise so address equality
+        # (the peer-label lookup, the failover rotation) works either way.
+        self.introducers = tuple(
+            (str(host), int(port)) for host, port in self.introducers
+        )
+
+    def introducer_addresses(self) -> Tuple[Tuple[str, int], ...]:
+        """The bootstrap quorum this node rotates across, primary first."""
+        primary = (self.introducer_host, self.introducer_port)
+        addresses = [primary]
+        for address in self.introducers:
+            if address not in addresses:
+                addresses.append(address)
+        return tuple(addresses)
 
     def avmon_config(self) -> AvmonConfig:
         return AvmonConfig(
@@ -219,8 +239,17 @@ class LiveNode:
         *,
         transport_factory=None,
         clock: Optional[Callable[[], float]] = None,
+        journal=None,
     ) -> None:
         self.spec = spec
+        #: Obs event journal; the no-op null journal by default, the
+        #: harness's shared journal on the in-memory fabric (failover and
+        #: re-seed events land on the virtual clock, deterministically).
+        if journal is None:
+            from ..obs.journal import NULL_JOURNAL
+
+            journal = NULL_JOURNAL
+        self.journal = journal
         #: Async ``(handler, host, port) -> endpoint``; None -> real UDP.
         self._transport_factory = (
             transport_factory
@@ -242,7 +271,27 @@ class LiveNode:
         self.runtime: Optional[LiveRuntime] = None
         self.node: Optional[AvmonNode] = None
         self.started_at: float = 0.0
-        self._introducer: Address = (spec.introducer_host, spec.introducer_port)
+        #: The bootstrap quorum, primary first; `_introducer` is the
+        #: replica currently spoken to, rotated on silence.
+        self._introducers: Tuple[Address, ...] = spec.introducer_addresses()
+        self._introducer_index = 0
+        self._introducer: Address = self._introducers[0]
+        self._introducer_labels: dict = {
+            address: introducer_label(index)
+            for index, address in enumerate(self._introducers)
+        }
+        #: Loop time of the last datagram heard *from* an introducer
+        #: (HelloAck or DirectoryReply); silence past the failover limit
+        #: rotates to the next replica.
+        self._introducer_last_reply = 0.0
+        #: Rotations to another bootstrap replica (silence or boot retry).
+        self.introducer_failovers = 0
+        #: Directory-driven coarse-view re-seeds (island merging): peers
+        #: the directory knows but the CV does not, injected at most once
+        #: per re-seed interval.
+        self.cv_reseeds = 0
+        self._next_reseed = 0.0
+        self._reseed_interval = 2.0 * spec.directory_interval
         self._tasks: List[asyncio.Task] = []
         self._joined = False
         self._hello_acked = asyncio.Event()
@@ -312,7 +361,12 @@ class LiveNode:
             self._tasks.append(asyncio.create_task(self._snapshot_loop()))
 
     async def _register(self) -> None:
-        """Hello the introducer until acknowledged, then fetch a directory."""
+        """Hello the introducer until acknowledged, then fetch a directory.
+
+        With a replicated bootstrap quorum, every unacknowledged attempt
+        rotates to the next replica — a node booting *during* a primary
+        outage registers via whichever replica answers first.
+        """
         hello = Hello(
             node=self.id, port=self.transport.local_address[1], host=self.spec.host
         )
@@ -324,6 +378,7 @@ class LiveNode:
                 )
                 break
             except asyncio.TimeoutError:
+                self._rotate_introducer("register")
                 continue
         else:
             raise RuntimeError(
@@ -383,14 +438,47 @@ class LiveNode:
 
     def _peer_label(self, address: Address) -> Optional[Label]:
         """The fault-injection identity of a destination address."""
-        if address == self._introducer:
-            return INTRODUCER
+        label = self._introducer_labels.get(address)
+        if label is not None:
+            return label
         return self.peers.id_at(address)
 
+    def _rotate_introducer(self, reason: str) -> None:
+        """Fail over to the next bootstrap replica (round-robin).
+
+        A no-op with a single introducer, so the pre-HA deployments keep
+        their exact behaviour (and their summary bytes).
+        """
+        if len(self._introducers) < 2:
+            return
+        self._introducer_index = (self._introducer_index + 1) % len(
+            self._introducers
+        )
+        self._introducer = self._introducers[self._introducer_index]
+        self.introducer_failovers += 1
+        self.journal.emit(
+            "introducer.failover",
+            node=self.id,
+            to=self._introducer_labels[self._introducer],
+            reason=reason,
+        )
+
     async def _membership_loop(self) -> None:
-        """Heartbeat the introducer and refresh the peer directory."""
+        """Heartbeat the introducer and refresh the peer directory.
+
+        Every directory request is answered by a live introducer, so a
+        silent one is a dead (or partitioned-away) one: once nothing has
+        been heard back for the failover limit, rotate to the next replica
+        and re-``Hello`` there so it can register us before our TTL at the
+        quorum lapses.
+        """
         loop = asyncio.get_running_loop()
         next_directory = loop.time()
+        self._introducer_last_reply = loop.time()
+        silence_limit = max(
+            2.5 * self.spec.directory_interval,
+            3.0 * self.spec.heartbeat_interval,
+        )
         while True:
             self.transport.send_to(self._introducer, Heartbeat(node=self.id))
             now = loop.time()
@@ -399,6 +487,20 @@ class LiveNode:
                     self._introducer, DirectoryRequest(node=self.id)
                 )
                 next_directory = now + self.spec.directory_interval
+            if (
+                len(self._introducers) > 1
+                and now - self._introducer_last_reply > silence_limit
+            ):
+                self._rotate_introducer("silence")
+                self._introducer_last_reply = now  # restart the window
+                self.transport.send_to(
+                    self._introducer,
+                    Hello(
+                        node=self.id,
+                        port=self.transport.local_address[1],
+                        host=self.spec.host,
+                    ),
+                )
             await asyncio.sleep(self.spec.heartbeat_interval)
 
     async def _snapshot_loop(self) -> None:
@@ -452,8 +554,10 @@ class LiveNode:
                 self.peers.learn(sender, addr)
             self.node.handle_message(message)
         elif isinstance(message, DirectoryReply):
+            self._mark_introducer_heard(addr)
             self._on_directory(message)
         elif isinstance(message, HelloAck):
+            self._mark_introducer_heard(addr)
             if message.epoch > 0.0:
                 self.runtime.rebase_epoch(message.epoch)
             self._hello_acked.set()
@@ -478,6 +582,14 @@ class LiveNode:
             self._fault_plan_json = message.plan
         # Unknown control traffic is ignored.
 
+    def _mark_introducer_heard(self, addr: Address) -> None:
+        """Reset the failover silence window: some replica answered."""
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:  # direct-drive unit tests, no loop
+            return
+        self._introducer_last_reply = loop.time()
+
     def _on_directory(self, reply: DirectoryReply) -> None:
         alive = []
         for entry in reply.entries:
@@ -492,6 +604,7 @@ class LiveNode:
             alive.append(node_id)
         self.peers.set_alive(alive)
         self._directory_seen.set()
+        self._maybe_reseed_cv(alive)
         if not self._joined:
             self._joined = True
             self.node.begin_join()
@@ -502,6 +615,51 @@ class LiveNode:
             # blind *forever*.  A retry loop (below) re-runs begin_join
             # with backoff until the node has any overlay state at all.
             self._tasks.append(asyncio.create_task(self._join_retry_loop()))
+
+    def _maybe_reseed_cv(self, alive: List[NodeId]) -> None:
+        """Island merging (ROADMAP item 5): re-seed the CV from directories.
+
+        CV gossip only refreshes through already-seeded views, so two
+        partition-separated islands that each converged internally never
+        rediscover each other after a heal — no coarse view on either side
+        holds a peer from the other.  The introducer directory *does* span
+        islands (heartbeats are tiny and island-blind), so whenever a
+        directory reply names an alive peer absent from our coarse view,
+        inject one — uniformly at random, through the CV's own eviction
+        rule, so the view stays a bounded uniform sample.  A wrongly
+        injected dead peer is repaired by the existing CvPing pruning.
+
+        Gated on the node already holding *some* overlay state — the exact
+        complement of the blind-join retry loop, which owns recovery until
+        any state exists (a node can end up with PS/TS but an empty CV
+        when healed peers discovered *it* first) — and throttled to one
+        entry per two directory intervals so merging is gentle, not a view
+        takeover.
+        """
+        node = self.node
+        if not self._joined or node is None:
+            return
+        if not (len(node.cv) or node.ps or node.ts):
+            return  # fully blind: the join-retry loop owns bootstrap
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:  # direct-drive unit tests, no loop
+            return
+        if now < self._next_reseed:
+            return
+        current = set(self.node.cv.entries())
+        absent = [
+            node_id
+            for node_id in alive
+            if node_id != self.id and node_id not in current
+        ]
+        if not absent:
+            return
+        pick = absent[self.rng.randrange(len(absent))]
+        self.node.cv.add(pick, self.rng)
+        self.cv_reseeds += 1
+        self._next_reseed = now + self._reseed_interval
+        self.journal.emit("node.cv_reseed", node=self.id, peer=pick)
 
     async def _join_retry_loop(self) -> None:
         """Re-send the bootstrap join while the node is fully blind.
@@ -630,6 +788,8 @@ class LiveNode:
             joins_throttled=self.joins_throttled,
             reports_served=self.reports_served,
             histories_served=self.histories_served,
+            introducer_failovers=self.introducer_failovers,
+            cv_reseeds=self.cv_reseeds,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -69,7 +69,7 @@ from .control import (
     StatusRequest,
 )
 from .faults import FaultPlan
-from .introducer import Introducer
+from .introducer import Introducer, IntroducerGroup  # noqa: F401 — re-export
 from .runtime import LiveNodeSpec
 from .transport import Address, UdpTransport
 
@@ -129,6 +129,15 @@ class LiveConfig:
     sample_interval: float = 2.0
     heartbeat_interval: float = 0.5
     introducer_ttl: float = 2.5
+    #: Bootstrap quorum size: introducer replicas to spawn.  Nodes learn
+    #: every replica's address and fail over on silence; replicas
+    #: anti-entropy-sync their directories (``IntroducerSync``).
+    introducers: int = 1
+    #: Replica-to-replica directory sync period, seconds.
+    introducer_sync_interval: float = 1.0
+    #: One-shot HA chaos: kill the primary introducer this many seconds
+    #: in (requires ``introducers`` >= 2; never kills the last replica).
+    kill_introducer_after: Optional[float] = None
     #: Node state files live here; empty -> a run-scoped temp directory.
     state_dir: str = ""
     #: Fault component key (registry kind ``fault``) shaping the network.
@@ -149,6 +158,21 @@ class LiveConfig:
                 f"crash_after must fall inside the run "
                 f"(0, {self.duration}), got {self.crash_after}"
             )
+        if self.introducers < 1:
+            raise ValueError(
+                f"introducers must be >= 1, got {self.introducers}"
+            )
+        if self.kill_introducer_after is not None:
+            if self.introducers < 2:
+                raise ValueError(
+                    "kill_introducer_after needs a bootstrap quorum "
+                    f"(introducers >= 2), got {self.introducers}"
+                )
+            if not 0.0 < self.kill_introducer_after < self.duration:
+                raise ValueError(
+                    f"kill_introducer_after must fall inside the run "
+                    f"(0, {self.duration}), got {self.kill_introducer_after}"
+                )
 
     def resolved_k(self) -> int:
         return self.k if self.k is not None else max(
@@ -177,6 +201,7 @@ class LiveConfig:
         epoch: float,
         state_file: str,
         fault: str = "",
+        introducers: Sequence[Address] = (),
     ) -> LiveNodeSpec:
         return LiveNodeSpec(
             node=node,
@@ -203,6 +228,7 @@ class LiveConfig:
             snapshot_interval=self.protocol_period,
             state_file=state_file,
             fault=fault,
+            introducers=tuple(introducers),
         )
 
     def to_dict(self) -> dict:
@@ -251,6 +277,15 @@ def live_config_key(
         # Appended only for faulty deployments, so every pre-fault store
         # cell keeps its address.
         key = key + (plan.key(),)
+    if config.introducers != 1 or config.kill_introducer_after is not None:
+        # Same append-only-when-non-default rule: single-introducer
+        # deployments (everything that existed before HA) keep their
+        # store addresses bit-for-bit.
+        key = key + (
+            "INTRODUCERS",
+            config.introducers,
+            config.kill_introducer_after,
+        )
     return key
 
 
@@ -653,8 +688,11 @@ class LiveSupervisor:
 
             journal = journal_from_env()
         self.journal = journal
-        self.introducer = Introducer(
-            ttl=config.introducer_ttl, journal=journal
+        self.introducer = IntroducerGroup(
+            config.introducers,
+            ttl=config.introducer_ttl,
+            journal=journal,
+            sync_interval=config.introducer_sync_interval,
         )
         self.sim: Optional[_WallSim] = None
         self._handles: Dict[NodeId, _NodeHandle] = {}
@@ -749,6 +787,11 @@ class LiveSupervisor:
             self._bind_churn()
             if config.crash_after is not None:
                 self.sim.schedule(config.crash_after, self._inject_crash)
+            if config.kill_introducer_after is not None:
+                self.sim.schedule(
+                    config.kill_introducer_after,
+                    self.introducer.kill_primary,
+                )
             await self._measurement_window()
             statuses = await self.scrape(timeout=max(1.0, config.ping_timeout * 8))
             self._last_statuses = statuses
@@ -917,6 +960,7 @@ class LiveSupervisor:
             epoch=self.introducer.epoch,
             state_file=str(self._state_dir / f"node-{node}.json"),
             fault=self._fault_json,
+            introducers=self.introducer.addresses,
         )
         handle = _NodeHandle(node=node, spec=spec)
         self._handles[node] = handle
@@ -1225,7 +1269,19 @@ class LiveSupervisor:
                 if victim is None:
                     break
                 victims.append(victim)
-            self._control.send_to(addr, ChaosReply(victims=tuple(victims)))
+            killed: List[str] = []
+            for _ in range(max(0, message.kill_introducers)):
+                name = self.introducer.kill_primary()
+                if name is None:  # never kill the last surviving replica
+                    break
+                killed.append(name)
+            self._control.send_to(
+                addr,
+                ChaosReply(
+                    victims=tuple(victims),
+                    introducers_killed=tuple(killed),
+                ),
+            )
         elif isinstance(message, OverlayInfoRequest):
             self._control.send_to(
                 addr,

@@ -315,3 +315,134 @@ class TestRemoteBackend:
         keys = [event["key"] for event in done]
         assert len(set(keys)) == 2
         assert all(key.endswith(".json") for key in keys)
+
+
+class _RestartableDaemon:
+    """The store daemon as a stop/start-able object on one pinned port.
+
+    The coordination state (claims, task board, event log) is in-memory
+    by design — a restart wipes it while the filesystem-backed summaries
+    survive.  That asymmetry is exactly what the restart test exercises.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = root
+        self.port = None
+        self._thread = None
+        self._loop = None
+        self._state = None
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def start(self) -> str:
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+        state = {}
+
+        async def boot():
+            server = await serve_store(
+                FilesystemBackend(self.root), "127.0.0.1", self.port or 0
+            )
+            state["port"] = server.sockets[0].getsockname()[1]
+            started.set()
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        def run():
+            task = loop.create_task(boot())
+            state["task"] = task
+            try:
+                loop.run_until_complete(task)
+                pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+                for leftover in pending:
+                    leftover.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(5.0), "store daemon did not start"
+        self.port = state["port"]
+        self._thread = thread
+        self._loop = loop
+        self._state = state
+        return self.url
+
+    def stop(self) -> None:
+        self._loop.call_soon_threadsafe(self._state["task"].cancel)
+        self._thread.join(timeout=5.0)
+        assert not self._thread.is_alive(), "store daemon did not stop"
+
+
+@pytest.mark.udp
+class TestDaemonRestartMidSweep:
+    def test_parent_reclaims_and_republishes_after_restart(self, tmp_path):
+        """ROADMAP item 2 leftover: the daemon dies mid-sweep and comes
+        back empty (claims and queued tasks are soft state); the parent's
+        renew fails, it demotes the cells to watched, the watcher's next
+        claim is granted as a takeover and the tasks are republished —
+        the sweep completes with byte-identical summaries and exactly-once
+        compute."""
+        daemon = _RestartableDaemon(tmp_path)
+        url = daemon.start()
+        configs = _configs(2)
+        # Generous transport retries: the parent must ride out the
+        # restart window instead of failing the sweep on one refused
+        # connection.
+        store = SummaryStore(
+            backend=SharedStoreBackend(url, retries=20, retry_backoff=0.1)
+        )
+        # claim_ttl well above the pre-restart window (claims must be
+        # lost to the restart, never to a natural lapse) but small enough
+        # that the renew cadence (ttl/3) notices the loss promptly.
+        backend = _parent("phoenix", claim_ttl=6.0, adopt_interval=0.1)
+        results = {}
+
+        def sweep():
+            results["summaries"] = run_configs(
+                configs, store=store, backend=backend
+            )
+
+        sweeper = threading.Thread(target=sweep, daemon=True)
+        sweeper.start()
+        # Mid-sweep = claims held and tasks queued, nothing computed yet
+        # (no worker is attached).
+        probe = SharedStoreBackend(url)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            _, listing = probe.call("GET", "/tasks")
+            if len(listing.get("tasks", ())) >= len(configs):
+                break
+            time.sleep(0.02)
+        else:
+            raise AssertionError("parent never published its tasks")
+        probe.close()
+        daemon.stop()
+        time.sleep(0.3)  # a real outage window, parent mid-loop
+        assert daemon.start() == url  # same port: parents reconnect blind
+        _start_worker(url, "w-after-restart")
+        sweeper.join(timeout=60.0)
+        assert not sweeper.is_alive(), "sweep never completed after restart"
+        # Byte-identity survived the restart...
+        baseline = [s.to_json() for s in run_configs(configs)]
+        assert [s.to_json() for s in results["summaries"]] == baseline
+        counts = backend._event_counts
+        # ...the parent noticed its claims were gone (renew came back
+        # empty against the fresh daemon)...
+        assert counts.get("fleet.claim_lost", 0) >= len(configs)
+        # ...re-claimed them as takeovers and republished...
+        assert counts.get("fleet.claim_expired", 0) >= len(configs)
+        # ...and every cell was computed exactly once, post-restart.
+        assert counts.get("fleet.cell_done") == len(configs)
+        assert counts.get("fleet.cell_adopted", 0) == 0

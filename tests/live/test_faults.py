@@ -21,6 +21,8 @@ from repro.live.faults import (
     FaultPlan,
     LinkFault,
     Partition,
+    introducer_label,
+    is_introducer_label,
     parse_partition_groups,
 )
 from repro.live.supervisor import LiveConfig, LiveSupervisor, live_config_key
@@ -302,6 +304,27 @@ def test_parse_partition_groups():
     # Negative "ids" match no node either.
     with pytest.raises(ValueError, match="unknown partition member '-2'"):
         parse_partition_groups("0,1|-2,3")
+
+
+def test_introducer_replica_labels():
+    # Replica 0 keeps the historical bare label so existing plans (and
+    # stored cache keys) that name "introducer" still hit the primary.
+    assert introducer_label(0) == INTRODUCER
+    assert introducer_label(1) == "introducer-1"
+    assert introducer_label(12) == "introducer-12"
+    with pytest.raises(ValueError):
+        introducer_label(-1)
+    assert is_introducer_label(INTRODUCER)
+    assert is_introducer_label("introducer-2")
+    assert not is_introducer_label("introducer-")
+    assert not is_introducer_label("introducer-x")
+    assert not is_introducer_label(SUPERVISOR)
+    assert not is_introducer_label(0)
+    # Plans can sever an individual replica by its label.
+    assert parse_partition_groups("0,introducer-1|1,2") == (
+        (0, "introducer-1"),
+        (1, 2),
+    )
 
 
 # -- runtime plan push -------------------------------------------------------

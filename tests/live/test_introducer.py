@@ -143,3 +143,220 @@ def test_supervisor_drop_expires_immediately_and_quarantines():
             introducer.close()
 
     run(scenario())
+
+
+# -- direct-drive edge cases on an injectable clock ---------------------------
+#
+# No sockets, no asyncio: messages are fed straight into ``_handle`` and
+# the TTL timebase is a hand-advanced clock, so every expiry boundary is
+# exact instead of sleep-raced.
+
+from repro.live.control import IntroducerSync  # noqa: E402
+from repro.live.introducer import IntroducerGroup  # noqa: E402
+
+
+class _Clock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class _FakeTransport:
+    """Collects outbound datagrams; enough surface for direct-drive."""
+
+    def __init__(self) -> None:
+        self.sent = []
+
+    @property
+    def local_address(self):
+        return ("mem", 1)
+
+    def send_to(self, address, message) -> int:
+        self.sent.append((address, message))
+        return 1
+
+    def close(self) -> None:
+        pass
+
+
+def _direct(ttl: float = 2.0, **kwargs):
+    clock = _Clock()
+    intro = Introducer(ttl=ttl, clock=clock, **kwargs)
+    intro._transport = _FakeTransport()
+    return intro, clock
+
+
+def test_quarantine_prunes_expired_entries():
+    """Satellite regression: ids that never respawn must not leak.
+
+    ``drop`` quarantines for one TTL; before the fix only a Hello removed
+    the entry, so churn victims that never came back accumulated forever.
+    ``_expire`` now reaps them with the registrations.
+    """
+    intro, clock = _direct(ttl=2.0)
+    for node in range(50):
+        intro._handle(Hello(node=node, port=1000 + node), ("mem", 2))
+    for node in range(50):
+        intro.drop(node)
+    assert len(intro._quarantine) == 50
+    clock.advance(2.0)  # exactly the quarantine deadline: now >= lifted_at
+    intro.alive_entries()  # any read path runs _expire
+    assert intro._quarantine == {}
+    assert intro.alive_count() == 0
+
+
+def test_quarantine_prune_spares_active_quarantines():
+    intro, clock = _direct(ttl=2.0)
+    intro._handle(Hello(node=1, port=1001), ("mem", 2))
+    intro.drop(1)
+    clock.advance(1.0)
+    intro._handle(Hello(node=2, port=1002), ("mem", 2))
+    intro.drop(2)  # quarantined until t+3.0
+    clock.advance(1.0)  # node 1's quarantine lapses, node 2's is half-way
+    intro.alive_entries()
+    assert set(intro._quarantine) == {2}
+    # The surviving quarantine still rejects the corpse's heartbeat.
+    intro._handle(Heartbeat(node=2), ("mem", 2))
+    assert not intro.is_alive(2)
+
+
+def test_heartbeat_reregisters_after_organic_expiry_exact_boundary():
+    intro, clock = _direct(ttl=2.0)
+    intro._handle(Hello(node=9, port=9009), ("mem", 9))
+    assert intro.is_alive(9)
+    clock.advance(2.1)  # organic TTL expiry — no quarantine involved
+    assert not intro.is_alive(9)
+    # The next heartbeat re-registers at the datagram's source address.
+    intro._handle(Heartbeat(node=9), ("mem", 77))
+    assert intro.alive_entries() == ((9, "mem", 77),)
+
+
+def test_hello_lifts_quarantine_immediately():
+    intro, clock = _direct(ttl=60.0)
+    intro._handle(Hello(node=3, port=3333), ("mem", 3))
+    intro.drop(3)
+    intro._handle(Heartbeat(node=3), ("mem", 3))
+    assert not intro.is_alive(3)  # stale heartbeat: still quarantined
+    intro._handle(Hello(node=3, port=3334), ("mem", 3))
+    assert intro.is_alive(3)  # the respawn's Hello lifts it
+    assert 3 not in intro._quarantine
+
+
+def test_epoch_adoption_across_replicas():
+    """The eldest (smallest) epoch wins quorum-wide, in either direction."""
+    elder, _ = _direct(ttl=2.0, epoch=500.0, name="introducer")
+    younger, _ = _direct(ttl=2.0, epoch=800.0, name="introducer-1")
+    # Younger hears the elder: adopts.
+    younger._handle(
+        IntroducerSync(sender="introducer", epoch=500.0), ("mem", 50)
+    )
+    assert younger.epoch == 500.0
+    # Elder hears the (formerly) younger: keeps its own.
+    elder._handle(
+        IntroducerSync(sender="introducer-1", epoch=800.0), ("mem", 51)
+    )
+    assert elder.epoch == 500.0
+    # A zero epoch (defaulted field) is never adopted.
+    younger._handle(IntroducerSync(sender="x", epoch=0.0), ("mem", 52))
+    assert younger.epoch == 500.0
+
+
+def test_sync_merges_fresher_entries_only():
+    intro, clock = _direct(ttl=5.0)
+    intro._handle(Hello(node=1, port=1001), ("mem", 2))  # heard directly now
+    # A peer's view of node 1 is 3 s old, ours is fresh: ignored.
+    intro._handle(
+        IntroducerSync(
+            sender="introducer-1",
+            epoch=intro.epoch,
+            entries=(((1, "mem", 9999, 3.0)),),
+        ),
+        ("mem", 50),
+    )
+    assert intro.alive_entries() == ((1, "mem", 1001),)
+    # Node 2 is unknown here and only 1 s old at the peer: merged, and its
+    # remaining TTL accounts for the age.
+    intro._handle(
+        IntroducerSync(
+            sender="introducer-1",
+            epoch=intro.epoch,
+            entries=((2, "mem", 2002, 1.0),),
+        ),
+        ("mem", 50),
+    )
+    assert intro.is_alive(2)
+    assert intro.synced_in == 1
+    clock.advance(4.5)  # 1.0 age + 4.5 > ttl: node 2 expires before node 1
+    assert not intro.is_alive(2)
+    assert intro.is_alive(1)
+    # An entry already stale at arrival is never merged.
+    intro._handle(
+        IntroducerSync(
+            sender="introducer-1",
+            epoch=intro.epoch,
+            entries=((3, "mem", 3003, 6.0),),
+        ),
+        ("mem", 50),
+    )
+    assert not intro.is_alive(3)
+
+
+def test_sync_respects_quarantine():
+    """A forced drop outlives a peer replica's older view of the corpse."""
+    intro, clock = _direct(ttl=2.0)
+    intro._handle(Hello(node=4, port=4004), ("mem", 4))
+    intro.drop(4)
+    intro._handle(
+        IntroducerSync(
+            sender="introducer-1",
+            epoch=intro.epoch,
+            entries=((4, "mem", 4004, 0.5),),
+        ),
+        ("mem", 50),
+    )
+    assert not intro.is_alive(4)  # the quarantine wins
+    clock.advance(2.5)  # quarantine lapsed
+    intro._handle(
+        IntroducerSync(
+            sender="introducer-1",
+            epoch=intro.epoch,
+            entries=((4, "mem", 4004, 0.5),),
+        ),
+        ("mem", 50),
+    )
+    assert intro.is_alive(4)  # a *fresh* peer sighting re-admits it
+
+
+def test_send_sync_carries_relative_ages():
+    intro, clock = _direct(ttl=10.0)
+    intro.peers = (("mem", 99),)
+    intro._handle(Hello(node=1, port=1001), ("mem", 2))
+    clock.advance(3.0)
+    intro._handle(Hello(node=2, port=2002), ("mem", 3))
+    intro.send_sync()
+    (addr, sync) = intro._transport.sent[-1]
+    assert addr == ("mem", 99)
+    assert isinstance(sync, IntroducerSync)
+    assert sync.entries == ((1, "mem", 1001, 3.0), (2, "mem", 2002, 0.0))
+
+
+def test_group_start_requires_no_factories_for_udp():
+    """One-replica groups are drop-in for the single introducer."""
+
+    async def scenario():
+        group = IntroducerGroup(1, ttl=5.0)
+        addr = await group.start()
+        try:
+            assert group.addresses == (addr,)
+            assert group.address == addr
+            assert len(group) == 1
+            assert group.kill_primary() is None  # never the last survivor
+        finally:
+            group.close()
+
+    run(scenario())

@@ -1,0 +1,213 @@
+"""Introducer high availability on the in-memory fabric.
+
+The ISSUE's HA gates, socket-free and on the virtual clock:
+
+* a bootstrap quorum of three replicas anti-entropy-syncs its directory
+  (``IntroducerSync``), so killing the primary mid-run loses nothing —
+  the overlay holds >= 90% discovery;
+* a node (re)joining *during* the outage registers via a surviving
+  replica: its ``_register`` loop rotates on silence
+  (``introducer.failover`` in the journal proves it);
+* the whole drill is deterministic: same seed, byte-identical summary
+  JSON across two full runs, kill included.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.live.faults import FaultPlan, Partition
+from repro.live.memory_transport import MemoryOverlay
+from repro.live.supervisor import LiveConfig
+from repro.obs import Journal
+
+N = 8
+SEED = 5
+
+#: Primary dies at 5 s: after assembly (so the overlay is worth holding),
+#: well before the end (so heartbeats/directories run through failover
+#: for most of the window).
+KILL_AT = 5.0
+
+
+def _ha_config(**overrides) -> LiveConfig:
+    base = dict(
+        nodes=N,
+        k=3,
+        cvs=7,
+        seed=SEED,
+        duration=13.0,
+        protocol_period=0.5,
+        monitoring_period=0.5,
+        ping_timeout=0.2,
+        introducer_ttl=2.0,
+        sample_interval=2.5,
+        control_port=-1,
+        introducers=3,
+        introducer_sync_interval=0.5,
+        kill_introducer_after=KILL_AT,
+    )
+    base.update(overrides)
+    return LiveConfig(**base)
+
+
+def _run(config: LiveConfig, plan=None):
+    journal = Journal()
+    overlay = MemoryOverlay(config, plan=plan, journal=journal)
+    report = overlay.run()
+    return overlay, report, journal
+
+
+def test_primary_kill_midrun_holds_discovery():
+    overlay, report, journal = _run(_ha_config())
+    assert report.violations == 0
+    assert report.discovery_ratio >= 0.9, (
+        f"discovery after primary kill only {report.discovery_ratio:.0%}"
+    )
+    # The kill happened...
+    killed = [e for e in journal.events if e["event"] == "introducer.killed"]
+    assert [e["name"] for e in killed] == ["introducer"]
+    # ...nodes noticed the silence and rotated to a surviving replica...
+    failovers = [
+        e for e in journal.events if e["event"] == "introducer.failover"
+    ]
+    assert failovers, "no node ever failed over to a surviving replica"
+    assert all(e["to"] != "introducer" for e in failovers)
+    # ...and the final scrape (driven off the quorum's merged directory)
+    # still reached every node.
+    assert len(report.statuses) == N
+    assert sum(s.introducer_failovers for s in report.statuses.values()) > 0
+
+
+def test_replicas_sync_their_directories():
+    journal = Journal()
+    config = _ha_config()
+
+    async def sample_survivors(ov):
+        # Just before the window closes (teardown stops every replica, so
+        # the quorum must be inspected mid-run).
+        await asyncio.sleep(config.duration - 0.5)
+        return {
+            replica.name: {e[0] for e in replica.alive_entries()}
+            for replica in ov.introducer.replicas
+            if replica.running
+        }
+
+    overlay = MemoryOverlay(config, workload=sample_survivors, journal=journal)
+    overlay.run()
+    # Every replica learned at least one registration it never heard
+    # directly: nodes Hello exactly one replica, sync spreads the rest.
+    assert journal.count("introducer.sync") > 0
+    synced_names = {
+        e["name"] for e in journal.events if e["event"] == "introducer.sync"
+    }
+    assert len(synced_names) >= 2
+    # The two survivors agree on the full membership.
+    survivors = overlay.workload_result
+    assert set(survivors) == {"introducer-1", "introducer-2"}
+    for name, members in survivors.items():
+        assert members == set(range(N)), f"{name} holds {members}"
+
+
+def test_node_joining_during_outage_bootstraps_via_replica():
+    """A node that (re)registers while the primary is dead succeeds.
+
+    The crash victim respawns at 6.5 s — after the primary died at 5 s —
+    so its fresh ``_register`` loop necessarily starts at the dead
+    primary, times out, rotates, and lands on a surviving replica.
+    """
+    config = _ha_config(crash_after=6.0, crash_downtime=0.5)
+    overlay, report, journal = _run(config)
+    victim = overlay._crash_victims[0]
+    # The respawned node came back: the final scrape is driven off the
+    # quorum's merged directory, so answering it proves re-registration.
+    assert victim in report.statuses
+    # Its boot-time failover is journaled with the register reason.
+    register_rotations = [
+        e
+        for e in journal.events
+        if e["event"] == "introducer.failover"
+        and e["reason"] == "register"
+        and e["node"] == victim
+    ]
+    assert register_rotations, "respawned node never rotated at register"
+    assert report.violations == 0
+    assert report.discovery_ratio >= 0.9
+
+
+def test_ha_drill_is_deterministic_byte_for_byte():
+    first = _run(_ha_config())[1]
+    second = _run(_ha_config())[1]
+    assert first.summary.to_json() == second.summary.to_json()
+
+
+def test_quorum_survives_partitioned_primary():
+    """A partition that severs the primary (not a kill): nodes on the far
+    side rotate to a replica they can still reach, and the overlay holds.
+
+    The per-replica fault labels (``introducer``, ``introducer-1``, ...)
+    make this expressible: the plan names the primary *only*, so sync
+    and failover traffic to the other replicas flows.
+    """
+    plan = FaultPlan(
+        partitions=(
+            Partition(
+                groups=(("introducer",), tuple(range(N))),
+                start=4.0,
+                end=-1.0,
+            ),
+        ),
+        seed=11,
+    )
+    config = _ha_config(kill_introducer_after=None)
+    overlay, report, journal = _run(config, plan=plan)
+    assert report.violations == 0
+    assert report.discovery_ratio >= 0.9
+    assert journal.count("introducer.failover") > 0
+
+
+def test_single_introducer_config_never_rotates():
+    """The HA machinery is a strict no-op at the default quorum size."""
+    config = _ha_config(introducers=1, kill_introducer_after=None)
+    _overlay, report, journal = _run(config)
+    assert journal.count("introducer.failover") == 0
+    assert all(s.introducer_failovers == 0 for s in report.statuses.values())
+    assert report.discovery_ratio >= 0.9
+
+
+def test_kill_refuses_to_orphan_the_overlay():
+    """``kill_primary`` never takes down the last surviving replica."""
+    config = _ha_config(introducers=2, kill_introducer_after=None)
+    journal = Journal()
+    overlay = MemoryOverlay(config, journal=journal)
+
+    async def drill(ov):
+        assert ov.introducer.kill_primary() == "introducer"
+        assert ov.introducer.kill_primary() is None  # last survivor stays
+        return sum(1 for r in ov.introducer.replicas if r.running)
+
+    overlay._workload = drill
+    report = overlay.run()
+    assert overlay.workload_result == 1
+    assert report.discovery_ratio >= 0.9
+
+
+def test_store_key_appends_only_for_quorums():
+    """Cache-key stability: pre-HA deployments keep their addresses."""
+    from repro.live.supervisor import live_config_key
+
+    single = _ha_config(introducers=1, kill_introducer_after=None)
+    quorum = _ha_config()
+    key_single = live_config_key(single)
+    key_quorum = live_config_key(quorum)
+    assert "INTRODUCERS" not in key_single
+    assert "INTRODUCERS" in key_quorum
+    assert key_single == key_quorum[: key_quorum.index("INTRODUCERS")]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))
